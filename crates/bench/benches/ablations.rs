@@ -1,0 +1,74 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! word-granularity data packing (§III-C) and GC data coalescing (§III-E).
+//! Each ablation also prints the *simulated* traffic delta once, so the
+//! bench output documents why the mechanism exists.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use engines::PersistenceEngine as _;
+use hoop::engine::HoopEngine;
+use simcore::config::SimConfig;
+use simcore::{CoreId, PAddr};
+
+fn run_workload(e: &mut HoopEngine, txs: u64) {
+    for i in 0..txs {
+        let tx = e.tx_begin(CoreId(0), i * 60);
+        for w in 0..8u64 {
+            e.on_store(
+                CoreId(0),
+                tx,
+                PAddr((i % 16) * 512 + w * 8),
+                &(i ^ w).to_le_bytes(),
+                i * 60,
+            );
+        }
+        e.tx_end(CoreId(0), tx, i * 60 + 20);
+    }
+    e.drain(10_000_000_000);
+}
+
+fn traffic_with(packing: bool, coalescing: bool) -> (u64, u64) {
+    let cfg = SimConfig::small_for_tests();
+    let mut e = HoopEngine::new(&cfg);
+    e.set_packing(packing);
+    e.set_coalescing(coalescing);
+    run_workload(&mut e, 400);
+    (
+        e.device().traffic().written(nvm::TrafficClass::Log),
+        e.stats().gc_bytes_out.get(),
+    )
+}
+
+fn packing_ablation(c: &mut Criterion) {
+    let (on, _) = traffic_with(true, true);
+    let (off, _) = traffic_with(false, true);
+    println!("[ablation] data packing: {on} B slices (on) vs {off} B (off) — x{:.1}", off as f64 / on as f64);
+    let mut group = c.benchmark_group("packing");
+    group.sample_size(10);
+    for (label, enabled) in [("on", true), ("off", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(traffic_with(enabled, true)))
+        });
+    }
+    group.finish();
+}
+
+fn coalescing_ablation(c: &mut Criterion) {
+    let (_, on) = traffic_with(true, true);
+    let (_, off) = traffic_with(true, false);
+    println!("[ablation] GC coalescing: {on} B home writes (on) vs {off} B (off) — x{:.1}", off as f64 / on.max(1) as f64);
+    let mut group = c.benchmark_group("coalescing");
+    group.sample_size(10);
+    for (label, enabled) in [("on", true), ("off", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(traffic_with(true, enabled)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = packing_ablation, coalescing_ablation
+);
+criterion_main!(benches);

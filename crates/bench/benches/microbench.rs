@@ -1,0 +1,93 @@
+//! Micro-benchmarks of HOOP's controller data structures — the host-side
+//! cost of the hot simulator paths (slice codec, mapping table, skip list,
+//! eviction buffer, Zipfian generator).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use engines::skiplist::SkipList;
+use hoop::evict_buffer::EvictionBuffer;
+use hoop::mapping::MappingTable;
+use hoop::slice::{DataSlice, WordUpdate};
+use simcore::addr::Line;
+use simcore::zipf::Zipfian;
+use simcore::{PAddr, SimRng};
+
+fn slice_codec(c: &mut Criterion) {
+    let slice = DataSlice {
+        words: (0..8)
+            .map(|i| WordUpdate {
+                home: PAddr(i * 8 + 0x10_0000),
+                value: i * 0x1234_5678,
+            })
+            .collect(),
+        link: 77,
+        tx: 42,
+        start: true,
+        commit: true,
+    };
+    let encoded = slice.encode();
+    c.bench_function("slice_encode", |b| b.iter(|| black_box(&slice).encode()));
+    c.bench_function("slice_decode", |b| {
+        b.iter(|| DataSlice::decode(black_box(&encoded)).expect("valid"))
+    });
+}
+
+fn mapping_table(c: &mut Criterion) {
+    let mut table = MappingTable::new(1 << 17);
+    for i in 0..100_000u64 {
+        table.insert(Line(i), (i % 1000) as u32, 0xFF);
+    }
+    c.bench_function("mapping_lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            black_box(table.lookup(Line(i)))
+        })
+    });
+    c.bench_function("mapping_insert_remove", |b| {
+        let mut i = 200_000u64;
+        b.iter(|| {
+            i += 1;
+            table.insert(Line(i), 5, 0x01);
+            table.remove(Line(i))
+        })
+    });
+}
+
+fn skiplist(c: &mut Criterion) {
+    let mut list = SkipList::new();
+    for i in 0..100_000u64 {
+        list.insert(i * 7919 % 1_000_003, i);
+    }
+    c.bench_function("skiplist_get_100k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 13) % 100_000;
+            black_box(list.get(i * 7919 % 1_000_003))
+        })
+    });
+}
+
+fn eviction_buffer(c: &mut Criterion) {
+    let mut buf = EvictionBuffer::new(1820);
+    c.bench_function("evict_buffer_insert_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            buf.insert(Line(i), [0xAB; 64]);
+            black_box(buf.get(Line(i.saturating_sub(100))).copied())
+        })
+    });
+}
+
+fn zipfian(c: &mut Criterion) {
+    let z = Zipfian::ycsb(1 << 20);
+    let mut rng = SimRng::seed(1);
+    c.bench_function("zipfian_draw", |b| b.iter(|| black_box(z.next_scrambled(&mut rng))));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = slice_codec, mapping_table, skiplist, eviction_buffer, zipfian
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Calibration scratchpad: runs a few engine × workload cells and prints
+//! raw metrics plus the headline ratios the paper reports, so model
+//! constants can be tuned against §IV targets.
+
+use hoop_bench::experiments::{run_cell, Scale, MATRIX, TPCC};
+use simcore::config::SimConfig;
+use workloads::driver::ENGINES;
+
+fn main() {
+    let sim = SimConfig::default();
+    let scale = Scale::from_args();
+    let configs = [MATRIX[0], MATRIX[2], MATRIX[10], TPCC];
+    for wcfg in configs {
+        println!("\n--- {} ---", wcfg.label);
+        let mut reports = Vec::new();
+        for engine in ENGINES {
+            let r = run_cell(engine, wcfg, &sim, scale);
+            println!("{}", r.summary());
+            println!(
+                "    miss_ratio={:.3} loads/miss={:.2} par_reads={:.3} gc_red={:.3} verify={}",
+                r.llc_miss_ratio,
+                r.loads_per_miss,
+                r.parallel_read_fraction,
+                r.gc_reduction,
+                r.verify_errors
+            );
+            reports.push(r);
+        }
+        let hoop = reports.iter().find(|r| r.engine == "HOOP").expect("HOOP ran");
+        for r in &reports {
+            if r.engine == "HOOP" {
+                continue;
+            }
+            println!(
+                "  HOOP vs {:<9}: thr x{:.2}  lat x{:.2}  wr x{:.2}  pj x{:.2}",
+                r.engine,
+                hoop.throughput_tx_per_ms / r.throughput_tx_per_ms,
+                r.avg_tx_latency / hoop.avg_tx_latency,
+                r.write_bytes_per_tx / hoop.write_bytes_per_tx,
+                r.energy_pj_per_tx / hoop.energy_pj_per_tx,
+            );
+        }
+    }
+}

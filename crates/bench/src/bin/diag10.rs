@@ -1,0 +1,17 @@
+//! fig10 diagnostic: stall attribution at two GC periods.
+use hoop_bench::experiments::{run_cell, spec_for, Scale, MATRIX};
+use simcore::config::SimConfig;
+fn main() {
+    for period in [4.0, 6.0, 10.0] {
+        let mut cfg = SimConfig::default();
+        cfg.hoop.gc_period_ms = period;
+        cfg.hoop.mapping_table_bytes = 8 * 1024 * 1024;
+        cfg.hoop.oop_region_bytes = 1 << 30; // effectively unbounded
+        let r = run_cell("HOOP", MATRIX[8], &cfg, Scale::Full);
+        eprintln!(
+            "period={period} thr={:.1} lat={:.0} ondemand_stall={} wr/tx={:.1}",
+            r.throughput_tx_per_ms, r.avg_tx_latency, r.ondemand_gc_stall_cycles, r.write_bytes_per_tx
+        );
+        let _ = spec_for(MATRIX[8], Scale::Full);
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 8: write traffic to NVM per transaction, normalized to the
+//! native Ideal system (lower is better).
+//!
+//! Paper headline numbers (§IV-D): Opt-Redo and Opt-Undo write 2.1x and
+//! 1.9x more than HOOP; OSP, LSM and LAD write 21.2 %, 12.5 % and 11.6 %
+//! more on average.
+
+use hoop_bench::experiments::{
+    geomean_ratio, print_normalized, run_matrix, write_csv, Scale,
+};
+use simcore::config::SimConfig;
+use workloads::driver::ENGINES;
+
+fn main() {
+    let sim = SimConfig::default();
+    let scale = Scale::from_args();
+    let reports = run_matrix(&sim, scale);
+
+    let head = format!("workload,{}", ENGINES.join(","));
+    let rows = print_normalized(
+        "Fig 8: write traffic per transaction",
+        &reports,
+        "Ideal",
+        |r| r.write_bytes_per_tx,
+        false,
+    );
+    write_csv("fig8_write_traffic", &head, &rows);
+
+    println!("\n== write traffic vs HOOP (geomean) vs paper ==");
+    let paper = [
+        ("Opt-Redo", 2.1),
+        ("Opt-Undo", 1.9),
+        ("OSP", 1.212),
+        ("LSM", 1.125),
+        ("LAD", 1.116),
+    ];
+    for (engine, target) in paper {
+        let got = geomean_ratio(&reports, engine, "HOOP", |r| r.write_bytes_per_tx);
+        println!("  {engine:<9} measured x{got:.2}   paper x{target:.2}");
+    }
+}

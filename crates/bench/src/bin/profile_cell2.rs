@@ -1,0 +1,30 @@
+//! Times one full run_cell (including drain + verify) per engine.
+
+use hoop_bench::experiments::{spec_for, Scale, MATRIX};
+use simcore::config::SimConfig;
+use workloads::driver::{build_system, Driver, ENGINES};
+
+fn main() {
+    let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let sim = SimConfig::default();
+    for e in ENGINES {
+        let t = std::time::Instant::now();
+        let spec = spec_for(MATRIX[idx], Scale::Full);
+        let mut sys = build_system(e, &sim);
+        let mut driver = Driver::new(spec, &sim);
+        driver.setup(&mut sys);
+        let r = driver.run_until(&mut sys, 400, 2000, 3 * sim.hoop.gc_period_cycles());
+        let st = sys.engine().stats();
+        let txs = st.committed_txs.get().max(1);
+        eprintln!("{e:<9} host={:?} {}", t.elapsed(), r.summary());
+        eprintln!(
+            "    commit_stall/tx={} store_ovh/tx={} miss_svc/miss={} misses/tx={:.1} gc_stall/tx={} miss_ratio={:.3}",
+            st.commit_stall_cycles.get() / txs,
+            st.store_overhead_cycles.get() / txs,
+            st.miss_service_cycles.get() / st.misses_served.get().max(1),
+            st.misses_served.get() as f64 / txs as f64,
+            st.ondemand_gc_stall_cycles.get() / txs,
+            r.llc_miss_ratio,
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Table IV: average data reduction in the GC of HOOP as the number of
+//! transactions grows (10^1 .. 10^4).
+//!
+//! Paper values: ~25 % at 10 txs, ~50 % at 100, ~72 % at 1000, ~83 % at
+//! 10^4 — repeated Zipfian updates to the same lines coalesce into a single
+//! home write per GC window.
+
+use hoop_bench::experiments::{spec_for, write_csv, Scale, MATRIX, TPCC, WorkloadConfig};
+use simcore::config::SimConfig;
+use workloads::driver::{build_system, Driver};
+
+fn reduction_for(wcfg: WorkloadConfig, txs: u64, sim: &SimConfig, scale: Scale) -> f64 {
+    let mut spec = spec_for(wcfg, scale);
+    // Table IV uses a fixed moderate keyspace: the reduction ratio measures
+    // how repeated updates to the same lines coalesce as the transaction
+    // count grows past the keyspace size.
+    spec.items = 1024;
+    let mut sys = build_system("HOOP", sim);
+    let mut driver = Driver::new(spec, sim);
+    driver.setup(&mut sys);
+    // No warmup: Table IV measures reduction from the first transaction.
+    let report = driver.run(&mut sys, 0, txs);
+    report.gc_reduction
+}
+
+fn main() {
+    let sim = SimConfig::default();
+    let scale = Scale::from_args();
+    let configs = [
+        MATRIX[0],  // vector-64B
+        MATRIX[4],  // queue-64B
+        MATRIX[6],  // rbtree-64B
+        MATRIX[8],  // btree-64B
+        MATRIX[2],  // hashmap-64B
+        MATRIX[11], // ycsb-1KB
+        TPCC,
+    ];
+    let counts: &[u64] = match scale {
+        Scale::Quick => &[10, 100, 1000],
+        Scale::Full => &[10, 100, 1000, 10_000],
+    };
+    let paper = [0.25, 0.51, 0.73, 0.83];
+
+    println!("== Table IV: GC data-reduction ratio ==");
+    print!("{:<9}", "txs");
+    for c in configs {
+        print!("{:>13}", c.label);
+    }
+    println!("{:>10}", "paper~");
+    let mut rows = Vec::new();
+    for (i, &n) in counts.iter().enumerate() {
+        print!("{n:<9}");
+        let mut row = n.to_string();
+        for c in configs {
+            let red = reduction_for(c, n, &sim, scale);
+            print!("{:>12.1}%", red * 100.0);
+            row += &format!(",{red:.4}");
+        }
+        println!("{:>9.0}%", paper[i.min(3)] * 100.0);
+        rows.push(row);
+    }
+    let head = format!(
+        "txs,{}",
+        configs.map(|c| c.label).join(",")
+    );
+    write_csv("table4_gc_reduction", &head, &rows);
+}

@@ -1,0 +1,14 @@
+//! Experiment harness regenerating every table and figure of the HOOP
+//! paper's evaluation (§IV).
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` prints the rows/series the
+//! paper reports and writes a CSV under `results/`. The shared machinery —
+//! workload matrix, engine sweep, normalization — lives in [`experiments`].
+//! Criterion micro/ablation benches are under `benches/`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{Scale, WorkloadConfig};

@@ -1,0 +1,220 @@
+//! LAD: logless atomic durability (Gupta et al., MICRO'19; §IV-A of the
+//! HOOP paper).
+//!
+//! The memory controller queues a transaction's updates until commit, then
+//! writes them to their home locations at cache-line granularity — no log at
+//! all. Because nothing transactional leaves the controller before commit,
+//! atomicity is free; durability costs one ordered burst of line writes per
+//! commit. HOOP beats it by persisting at *word* granularity with packing
+//! (§IV-B: "LAD ... persists updated data at cache-line granularity").
+
+use std::collections::HashMap;
+
+use nvm::{NvmDevice, PersistentStore, TrafficClass};
+use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
+use simcore::config::SimConfig;
+use simcore::{CoreId, Cycle, PAddr, TxId};
+
+use crate::common::{to_line_image, ControllerBase, LineImage};
+use crate::costs;
+use crate::traits::{
+    CommitOutcome, EngineProperties, EngineStats, Level, MissFill, PersistenceEngine,
+    RecoveryReport,
+};
+
+/// Commit handshake overhead (the two-phase interplay between cache
+/// controller and memory controller, §III-I of the HOOP paper describes the
+/// same protocol for multi-controller HOOP).
+const COMMIT_PROTOCOL_CYCLES: Cycle = 40;
+
+/// The logless atomic durability engine.
+#[derive(Debug)]
+pub struct LadEngine {
+    base: ControllerBase,
+    /// Volatile controller queues: per-transaction line images.
+    active: HashMap<TxId, HashMap<u64, LineImage>>,
+}
+
+impl LadEngine {
+    /// Creates the engine for the machine described by `cfg`.
+    pub fn new(cfg: &SimConfig) -> Self {
+        LadEngine {
+            base: ControllerBase::new(cfg),
+            active: HashMap::new(),
+        }
+    }
+}
+
+impl PersistenceEngine for LadEngine {
+    fn name(&self) -> &'static str {
+        "LAD"
+    }
+
+    fn properties(&self) -> EngineProperties {
+        EngineProperties {
+            read_latency: Level::Low,
+            on_critical_path: false,
+            requires_flush_fence: false,
+            write_traffic: Level::Low,
+        }
+    }
+
+    fn init_home(&mut self, addr: PAddr, data: &[u8]) {
+        self.base.store.write_bytes(addr, data);
+    }
+
+    fn tx_begin(&mut self, _core: CoreId, _now: Cycle) -> TxId {
+        let tx = self.base.alloc_tx();
+        self.active.insert(tx, HashMap::new());
+        tx
+    }
+
+    fn on_store(&mut self, _core: CoreId, tx: TxId, addr: PAddr, data: &[u8], _now: Cycle) -> Cycle {
+        let bases: Vec<(Line, LineImage)> = lines_covering(addr, data.len() as u64)
+            .map(|l| {
+                (
+                    l,
+                    to_line_image(&self.base.store.read_vec(l.base(), 64)),
+                )
+            })
+            .collect();
+        let entry = self.active.get_mut(&tx).expect("store outside tx");
+        let mut off = 0usize;
+        for (line, base_img) in bases {
+            let img = entry.entry(line.0).or_insert(base_img);
+            let start = (addr.0 + off as u64).max(line.base().0);
+            let end = (addr.0 + data.len() as u64).min(line.base().0 + 64);
+            let lo = (start - line.base().0) as usize;
+            let hi = (end - line.base().0) as usize;
+            img[lo..hi].copy_from_slice(&data[off..off + (hi - lo)]);
+            off += hi - lo;
+        }
+        self.base.stats.store_overhead_cycles.add(costs::LAD_QUEUE_APPEND);
+        costs::LAD_QUEUE_APPEND
+    }
+
+    fn on_llc_miss(&mut self, _core: CoreId, line: Line, now: Cycle) -> MissFill {
+        self.base.serve_miss_from_home(line, now)
+    }
+
+    fn on_evict_dirty(&mut self, line: Line, persistent: bool, line_data: &[u8], now: Cycle) {
+        if persistent {
+            // The controller queue already holds (or will hold at commit)
+            // the authoritative image; refresh it and swallow the eviction.
+            for entry in self.active.values_mut() {
+                if let Some(img) = entry.get_mut(&line.0) {
+                    *img = to_line_image(line_data);
+                }
+            }
+            return;
+        }
+        self.base
+            .write_home_line(line, line_data, now, TrafficClass::Data);
+    }
+
+    fn tx_end(&mut self, _core: CoreId, tx: TxId, now: Cycle) -> CommitOutcome {
+        let lines = self.active.remove(&tx).expect("commit of unknown tx");
+        let bytes = lines.len() as u64 * CACHE_LINE_BYTES;
+        let first = lines
+            .keys()
+            .next()
+            .map(|l| Line(*l).base())
+            .unwrap_or(PAddr(0));
+        let done = self.base.write_burst(first, bytes, now, TrafficClass::Data);
+        let mut clean_lines = Vec::with_capacity(lines.len());
+        for (l, img) in lines {
+            clean_lines.push(Line(l));
+            self.base.store.write_bytes(Line(l).base(), &img);
+        }
+        let latency = done.saturating_sub(now) + COMMIT_PROTOCOL_CYCLES;
+        self.base.stats.commit_stall_cycles.add(latency);
+        self.base.stats.committed_txs.inc();
+        CommitOutcome {
+            latency,
+            clean_lines,
+        }
+    }
+
+    fn tick(&mut self, _now: Cycle) -> Cycle {
+        0
+    }
+
+    fn drain(&mut self, _now: Cycle) {}
+
+    fn crash(&mut self) {
+        self.active.clear();
+    }
+
+    fn recover(&mut self, threads: usize) -> RecoveryReport {
+        // Commits are synchronous in-place writes; the home image is always
+        // consistent. Nothing to replay.
+        RecoveryReport {
+            threads,
+            ..RecoveryReport::default()
+        }
+    }
+
+    fn durable(&self) -> &PersistentStore {
+        &self.base.store
+    }
+
+    fn device(&self) -> &NvmDevice {
+        &self.base.device
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.base.stats
+    }
+
+    fn enable_endurance_tracking(&mut self) {
+        self.base.device.enable_endurance_tracking();
+    }
+
+    fn reset_counters(&mut self) {
+        self.base.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> LadEngine {
+        LadEngine::new(&SimConfig::small_for_tests())
+    }
+
+    #[test]
+    fn commit_writes_home_once_per_line() {
+        let mut e = engine();
+        let tx = e.tx_begin(CoreId(0), 0);
+        e.on_store(CoreId(0), tx, PAddr(0), &1u64.to_le_bytes(), 0);
+        e.on_store(CoreId(0), tx, PAddr(8), &2u64.to_le_bytes(), 0);
+        e.tx_end(CoreId(0), tx, 10);
+        assert_eq!(e.device().traffic().written(TrafficClass::Data), 64);
+        assert_eq!(e.durable().read_u64(PAddr(0)), 1);
+        assert_eq!(e.durable().read_u64(PAddr(8)), 2);
+    }
+
+    #[test]
+    fn uncommitted_never_reaches_home() {
+        let mut e = engine();
+        e.init_home(PAddr(0), &7u64.to_le_bytes());
+        let tx = e.tx_begin(CoreId(0), 0);
+        e.on_store(CoreId(0), tx, PAddr(0), &9u64.to_le_bytes(), 0);
+        let mut img = [0u8; 64];
+        img[..8].copy_from_slice(&9u64.to_le_bytes());
+        e.on_evict_dirty(Line(0), true, &img, 5);
+        e.crash();
+        e.recover(1);
+        assert_eq!(e.durable().read_u64(PAddr(0)), 7);
+        assert_eq!(e.device().traffic().written(TrafficClass::Data), 0);
+    }
+
+    #[test]
+    fn commit_latency_includes_protocol() {
+        let mut e = engine();
+        let tx = e.tx_begin(CoreId(0), 0);
+        let out = e.tx_end(CoreId(0), tx, 0);
+        assert_eq!(out.latency, COMMIT_PROTOCOL_CYCLES);
+    }
+}

@@ -1,0 +1,57 @@
+//! Physical address-space layout of the simulated machine.
+//!
+//! The *home region* occupies the bottom 1 TB of the physical space — the
+//! paper's metadata uses 40-bit home-region offsets (§III-C), which this
+//! layout makes literal. Engine-private areas (log regions, the OOP region,
+//! shadow areas) live above [`ENGINE_BASE`], so a home address always fits
+//! in 40 bits and engine metadata can never collide with application data.
+
+use simcore::alloc::RegionAllocator;
+use simcore::PAddr;
+
+/// Base of the home region (application data).
+pub const HOME_BASE: u64 = 0;
+
+/// Size of the home region: 1 TB, addressable with the paper's 40-bit
+/// home-address offsets.
+pub const HOME_SIZE: u64 = 1 << 40;
+
+/// Base of engine-private regions (logs, OOP region, shadow copies).
+pub const ENGINE_BASE: u64 = 1 << 40;
+
+/// Size reserved for engine-private regions.
+pub const ENGINE_SIZE: u64 = 1 << 40;
+
+/// Returns `true` if `addr` lies in the home region.
+pub fn is_home(addr: PAddr) -> bool {
+    addr.0 < HOME_SIZE
+}
+
+/// A region allocator over the engine-private area.
+pub fn engine_region_allocator() -> RegionAllocator {
+    RegionAllocator::new(PAddr(ENGINE_BASE), ENGINE_SIZE)
+}
+
+/// A region allocator over the home region (used by the system's heap).
+pub fn home_region_allocator() -> RegionAllocator {
+    RegionAllocator::new(PAddr(HOME_BASE), HOME_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_and_engine_are_disjoint() {
+        assert!(is_home(PAddr(HOME_SIZE - 1)));
+        assert!(!is_home(PAddr(ENGINE_BASE)));
+    }
+
+    #[test]
+    fn allocators_start_in_their_regions() {
+        let mut h = home_region_allocator();
+        let mut e = engine_region_allocator();
+        assert!(is_home(h.reserve(4096, 64)));
+        assert!(!is_home(e.reserve(4096, 64)));
+    }
+}

@@ -1,0 +1,47 @@
+//! Crash-consistency engines for the simulated NVM system.
+//!
+//! This crate defines the [`PersistenceEngine`] abstraction — the contract
+//! between the simulated machine ([`system::System`]) and a memory
+//! controller's persistence mechanism — plus the five baseline techniques
+//! the HOOP paper evaluates against (Table I / §IV-A):
+//!
+//! | Engine | Paper basis | Technique |
+//! |---|---|---|
+//! | [`native::NativeEngine`] | "Ideal" | no persistence guarantee |
+//! | [`redo::OptRedoEngine`] | WrAP \[13\] | hardware redo logging, async checkpoint + truncation |
+//! | [`undo::OptUndoEngine`] | ATOM \[24\] | hardware undo logging, controller-enforced ordering |
+//! | [`osp::OspEngine`] | SSP \[38,39\] | cache-line-granularity shadow paging |
+//! | [`lsm::LsmEngine`] | LSNVMM \[17\] | software log-structured NVM with a DRAM index |
+//! | [`lad::LadEngine`] | LAD \[16\] | logless atomic durability via controller queues |
+//!
+//! The HOOP engine itself lives in the `hoop-core` crate and implements the
+//! same trait.
+//!
+//! Every engine is *functional*, not just a timing model: it maintains the
+//! durable byte image its protocol would produce, so the test suite can
+//! crash it at arbitrary persist boundaries, run recovery, and check atomic
+//! durability (committed transactions survive exactly; uncommitted ones
+//! vanish).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod common;
+pub mod costs;
+pub mod lad;
+pub mod layout;
+pub mod lsm;
+pub mod native;
+pub mod osp;
+pub mod redo;
+pub mod skiplist;
+pub mod system;
+pub mod trace;
+pub mod traits;
+pub mod undo;
+
+pub use system::System;
+pub use traits::{
+    CommitOutcome, EngineProperties, EngineStats, Level, MissFill, PersistenceEngine,
+    RecoveryReport,
+};

@@ -1,0 +1,275 @@
+//! OOP blocks (§III-D, Fig. 5a).
+//!
+//! The OOP region is carved into fixed-size blocks (2 MB by default). Each
+//! block starts with a durable header — an 8-bit block index, a 34-bit
+//! next-block address and a 2-bit state — followed by 128-byte memory
+//! slices. A volatile slice bitmap (reconstructible from the slice flags on
+//! media) tracks allocation; fixed-size slices bound worst-case
+//! fragmentation, and blocks are filled round-robin so all of them age
+//! uniformly.
+
+use simcore::PAddr;
+
+use crate::slice::SLICE_BYTES;
+
+/// The 2-bit block state of Fig. 5a.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockState {
+    /// Never used since the last reclaim.
+    Unused = 0b00,
+    /// Currently receiving slices.
+    InUse = 0b01,
+    /// All slices allocated; eligible for GC.
+    Full = 0b10,
+    /// Being garbage-collected.
+    Gc = 0b11,
+}
+
+impl BlockState {
+    fn from_bits(b: u64) -> BlockState {
+        match b & 0b11 {
+            0b00 => BlockState::Unused,
+            0b01 => BlockState::InUse,
+            0b10 => BlockState::Full,
+            _ => BlockState::Gc,
+        }
+    }
+}
+
+/// The durable block header (packed into one 8-byte word on media).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// 8-bit block index number.
+    pub index: u8,
+    /// 34-bit address of the next OOP block (block-granularity offset).
+    pub next: u64,
+    /// Block state.
+    pub state: BlockState,
+}
+
+impl BlockHeader {
+    /// Packs the header into its on-media word: bits 0..8 index, 8..42
+    /// next, 42..44 state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` exceeds 34 bits.
+    pub fn encode(&self) -> u64 {
+        assert!(self.next < (1 << 34), "next pointer exceeds 34 bits");
+        u64::from(self.index) | (self.next << 8) | ((self.state as u64) << 42)
+    }
+
+    /// Unpacks a header word.
+    pub fn decode(word: u64) -> BlockHeader {
+        BlockHeader {
+            index: (word & 0xFF) as u8,
+            next: (word >> 8) & ((1 << 34) - 1),
+            state: BlockState::from_bits(word >> 42),
+        }
+    }
+}
+
+/// One OOP block: base address, state, allocation cursor and slice bitmap.
+#[derive(Clone, Debug)]
+pub struct Block {
+    base: PAddr,
+    slices: u32,
+    cursor: u32,
+    state: BlockState,
+    bitmap: Vec<u64>,
+    /// Slices written over the block's lifetime (wear accounting).
+    lifetime_allocs: u64,
+    /// Slices belonging to still-uncommitted transactions (such blocks must
+    /// not be reclaimed).
+    uncommitted: u32,
+}
+
+impl Block {
+    /// Creates an unused block of `block_bytes` at `base`. The first slice
+    /// slot is reserved for the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block cannot hold at least two slices.
+    pub fn new(base: PAddr, block_bytes: u64) -> Self {
+        let total = block_bytes / SLICE_BYTES;
+        assert!(total >= 2, "block too small for header + slices");
+        let slices = (total - 1) as u32;
+        Block {
+            base,
+            slices,
+            cursor: 0,
+            state: BlockState::Unused,
+            bitmap: vec![0; (slices as usize).div_ceil(64)],
+            lifetime_allocs: 0,
+            uncommitted: 0,
+        }
+    }
+
+    /// The block's base address (header location).
+    pub fn base(&self) -> PAddr {
+        self.base
+    }
+
+    /// Number of slice slots (excluding the header slot).
+    pub fn slice_capacity(&self) -> u32 {
+        self.slices
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BlockState {
+        self.state
+    }
+
+    /// Sets the state (callers persist the header separately).
+    pub fn set_state(&mut self, state: BlockState) {
+        self.state = state;
+    }
+
+    /// The media address of local slice `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn slice_addr(&self, idx: u32) -> PAddr {
+        assert!(idx < self.slices, "slice index out of block");
+        self.base.offset(SLICE_BYTES * u64::from(idx + 1))
+    }
+
+    /// Allocates the next slice slot, returning its local index, or `None`
+    /// if the block is full. Transitions Unused→InUse on first allocation
+    /// and InUse→Full on the last.
+    pub fn alloc_slice(&mut self) -> Option<u32> {
+        if self.cursor >= self.slices {
+            return None;
+        }
+        let idx = self.cursor;
+        self.cursor += 1;
+        self.bitmap[(idx / 64) as usize] |= 1 << (idx % 64);
+        self.lifetime_allocs += 1;
+        self.state = if self.cursor == self.slices {
+            BlockState::Full
+        } else {
+            BlockState::InUse
+        };
+        Some(idx)
+    }
+
+    /// Whether local slice `idx` is allocated.
+    pub fn is_allocated(&self, idx: u32) -> bool {
+        idx < self.slices && self.bitmap[(idx / 64) as usize] >> (idx % 64) & 1 == 1
+    }
+
+    /// Number of allocated slices.
+    pub fn allocated(&self) -> u32 {
+        self.cursor
+    }
+
+    /// Lifetime slice allocations (wear).
+    pub fn wear(&self) -> u64 {
+        self.lifetime_allocs
+    }
+
+    /// Adjusts the count of slices owned by uncommitted transactions.
+    pub fn add_uncommitted(&mut self, delta: i64) {
+        let v = i64::from(self.uncommitted) + delta;
+        assert!(v >= 0, "uncommitted count underflow");
+        self.uncommitted = v as u32;
+    }
+
+    /// Slices owned by uncommitted transactions.
+    pub fn uncommitted(&self) -> u32 {
+        self.uncommitted
+    }
+
+    /// Reclaims the block after GC: state Unused, bitmap and cursor cleared;
+    /// wear is retained.
+    pub fn reclaim(&mut self) {
+        self.cursor = 0;
+        self.state = BlockState::Unused;
+        for w in &mut self.bitmap {
+            *w = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = BlockHeader {
+            index: 0xAB,
+            next: (1 << 34) - 1,
+            state: BlockState::Gc,
+        };
+        assert_eq!(BlockHeader::decode(h.encode()), h);
+        let h2 = BlockHeader {
+            index: 0,
+            next: 0,
+            state: BlockState::Unused,
+        };
+        assert_eq!(BlockHeader::decode(h2.encode()), h2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_next_panics() {
+        let _ = BlockHeader {
+            index: 0,
+            next: 1 << 34,
+            state: BlockState::InUse,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn alloc_until_full() {
+        let mut b = Block::new(PAddr(0), 8 * SLICE_BYTES);
+        assert_eq!(b.slice_capacity(), 7);
+        assert_eq!(b.state(), BlockState::Unused);
+        for i in 0..7 {
+            let got = b.alloc_slice().expect("slot");
+            assert_eq!(got, i);
+            assert!(b.is_allocated(i));
+        }
+        assert_eq!(b.state(), BlockState::Full);
+        assert_eq!(b.alloc_slice(), None);
+    }
+
+    #[test]
+    fn slice_addresses_skip_header() {
+        let b = Block::new(PAddr(4096), 8 * SLICE_BYTES);
+        assert_eq!(b.slice_addr(0), PAddr(4096 + 128));
+        assert_eq!(b.slice_addr(6), PAddr(4096 + 7 * 128));
+    }
+
+    #[test]
+    fn reclaim_keeps_wear() {
+        let mut b = Block::new(PAddr(0), 8 * SLICE_BYTES);
+        for _ in 0..7 {
+            b.alloc_slice();
+        }
+        b.reclaim();
+        assert_eq!(b.state(), BlockState::Unused);
+        assert_eq!(b.allocated(), 0);
+        assert!(!b.is_allocated(0));
+        assert_eq!(b.wear(), 7);
+    }
+
+    #[test]
+    fn uncommitted_tracking() {
+        let mut b = Block::new(PAddr(0), 8 * SLICE_BYTES);
+        b.add_uncommitted(3);
+        b.add_uncommitted(-2);
+        assert_eq!(b.uncommitted(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uncommitted_underflow_panics() {
+        let mut b = Block::new(PAddr(0), 8 * SLICE_BYTES);
+        b.add_uncommitted(-1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Condensed mapping table (§III-I: "to reduce the mapping table size in
+//! HOOP, we can condense multiple mapping entries into one by exploiting
+//! the data locality \[12]. We wish to explore this in the future.").
+//!
+//! This module explores that future-work idea: when a transaction's updates
+//! touch *consecutive* home lines, HOOP's append-only slice allocation
+//! assigns them *consecutive* slice slots, so `k` entries
+//! `(line+i) -> (slot+i)` collapse into one range entry — the same trick
+//! MICRO-style coalesced TLBs use for contiguous translations (Cox &
+//! Bhattacharjee, ASPLOS'17, the paper's \[12]).
+//!
+//! The [`CondensedMappingTable`] is a drop-in functional equivalent of
+//! [`MappingTable`](crate::mapping::MappingTable) for slot lookups; the
+//! `condensation` bench and the unit tests quantify how many SRAM entries
+//! it saves on sequential vs scattered update patterns.
+
+use std::collections::BTreeMap;
+
+use simcore::addr::Line;
+
+/// Maximum lines covered by one range entry (bounded so a single entry's
+/// on-SRAM footprint stays fixed: base line + base slot + 6-bit length).
+pub const MAX_RANGE: u64 = 64;
+
+/// One condensed entry: lines `[line, line+len)` map to slots
+/// `[slot, slot+len)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RangeEntry {
+    /// First slice slot of the range.
+    pub slot: u32,
+    /// Number of consecutive lines covered (1..=[`MAX_RANGE`]).
+    pub len: u64,
+}
+
+/// A range-condensed home→OOP mapping table.
+#[derive(Clone, Debug, Default)]
+pub struct CondensedMappingTable {
+    /// Keyed by first line of the range.
+    ranges: BTreeMap<u64, RangeEntry>,
+    /// Total line mappings represented (not entries).
+    lines: usize,
+}
+
+impl CondensedMappingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of SRAM entries (ranges) — the quantity condensation shrinks.
+    pub fn entries(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of line mappings represented.
+    pub fn lines_covered(&self) -> usize {
+        self.lines
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Finds the range containing `line`, if any.
+    fn range_of(&self, line: Line) -> Option<(u64, RangeEntry)> {
+        let (&base, &e) = self.ranges.range(..=line.0).next_back()?;
+        (line.0 < base + e.len).then_some((base, e))
+    }
+
+    /// Looks up the slot holding `line`'s newest out-of-place words.
+    pub fn lookup(&self, line: Line) -> Option<u32> {
+        self.range_of(line)
+            .map(|(base, e)| e.slot + (line.0 - base) as u32)
+    }
+
+    /// Records that `slot` holds the newest words of `line`, merging into a
+    /// neighboring range when the (line, slot) deltas line up.
+    pub fn insert(&mut self, line: Line, slot: u32) {
+        // Re-mapping an already-covered line: drop the stale mapping first.
+        if self.range_of(line).is_some() {
+            self.remove(line);
+        }
+        self.lines += 1;
+        // Try extending the predecessor range forward...
+        if let Some((&base, &e)) = self.ranges.range(..line.0).next_back() {
+            if base + e.len == line.0
+                && e.slot as u64 + e.len == u64::from(slot)
+                && e.len < MAX_RANGE
+            {
+                self.ranges.insert(base, RangeEntry { slot: e.slot, len: e.len + 1 });
+                self.try_merge_with_successor(base);
+                return;
+            }
+        }
+        // ...or the successor range backward...
+        if let Some(&succ) = self.ranges.range(line.0 + 1..).next().map(|(k, _)| k) {
+            let e = self.ranges[&succ];
+            if succ == line.0 + 1 && u64::from(slot) + 1 == u64::from(e.slot) && e.len < MAX_RANGE {
+                self.ranges.remove(&succ);
+                self.ranges.insert(line.0, RangeEntry { slot, len: e.len + 1 });
+                return;
+            }
+        }
+        // ...otherwise a fresh singleton.
+        self.ranges.insert(line.0, RangeEntry { slot, len: 1 });
+    }
+
+    fn try_merge_with_successor(&mut self, base: u64) {
+        let e = self.ranges[&base];
+        if let Some(&succ_entry) = self.ranges.get(&(base + e.len)) {
+            if e.slot as u64 + e.len == u64::from(succ_entry.slot)
+                && e.len + succ_entry.len <= MAX_RANGE
+            {
+                self.ranges.remove(&(base + e.len));
+                self.ranges.insert(
+                    base,
+                    RangeEntry {
+                        slot: e.slot,
+                        len: e.len + succ_entry.len,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Removes the mapping for `line` (splitting its range if interior).
+    /// Returns the slot it mapped to, if present.
+    pub fn remove(&mut self, line: Line) -> Option<u32> {
+        let (base, e) = self.range_of(line)?;
+        self.ranges.remove(&base);
+        self.lines -= 1;
+        let offset = line.0 - base;
+        let hit_slot = e.slot + offset as u32;
+        if offset > 0 {
+            self.ranges.insert(base, RangeEntry { slot: e.slot, len: offset });
+        }
+        let tail = e.len - offset - 1;
+        if tail > 0 {
+            self.ranges.insert(
+                line.0 + 1,
+                RangeEntry {
+                    slot: hit_slot + 1,
+                    len: tail,
+                },
+            );
+        }
+        Some(hit_slot)
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+        self.lines = 0;
+    }
+
+    /// Condensation factor: line mappings per SRAM entry (1.0 = no savings).
+    pub fn condensation_factor(&self) -> f64 {
+        if self.ranges.is_empty() {
+            1.0
+        } else {
+            self.lines as f64 / self.ranges.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingTable;
+    use simcore::SimRng;
+
+    #[test]
+    fn sequential_inserts_condense_to_one_entry() {
+        let mut t = CondensedMappingTable::new();
+        for i in 0..32u64 {
+            t.insert(Line(100 + i), 500 + i as u32);
+        }
+        assert_eq!(t.entries(), 1);
+        assert_eq!(t.lines_covered(), 32);
+        assert_eq!(t.lookup(Line(100)), Some(500));
+        assert_eq!(t.lookup(Line(131)), Some(531));
+        assert_eq!(t.lookup(Line(132)), None);
+        assert!((t.condensation_factor() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scattered_inserts_stay_singletons() {
+        let mut t = CondensedMappingTable::new();
+        for i in 0..16u64 {
+            t.insert(Line(i * 100), (i * 7) as u32);
+        }
+        assert_eq!(t.entries(), 16);
+        assert!((t.condensation_factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_cap_is_respected() {
+        let mut t = CondensedMappingTable::new();
+        for i in 0..(MAX_RANGE * 3) {
+            t.insert(Line(i), i as u32);
+        }
+        assert_eq!(t.entries(), 3);
+        for i in 0..(MAX_RANGE * 3) {
+            assert_eq!(t.lookup(Line(i)), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn interior_remove_splits_range() {
+        let mut t = CondensedMappingTable::new();
+        for i in 0..10u64 {
+            t.insert(Line(i), i as u32);
+        }
+        assert_eq!(t.remove(Line(4)), Some(4));
+        assert_eq!(t.entries(), 2);
+        assert_eq!(t.lookup(Line(4)), None);
+        assert_eq!(t.lookup(Line(3)), Some(3));
+        assert_eq!(t.lookup(Line(5)), Some(5));
+        assert_eq!(t.lines_covered(), 9);
+    }
+
+    #[test]
+    fn backward_merge_and_gap_fill() {
+        let mut t = CondensedMappingTable::new();
+        t.insert(Line(10), 20);
+        t.insert(Line(12), 22);
+        assert_eq!(t.entries(), 2);
+        t.insert(Line(11), 21); // fills the gap: predecessor extends, merges
+        assert_eq!(t.entries(), 1);
+        assert_eq!(t.lookup(Line(12)), Some(22));
+    }
+
+    #[test]
+    fn remapping_a_line_updates_its_slot() {
+        let mut t = CondensedMappingTable::new();
+        for i in 0..8u64 {
+            t.insert(Line(i), i as u32);
+        }
+        t.insert(Line(3), 99);
+        assert_eq!(t.lookup(Line(3)), Some(99));
+        assert_eq!(t.lookup(Line(2)), Some(2));
+        assert_eq!(t.lines_covered(), 8);
+    }
+
+    #[test]
+    fn agrees_with_flat_table_on_random_streams() {
+        let mut rng = SimRng::seed(77);
+        let mut flat = MappingTable::new(1 << 16);
+        let mut cond = CondensedMappingTable::new();
+        for _ in 0..20_000 {
+            let line = Line(rng.below(512));
+            match rng.below(3) {
+                0 | 1 => {
+                    let slot = rng.below(1 << 20) as u32;
+                    flat.insert(line, slot, 0xFF);
+                    cond.insert(line, slot);
+                }
+                _ => {
+                    let a = flat.remove(line).map(|e| e.slot);
+                    let b = cond.remove(line);
+                    assert_eq!(a, b, "remove disagreed at {line:?}");
+                }
+            }
+            let a = flat.lookup(line).map(|e| e.slot);
+            let b = cond.lookup(line);
+            assert_eq!(a, b, "lookup disagreed at {line:?}");
+        }
+        assert!(cond.entries() <= flat.len());
+    }
+
+    #[test]
+    fn transactionlike_streams_condense_well() {
+        // Consecutive-slot allocation (as HOOP's append-only region does)
+        // over sequential line updates: the §III-I claim in one number.
+        let mut t = CondensedMappingTable::new();
+        let mut slot = 0u32;
+        for tx in 0..100u64 {
+            let base = tx * 16;
+            for l in 0..16u64 {
+                t.insert(Line(base + l), slot);
+                slot += 1;
+            }
+        }
+        assert!(
+            t.condensation_factor() > 10.0,
+            "sequential workloads should condense >10x, got {:.1}",
+            t.condensation_factor()
+        );
+    }
+}

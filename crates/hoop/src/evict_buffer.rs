@@ -1,0 +1,129 @@
+//! The GC eviction buffer (§III-C).
+//!
+//! When GC migrates a line home and removes its mapping-table entry, a
+//! racing LLC miss could otherwise read a stale home copy. The eviction
+//! buffer keeps the recently migrated line images (128 KB ≈ 1.8 K entries by
+//! default, each 64 B of data + 8 B of home address) so misses that fall in
+//! the window are served from controller SRAM.
+
+use std::collections::{HashMap, VecDeque};
+
+use simcore::addr::Line;
+
+/// A bounded FIFO of recently migrated lines.
+#[derive(Clone, Debug)]
+pub struct EvictionBuffer {
+    map: HashMap<u64, [u8; 64]>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl EvictionBuffer {
+    /// Creates a buffer holding up to `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "eviction buffer needs capacity");
+        EvictionBuffer {
+            map: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Inserts a migrated line image, evicting the oldest entry when full.
+    pub fn insert(&mut self, line: Line, image: [u8; 64]) {
+        if self.map.insert(line.0, image).is_none() {
+            self.order.push_back(line.0);
+            if self.order.len() > self.capacity {
+                // Pop entries until we drop one that is still resident
+                // (stale queue slots from overwrites are skipped).
+                while let Some(old) = self.order.pop_front() {
+                    if old != line.0 && self.map.remove(&old).is_some() {
+                        break;
+                    }
+                    if self.order.len() <= self.capacity {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Looks up a line image.
+    pub fn get(&self, line: Line) -> Option<&[u8; 64]> {
+        self.map.get(&line.0)
+    }
+
+    /// Whether the buffer holds `line`.
+    pub fn contains(&self, line: Line) -> bool {
+        self.map.contains_key(&line.0)
+    }
+
+    /// Drops everything (crash or post-recovery clear).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get() {
+        let mut b = EvictionBuffer::new(4);
+        b.insert(Line(1), [7; 64]);
+        assert_eq!(b.get(Line(1)), Some(&[7u8; 64]));
+        assert!(b.contains(Line(1)));
+        assert!(!b.contains(Line(2)));
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let mut b = EvictionBuffer::new(3);
+        for i in 0..5u64 {
+            b.insert(Line(i), [i as u8; 64]);
+        }
+        assert!(b.len() <= 3);
+        // The newest entries survive.
+        assert!(b.contains(Line(4)));
+        assert!(b.contains(Line(3)));
+        assert!(!b.contains(Line(0)));
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut b = EvictionBuffer::new(2);
+        b.insert(Line(1), [1; 64]);
+        b.insert(Line(1), [2; 64]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get(Line(1)), Some(&[2u8; 64]));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut b = EvictionBuffer::new(2);
+        b.insert(Line(1), [1; 64]);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! HOOP: hardware-assisted out-of-place update for NVM — the contribution
+//! of Cai, Coats & Huang (ISCA 2020), reproduced as a Rust library.
+//!
+//! The memory controller writes transactional updates *out of place* into a
+//! log-structured **OOP region**, packed at word granularity into 128-byte
+//! [memory slices](mod@slice); the old data stays at its **home** address, which
+//! makes every transaction atomically durable without undo/redo logs, cache
+//! flushes, or fences. A small [mapping table](mapping) redirects reads of
+//! not-yet-migrated lines, an [eviction buffer](evict_buffer) covers the GC
+//! race, and an adaptive [garbage collector](gc) with data coalescing
+//! migrates the newest versions back home. After a crash, [recovery]
+//! replays committed transactions from the OOP region with parallel threads.
+//!
+//! The crate is organized exactly along §III of the paper:
+//!
+//! | Module | Paper | Contents |
+//! |---|---|---|
+//! | [`slice`](mod@slice) | §III-D, Fig. 5b | 128-B data/address memory-slice codecs |
+//! | [`block`] | §III-D, Fig. 5a | 2 MB OOP blocks: header, bitmap, states |
+//! | [`region`] | §III-D | log-structured OOP region + block index table |
+//! | [`oop_buffer`] | §III-C | per-core 1 KB OOP data buffer, data packing |
+//! | [`mapping`] | §III-C | home→OOP hash mapping table |
+//! | [`evict_buffer`] | §III-C | GC eviction buffer |
+//! | [`gc`] | §III-E, Alg. 1 | reverse-scan GC with data coalescing |
+//! | [`recovery`] | §III-F | parallel crash recovery |
+//! | [`engine`] | §III-G, Fig. 6 | the `PersistenceEngine` implementation |
+//! | [`multi`] | §III-I | multi-controller HOOP with two-phase commit |
+//! | [`condensed`] | §III-I | range-condensed mapping table exploration |
+//! | [`area`] | §III-H | controller area-overhead model |
+//!
+//! # Example
+//!
+//! ```
+//! use engines::system::System;
+//! use engines::PersistenceEngine;
+//! use hoop::engine::HoopEngine;
+//! use simcore::{CoreId, SimConfig};
+//!
+//! let cfg = SimConfig::small_for_tests();
+//! let mut sys = System::new(Box::new(HoopEngine::new(&cfg)), &cfg);
+//! let a = sys.alloc(64);
+//! let tx = sys.tx_begin(CoreId(0));
+//! sys.store_u64(CoreId(0), a, 7);
+//! sys.tx_end(CoreId(0), tx);
+//! sys.crash_and_recover(2);
+//! assert_eq!(sys.peek_u64(a), 7);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod block;
+pub mod condensed;
+pub mod engine;
+pub mod evict_buffer;
+pub mod gc;
+pub mod mapping;
+pub mod multi;
+pub mod oop_buffer;
+pub mod recovery;
+pub mod region;
+pub mod slice;
+
+pub use engine::HoopEngine;

@@ -1,0 +1,138 @@
+//! The physical-to-physical address mapping table (§III-C).
+//!
+//! A hash table in the memory controller mapping home-region cache lines to
+//! the OOP-region slice holding their newest out-of-place words. Entries are
+//! added when updates are flushed to the OOP region, and removed either when
+//! GC migrates the line home (Algorithm 1, lines 22–23) or when an LLC miss
+//! reads the line back into the cache hierarchy. Each entry costs 16 bytes
+//! of SRAM (8 B home tag + 8 B OOP location), which is how the configured
+//! byte budget (2 MB default, swept in Fig. 13) translates to a capacity.
+
+use std::collections::HashMap;
+
+use simcore::addr::Line;
+
+/// Where a line's newest out-of-place words live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MappingEntry {
+    /// Region-global slot of the newest slice touching this line.
+    pub slot: u32,
+    /// Bitmask of the line's words (bit i = word i) present across *all*
+    /// live slices for the line. A full mask (0xFF) means a redirected read
+    /// needs no parallel home read (§III-G / §IV-C).
+    pub word_mask: u8,
+}
+
+/// The controller's home→OOP mapping table.
+#[derive(Clone, Debug)]
+pub struct MappingTable {
+    map: HashMap<u64, MappingEntry>,
+    capacity: usize,
+}
+
+impl MappingTable {
+    /// Creates a table with capacity for `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mapping table needs capacity");
+        MappingTable {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            capacity,
+        }
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Fill fraction (drives on-demand GC, §IV-H).
+    pub fn fill_fraction(&self) -> f64 {
+        self.map.len() as f64 / self.capacity as f64
+    }
+
+    /// Records that `slot` now holds the newest words of `line`, OR-ing
+    /// `word_mask` into the line's cumulative coverage.
+    pub fn insert(&mut self, line: Line, slot: u32, word_mask: u8) {
+        let e = self.map.entry(line.0).or_insert(MappingEntry {
+            slot,
+            word_mask: 0,
+        });
+        e.slot = slot;
+        e.word_mask |= word_mask;
+    }
+
+    /// Looks up the entry for `line`.
+    pub fn lookup(&self, line: Line) -> Option<MappingEntry> {
+        self.map.get(&line.0).copied()
+    }
+
+    /// Removes and returns the entry for `line`.
+    pub fn remove(&mut self, line: Line) -> Option<MappingEntry> {
+        self.map.remove(&line.0)
+    }
+
+    /// Drops every entry (crash or post-recovery clear).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Iterates (line, entry) pairs (used by GC for cleanup decisions).
+    pub fn iter(&self) -> impl Iterator<Item = (Line, MappingEntry)> + '_ {
+        self.map.iter().map(|(l, e)| (Line(*l), *e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_accumulates_mask_and_updates_slot() {
+        let mut t = MappingTable::new(16);
+        t.insert(Line(5), 10, 0b0000_0001);
+        t.insert(Line(5), 42, 0b1000_0000);
+        let e = t.lookup(Line(5)).expect("entry");
+        assert_eq!(e.slot, 42);
+        assert_eq!(e.word_mask, 0b1000_0001);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t = MappingTable::new(16);
+        t.insert(Line(1), 1, 0xFF);
+        t.insert(Line(2), 2, 0x0F);
+        assert_eq!(t.remove(Line(1)).expect("present").slot, 1);
+        assert!(t.lookup(Line(1)).is_none());
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn fill_fraction_tracks_capacity() {
+        let mut t = MappingTable::new(4);
+        assert_eq!(t.fill_fraction(), 0.0);
+        t.insert(Line(1), 0, 1);
+        t.insert(Line(2), 0, 1);
+        assert!((t.fill_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = MappingTable::new(0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The per-core OOP data buffer (§III-C) and data packing (Fig. 3).
+//!
+//! Each core owns a 1 KB buffer in the memory controller that assembles the
+//! open memory slice for the core's running transaction: word-granularity
+//! updates accumulate until eight words are packed, at which point the slice
+//! is flushed to the OOP region. Repeated updates to the same word inside
+//! the open slice overwrite in place ("multiple updates in the same cache
+//! line happened in a transaction, HOOP will pack them in the same memory
+//! slice"), which is the first level of write-traffic reduction.
+
+use simcore::addr::WORD_BYTES;
+use simcore::PAddr;
+
+use crate::slice::{WordUpdate, WORDS_PER_SLICE};
+
+/// Assembles the open memory slice of one core's transaction.
+#[derive(Clone, Debug, Default)]
+pub struct SliceBuilder {
+    words: Vec<WordUpdate>,
+}
+
+impl SliceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of words currently packed.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the builder holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Packs one word update. If the word address is already in the open
+    /// slice its value is overwritten in place (intra-slice coalescing).
+    /// When a ninth distinct word arrives, the full batch of eight updates
+    /// is returned for flushing and the new word starts the next slice —
+    /// keeping the open slice in the buffer until it *must* leave lets
+    /// `Tx_end` flush the tail slice with the commit flag in one write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is not word-aligned.
+    pub fn push(&mut self, home: PAddr, value: u64) -> Option<Vec<WordUpdate>> {
+        assert!(home.is_word_aligned(), "OOP buffer packs aligned words");
+        if let Some(w) = self.words.iter_mut().find(|w| w.home == home) {
+            w.value = value;
+            return None;
+        }
+        let batch = if self.words.len() == WORDS_PER_SLICE {
+            Some(std::mem::take(&mut self.words))
+        } else {
+            None
+        };
+        self.words.push(WordUpdate { home, value });
+        batch
+    }
+
+    /// Drains the partially filled slice (at `Tx_end`).
+    pub fn take(&mut self) -> Vec<WordUpdate> {
+        std::mem::take(&mut self.words)
+    }
+
+    /// Looks up the buffered value of `home`, if present (the OOP address in
+    /// the mapping table "can point to a location in the OOP data buffer",
+    /// §III-G).
+    pub fn get(&self, home: PAddr) -> Option<u64> {
+        debug_assert_eq!(home.0 % WORD_BYTES, 0);
+        self.words.iter().find(|w| w.home == home).map(|w| w.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushes_when_a_ninth_word_arrives() {
+        let mut b = SliceBuilder::new();
+        for i in 0..8u64 {
+            assert!(b.push(PAddr(i * 8), i).is_none());
+        }
+        let batch = b.push(PAddr(8 * 8), 8).expect("ninth word flushes");
+        assert_eq!(batch.len(), 8);
+        assert_eq!(b.len(), 1, "the ninth word opens the next slice");
+    }
+
+    #[test]
+    fn same_word_coalesces_in_place() {
+        let mut b = SliceBuilder::new();
+        b.push(PAddr(0), 1);
+        b.push(PAddr(0), 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get(PAddr(0)), Some(2));
+    }
+
+    #[test]
+    fn take_drains_partial() {
+        let mut b = SliceBuilder::new();
+        b.push(PAddr(0), 1);
+        b.push(PAddr(8), 2);
+        let batch = b.take();
+        assert_eq!(batch.len(), 2);
+        assert!(b.is_empty());
+        assert!(b.take().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_push_panics() {
+        let mut b = SliceBuilder::new();
+        b.push(PAddr(3), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! The log-structured OOP region (§III-D).
+//!
+//! A contiguous reserved area of NVM split into [`Block`]s, with a *block
+//! index table* (a direct-mapped table of block index → start address,
+//! cached in the controller) and a global slice-slot numbering: slot
+//! `s = block_no * slices_per_block + local_index`, which is what the
+//! 24-bit link fields in slices and commit records address.
+
+use simcore::PAddr;
+
+use crate::block::{Block, BlockHeader, BlockState};
+use crate::slice::NO_LINK;
+
+/// A freshly allocated slice slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SliceSlot {
+    /// Region-global slot index (fits the 24-bit link fields).
+    pub slot: u32,
+    /// Media address of the 128-byte slice.
+    pub addr: PAddr,
+}
+
+/// The reserved out-of-place update region.
+#[derive(Clone, Debug)]
+pub struct OopRegion {
+    base: PAddr,
+    blocks: Vec<Block>,
+    slices_per_block: u32,
+    current: usize,
+    /// Round-robin cursor for picking the next unused block.
+    next_block_rr: usize,
+}
+
+impl OopRegion {
+    /// Creates a region of `region_bytes` at `base` with `block_bytes`
+    /// blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two blocks fit, or the slot space exceeds the
+    /// 24-bit link width.
+    pub fn new(base: PAddr, region_bytes: u64, block_bytes: u64) -> Self {
+        let nblocks = (region_bytes / block_bytes) as usize;
+        assert!(nblocks >= 2, "OOP region must hold at least two blocks");
+        let blocks: Vec<Block> = (0..nblocks)
+            .map(|i| Block::new(base.offset(i as u64 * block_bytes), block_bytes))
+            .collect();
+        let slices_per_block = blocks[0].slice_capacity();
+        let total_slots = nblocks as u64 * u64::from(slices_per_block);
+        assert!(
+            total_slots <= u64::from(NO_LINK),
+            "region too large for 24-bit slice links"
+        );
+        OopRegion {
+            base,
+            blocks,
+            slices_per_block,
+            current: 0,
+            next_block_rr: 0,
+        }
+    }
+
+    /// The region base address.
+    pub fn base(&self) -> PAddr {
+        self.base
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Slice slots per block.
+    pub fn slices_per_block(&self) -> u32 {
+        self.slices_per_block
+    }
+
+    /// Access to a block.
+    pub fn block(&self, i: usize) -> &Block {
+        &self.blocks[i]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, i: usize) -> &mut Block {
+        &mut self.blocks[i]
+    }
+
+    /// The media address of global slot `slot`.
+    pub fn slot_addr(&self, slot: u32) -> PAddr {
+        let b = (slot / self.slices_per_block) as usize;
+        let local = slot % self.slices_per_block;
+        self.blocks[b].slice_addr(local)
+    }
+
+    /// The block number holding global slot `slot`.
+    pub fn slot_block(&self, slot: u32) -> usize {
+        (slot / self.slices_per_block) as usize
+    }
+
+    /// Allocates the next slice slot, moving to the next unused block
+    /// (round-robin, for uniform wear) when the current one fills. Returns
+    /// `None` when the whole region is full — on-demand GC must run.
+    pub fn alloc_slice(&mut self) -> Option<SliceSlot> {
+        for _ in 0..=self.blocks.len() {
+            if let Some(local) = self.blocks[self.current].alloc_slice() {
+                let slot = self.current as u32 * self.slices_per_block + local;
+                return Some(SliceSlot {
+                    slot,
+                    addr: self.blocks[self.current].slice_addr(local),
+                });
+            }
+            // Current block full: advance round-robin to the next unused.
+            match self.find_unused() {
+                Some(b) => {
+                    self.current = b;
+                }
+                None => return None,
+            }
+        }
+        None
+    }
+
+    fn find_unused(&mut self) -> Option<usize> {
+        let n = self.blocks.len();
+        for k in 0..n {
+            let b = (self.next_block_rr + k) % n;
+            if self.blocks[b].state() == BlockState::Unused {
+                self.next_block_rr = (b + 1) % n;
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Indices of blocks in the given state.
+    pub fn blocks_in_state(&self, state: BlockState) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.state() == state)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Fraction of slice slots currently allocated.
+    pub fn fill_fraction(&self) -> f64 {
+        let total: u64 = self.blocks.iter().map(|b| u64::from(b.slice_capacity())).sum();
+        let used: u64 = self.blocks.iter().map(|b| u64::from(b.allocated())).sum();
+        used as f64 / total as f64
+    }
+
+    /// The durable header word for block `i` in its current state.
+    pub fn header_word(&self, i: usize) -> u64 {
+        let next = ((i + 1) % self.blocks.len()) as u64;
+        BlockHeader {
+            index: i as u8,
+            next,
+            state: self.blocks[i].state(),
+        }
+        .encode()
+    }
+
+    /// Per-block lifetime wear counts (uniform-aging check, §III-D).
+    pub fn wear_profile(&self) -> Vec<u64> {
+        self.blocks.iter().map(Block::wear).collect()
+    }
+
+    /// Reclaims block `i` (post-GC) and leaves it allocatable again.
+    pub fn reclaim_block(&mut self, i: usize) {
+        self.blocks[i].reclaim();
+    }
+
+    /// Resets every block (post-recovery: "the OOP region is cleared").
+    pub fn reclaim_all(&mut self) {
+        for b in &mut self.blocks {
+            b.reclaim();
+        }
+        self.current = 0;
+        self.next_block_rr = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::SLICE_BYTES;
+
+    fn region() -> OopRegion {
+        // 4 blocks x 8 slots (1 KB blocks of 8 slices, 7 usable each).
+        OopRegion::new(PAddr(1 << 20), 4 * 1024, 1024)
+    }
+
+    #[test]
+    fn slots_are_dense_and_addressable() {
+        let mut r = region();
+        let a = r.alloc_slice().expect("slot");
+        let b = r.alloc_slice().expect("slot");
+        assert_eq!(a.slot, 0);
+        assert_eq!(b.slot, 1);
+        assert_eq!(r.slot_addr(a.slot), a.addr);
+        assert_eq!(b.addr.0 - a.addr.0, SLICE_BYTES);
+    }
+
+    #[test]
+    fn fills_blocks_in_round_robin() {
+        let mut r = region();
+        let per = r.slices_per_block();
+        for _ in 0..per {
+            r.alloc_slice().expect("block 0");
+        }
+        let next = r.alloc_slice().expect("block 1");
+        assert_eq!(r.slot_block(next.slot), 1);
+        assert_eq!(r.block(0).state(), BlockState::Full);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut r = region();
+        let total = r.block_count() as u32 * r.slices_per_block();
+        for _ in 0..total {
+            r.alloc_slice().expect("slot");
+        }
+        assert!(r.alloc_slice().is_none());
+        assert_eq!(r.fill_fraction(), 1.0);
+    }
+
+    #[test]
+    fn reclaim_makes_space_and_keeps_wear() {
+        let mut r = region();
+        let total = r.block_count() as u32 * r.slices_per_block();
+        for _ in 0..total {
+            r.alloc_slice().expect("slot");
+        }
+        r.reclaim_block(2);
+        let s = r.alloc_slice().expect("block 2 reopened");
+        assert_eq!(r.slot_block(s.slot), 2);
+        let wear = r.wear_profile();
+        assert!(wear.iter().all(|&w| w >= 7));
+    }
+
+    #[test]
+    fn wear_is_uniform_across_generations() {
+        let mut r = region();
+        // Two full passes with reclaim in between.
+        for _ in 0..2 {
+            while r.alloc_slice().is_some() {}
+            for i in 0..r.block_count() {
+                r.reclaim_block(i);
+            }
+        }
+        let wear = r.wear_profile();
+        let min = wear.iter().min().unwrap();
+        let max = wear.iter().max().unwrap();
+        assert!(max - min <= 7, "wear skew too high: {wear:?}");
+    }
+
+    #[test]
+    fn header_word_reflects_state() {
+        let mut r = region();
+        r.alloc_slice().expect("slot");
+        let h = BlockHeader::decode(r.header_word(0));
+        assert_eq!(h.index, 0);
+        assert_eq!(h.state, BlockState::InUse);
+        assert_eq!(h.next, 1);
+    }
+}

@@ -1,0 +1,458 @@
+//! Memory-slice codecs (§III-D, Fig. 5b).
+//!
+//! The OOP region is filled with fixed-size 128-byte *memory slices* of two
+//! kinds:
+//!
+//! * **Data slices** hold up to eight 8-byte data words plus a 64-byte
+//!   metadata block: eight 40-bit home-address offsets (320 bits), a 24-bit
+//!   slice link, a 32-bit TxID, a start bit, a 3-bit word count, a 4-bit
+//!   state flag and padding — exactly the field widths of Fig. 5b.
+//! * **Address slices** record the commit order: one entry per committed
+//!   transaction holding the slot index of the transaction's *last* data
+//!   slice (the slices of a transaction are chained backward through the
+//!   link field, enabling the reverse-time scan both GC and recovery
+//!   perform).
+//!
+//! Encoding writes real bytes; GC and recovery *decode those bytes back from
+//! NVM* — the controller state is reconstructible from media alone, which is
+//! what the crash tests exercise.
+
+use simcore::addr::WORD_BYTES;
+use simcore::PAddr;
+
+/// Size of one memory slice in bytes (two cache lines, flushable with two
+/// consecutive memory bursts — §III-D).
+pub const SLICE_BYTES: u64 = 128;
+
+/// Maximum data words per slice.
+pub const WORDS_PER_SLICE: usize = 8;
+
+/// "No link" marker for the 24-bit slice-link field.
+pub const NO_LINK: u32 = 0x00FF_FFFF;
+
+/// Commit entries per address slice (13 × 8 B entries fit the 104-byte
+/// payload area).
+pub const ADDR_ENTRIES_PER_SLICE: usize = 13;
+
+/// 4-bit slice state flags (low two bits select the kind; bit 2 marks the
+/// tail slice of a *committed* transaction — the durable commit point).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SliceFlag {
+    /// Unwritten slice.
+    Free = 0x0,
+    /// A data memory slice holding out-of-place updates.
+    Data = 0x1,
+    /// An address memory slice holding commit records.
+    Addr = 0x2,
+    /// An address memory slice holding 2PC *prepare* records (participant
+    /// controllers of a multi-controller transaction, §III-I).
+    Prepare = 0x7,
+}
+
+/// Flag bit marking a committed transaction's tail data slice.
+pub const COMMIT_TAIL_BIT: u8 = 0x4;
+
+/// One out-of-place word update: (word-aligned home address, value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WordUpdate {
+    /// Word-aligned home-region address.
+    pub home: PAddr,
+    /// The 8-byte value written.
+    pub value: u64,
+}
+
+/// A decoded data memory slice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataSlice {
+    /// The packed word updates (1..=8).
+    pub words: Vec<WordUpdate>,
+    /// Slot index of the *previous* data slice of the same transaction, or
+    /// [`NO_LINK`] for the first slice.
+    pub link: u32,
+    /// Truncated 32-bit transaction id.
+    pub tx: u32,
+    /// Whether this is the first slice of its transaction.
+    pub start: bool,
+    /// Whether this is the committed tail slice of its transaction (the
+    /// durable commit point; the asynchronous address-slice record is only
+    /// an index over these).
+    pub commit: bool,
+}
+
+impl DataSlice {
+    /// Encodes the slice into its 128-byte media representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice holds 0 or more than 8 words, a home address is
+    /// not word-aligned or exceeds the 40-bit home space, or the link
+    /// exceeds 24 bits.
+    pub fn encode(&self) -> [u8; SLICE_BYTES as usize] {
+        assert!(
+            !self.words.is_empty() && self.words.len() <= WORDS_PER_SLICE,
+            "slice must hold 1..=8 words"
+        );
+        assert!(self.link <= NO_LINK, "link exceeds 24 bits");
+        let mut buf = [0u8; SLICE_BYTES as usize];
+        for (i, w) in self.words.iter().enumerate() {
+            assert!(w.home.is_word_aligned(), "unaligned home address");
+            let word_no = w.home.0 / WORD_BYTES;
+            assert!(word_no < (1 << 40), "home address exceeds 40-bit space");
+            buf[i * 8..(i + 1) * 8].copy_from_slice(&w.value.to_le_bytes());
+            // 40-bit home word number at bit offset i*40 of the addr area.
+            put_bits40(&mut buf[64..104], i, word_no);
+        }
+        buf[104..107].copy_from_slice(&self.link.to_le_bytes()[..3]);
+        buf[107..111].copy_from_slice(&self.tx.to_le_bytes());
+        let cnt = (self.words.len() - 1) as u8; // 3-bit: words-1
+        let flag = (SliceFlag::Data as u8) | if self.commit { COMMIT_TAIL_BIT } else { 0 };
+        buf[111] = flag | (cnt << 4) | ((self.start as u8) << 7);
+        seal(&mut buf);
+        buf
+    }
+
+    /// Decodes a data slice; returns `None` if the flag does not mark a data
+    /// slice.
+    pub fn decode(buf: &[u8; SLICE_BYTES as usize]) -> Option<DataSlice> {
+        if buf[111] & 0x03 != SliceFlag::Data as u8 || !is_sealed(buf) {
+            return None;
+        }
+        let commit = buf[111] & COMMIT_TAIL_BIT != 0;
+        let cnt = ((buf[111] >> 4) & 0x7) as usize + 1;
+        let start = buf[111] >> 7 == 1;
+        let mut words = Vec::with_capacity(cnt);
+        for i in 0..cnt {
+            let value = u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+            let word_no = get_bits40(&buf[64..104], i);
+            words.push(WordUpdate {
+                home: PAddr(word_no * WORD_BYTES),
+                value,
+            });
+        }
+        let link = u32::from_le_bytes([buf[104], buf[105], buf[106], 0]);
+        let tx = u32::from_le_bytes(buf[107..111].try_into().expect("4 bytes"));
+        Some(DataSlice {
+            words,
+            link,
+            tx,
+            start,
+            commit,
+        })
+    }
+}
+
+/// One commit record inside an address slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Slot index of the committed transaction's last data slice.
+    pub last_slot: u32,
+    /// Truncated 32-bit transaction id.
+    pub tx: u32,
+}
+
+/// A decoded address memory slice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AddrSlice {
+    /// Commit records in commit order (oldest first).
+    pub entries: Vec<CommitRecord>,
+}
+
+impl AddrSlice {
+    /// Encodes the address slice with commit records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than [`ADDR_ENTRIES_PER_SLICE`] entries or a
+    /// slot index exceeds 24 bits.
+    pub fn encode(&self) -> [u8; SLICE_BYTES as usize] {
+        self.encode_with_flag(SliceFlag::Addr)
+    }
+
+    /// Encodes the records under a specific record-slice flag
+    /// ([`SliceFlag::Addr`] for commit records, [`SliceFlag::Prepare`] for
+    /// 2PC prepare records).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than [`ADDR_ENTRIES_PER_SLICE`] entries, a
+    /// slot index exceeds 24 bits, or `flag` is not a record-slice flag.
+    pub fn encode_with_flag(&self, flag: SliceFlag) -> [u8; SLICE_BYTES as usize] {
+        assert!(
+            matches!(flag, SliceFlag::Addr | SliceFlag::Prepare),
+            "not a record-slice flag"
+        );
+        assert!(self.entries.len() <= ADDR_ENTRIES_PER_SLICE, "too many entries");
+        let mut buf = [0u8; SLICE_BYTES as usize];
+        for (i, e) in self.entries.iter().enumerate() {
+            assert!(e.last_slot <= NO_LINK, "slot exceeds 24 bits");
+            let packed = (u64::from(e.tx) << 24) | u64::from(e.last_slot);
+            buf[i * 8..(i + 1) * 8].copy_from_slice(&packed.to_le_bytes());
+        }
+        buf[107..111].copy_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        buf[111] = flag as u8;
+        seal(&mut buf);
+        buf
+    }
+
+    /// Decodes a commit-record slice; returns `None` for any other kind.
+    pub fn decode(buf: &[u8; SLICE_BYTES as usize]) -> Option<AddrSlice> {
+        Self::decode_with_flag(buf, SliceFlag::Addr)
+    }
+
+    /// Decodes a record slice of the given kind.
+    pub fn decode_with_flag(
+        buf: &[u8; SLICE_BYTES as usize],
+        flag: SliceFlag,
+    ) -> Option<AddrSlice> {
+        if buf[111] & 0x0F != flag as u8 || !is_sealed(buf) {
+            return None;
+        }
+        let n = u32::from_le_bytes(buf[107..111].try_into().expect("4 bytes")) as usize;
+        if n > ADDR_ENTRIES_PER_SLICE {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let packed = u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+            entries.push(CommitRecord {
+                last_slot: (packed & u64::from(NO_LINK)) as u32,
+                tx: (packed >> 24) as u32,
+            });
+        }
+        Some(AddrSlice { entries })
+    }
+}
+
+/// NVM bytes transferred to flush a slice holding `words` packed updates:
+/// `8·words` of data plus the per-word reverse mappings (40-bit each) and
+/// the shared link/TxID/flag block, rounded up to a 16-byte transfer. A
+/// full slice costs its whole 128 bytes (two 64-byte bursts, §III-D); a
+/// partially filled tail slice costs proportionally less — this is where
+/// word-granularity persistence (§III-C) saves traffic over cache-line
+/// schemes.
+///
+/// # Panics
+///
+/// Panics if `words` is 0 or exceeds [`WORDS_PER_SLICE`].
+pub fn flush_bytes(words: usize) -> u64 {
+    assert!(words >= 1 && words <= WORDS_PER_SLICE, "1..=8 words");
+    let data = 8 * words as u64;
+    let meta = 5 * words as u64 + 11; // 40-bit addrs + link/tx/cnt/flag/crc
+    (data + meta + 15) & !15
+}
+
+/// Reads the 4-bit flag of a raw slice buffer.
+pub fn flag_of(buf: &[u8; SLICE_BYTES as usize]) -> u8 {
+    buf[111] & 0x0F
+}
+
+/// Sets or clears the commit-tail bit of a raw slice buffer in place,
+/// re-sealing the checksum.
+pub fn set_commit_tail(buf: &mut [u8; SLICE_BYTES as usize], committed: bool) {
+    if committed {
+        buf[111] |= COMMIT_TAIL_BIT;
+    } else {
+        buf[111] &= !COMMIT_TAIL_BIT;
+    }
+    seal(buf);
+}
+
+/// Writes the CRC-32C of bytes 0..112 into the padding area (bytes
+/// 112..116). Torn persists — the crash tests tear slices at 8-byte
+/// boundaries — fail [`is_sealed`] and decode as never-written.
+pub fn seal(buf: &mut [u8; SLICE_BYTES as usize]) {
+    let crc = simcore::crc::crc32c(&buf[..112]);
+    buf[112..116].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Checks the slice checksum.
+pub fn is_sealed(buf: &[u8; SLICE_BYTES as usize]) -> bool {
+    let stored = u32::from_le_bytes(buf[112..116].try_into().expect("4 bytes"));
+    simcore::crc::verify(&buf[..112], stored)
+}
+
+fn put_bits40(area: &mut [u8], index: usize, value: u64) {
+    debug_assert!(value < (1 << 40));
+    let bit = index * 40;
+    let mut v = value;
+    for k in 0..40 {
+        let b = bit + k;
+        if v & 1 == 1 {
+            area[b / 8] |= 1 << (b % 8);
+        }
+        v >>= 1;
+    }
+}
+
+fn get_bits40(area: &[u8], index: usize) -> u64 {
+    let bit = index * 40;
+    let mut v = 0u64;
+    for k in (0..40).rev() {
+        let b = bit + k;
+        v = (v << 1) | u64::from((area[b / 8] >> (b % 8)) & 1);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn data_roundtrip_simple() {
+        let s = DataSlice {
+            words: vec![
+                WordUpdate {
+                    home: PAddr(0x1234 * 8),
+                    value: 0xDEAD_BEEF,
+                },
+                WordUpdate {
+                    home: PAddr(0),
+                    value: u64::MAX,
+                },
+            ],
+            link: 0x00AB_CDEF,
+            tx: 0xFEED_4321,
+            start: true,
+            commit: true,
+        };
+        let enc = s.encode();
+        assert_eq!(DataSlice::decode(&enc).expect("data slice"), s);
+        assert_eq!(flag_of(&enc) & 0x3, SliceFlag::Data as u8);
+        assert_eq!(flag_of(&enc) & COMMIT_TAIL_BIT, COMMIT_TAIL_BIT);
+    }
+
+    #[test]
+    fn addr_roundtrip_simple() {
+        let s = AddrSlice {
+            entries: vec![
+                CommitRecord {
+                    last_slot: 0x12_3456,
+                    tx: 77,
+                },
+                CommitRecord {
+                    last_slot: NO_LINK,
+                    tx: u32::MAX,
+                },
+            ],
+        };
+        let enc = s.encode();
+        assert_eq!(AddrSlice::decode(&enc).expect("addr slice"), s);
+    }
+
+    #[test]
+    fn free_slice_decodes_as_neither() {
+        let buf = [0u8; 128];
+        assert!(DataSlice::decode(&buf).is_none());
+        assert!(AddrSlice::decode(&buf).is_none());
+        assert_eq!(flag_of(&buf), SliceFlag::Free as u8);
+    }
+
+    #[test]
+    fn flush_bytes_is_word_proportional() {
+        assert_eq!(flush_bytes(8), SLICE_BYTES); // full slice = two bursts
+        assert_eq!(flush_bytes(4), 64); // half slice = one burst
+        assert!(flush_bytes(1) <= 32);
+        let mut prev = 0;
+        for k in 1..=8 {
+            assert!(flush_bytes(k) >= prev);
+            prev = flush_bytes(k);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn flush_bytes_zero_panics() {
+        let _ = flush_bytes(0);
+    }
+
+    #[test]
+    fn forty_bit_boundary() {
+        // Largest representable home word address.
+        let s = DataSlice {
+            words: vec![WordUpdate {
+                home: PAddr(((1u64 << 40) - 1) * 8),
+                value: 1,
+            }],
+            link: NO_LINK,
+            tx: 0,
+            start: false,
+            commit: false,
+        };
+        let dec = DataSlice::decode(&s.encode()).expect("data slice");
+        assert_eq!(dec, s);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_home_panics() {
+        let s = DataSlice {
+            words: vec![WordUpdate {
+                home: PAddr(3),
+                value: 0,
+            }],
+            link: 0,
+            tx: 0,
+            start: false,
+            commit: false,
+        };
+        let _ = s.encode();
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_slice_panics() {
+        let s = DataSlice {
+            words: vec![],
+            link: 0,
+            tx: 0,
+            start: false,
+            commit: false,
+        };
+        let _ = s.encode();
+    }
+
+    proptest! {
+        #[test]
+        fn prop_data_roundtrip(
+            n in 1usize..=8,
+            link in 0u32..=NO_LINK,
+            tx in any::<u32>(),
+            start in any::<bool>(),
+            commit in any::<bool>(),
+            seeds in prop::collection::vec((0u64..(1 << 40), any::<u64>()), 8),
+        ) {
+            let words: Vec<WordUpdate> = seeds[..n]
+                .iter()
+                .map(|(w, v)| WordUpdate { home: PAddr(w * 8), value: *v })
+                .collect();
+            let s = DataSlice { words, link, tx, start, commit };
+            prop_assert_eq!(DataSlice::decode(&s.encode()).expect("decode"), s);
+        }
+
+        #[test]
+        fn prop_addr_roundtrip(
+            entries in prop::collection::vec((0u32..=NO_LINK, any::<u32>()), 0..=ADDR_ENTRIES_PER_SLICE),
+        ) {
+            let s = AddrSlice {
+                entries: entries
+                    .into_iter()
+                    .map(|(slot, tx)| CommitRecord { last_slot: slot, tx })
+                    .collect(),
+            };
+            prop_assert_eq!(AddrSlice::decode(&s.encode()).expect("decode"), s);
+        }
+
+        #[test]
+        fn prop_bits40_roundtrip(values in prop::collection::vec(0u64..(1 << 40), 8)) {
+            let mut area = [0u8; 40];
+            for (i, v) in values.iter().enumerate() {
+                put_bits40(&mut area, i, *v);
+            }
+            for (i, v) in values.iter().enumerate() {
+                prop_assert_eq!(get_bits40(&area, i), *v);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! A single set-associative cache level with true-LRU replacement.
+
+use simcore::addr::Line;
+use simcore::config::CacheConfig;
+
+/// State of a line pushed out of a cache by an insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line.
+    pub line: Line,
+    /// Whether the copy was dirty.
+    pub dirty: bool,
+    /// Whether the copy carried the transactional persistent bit.
+    pub persistent: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    persistent: bool,
+    stamp: u64,
+}
+
+/// One set-associative cache level.
+///
+/// Tags are full line numbers; replacement is true LRU via access stamps.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: u64,
+    ways: usize,
+    slots: Vec<Slot>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield a power-of-two, nonzero set
+    /// count.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache too small for its associativity");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets,
+            ways: cfg.ways as usize,
+            slots: vec![Slot::default(); (sets as usize) * cfg.ways as usize],
+            tick: 0,
+        }
+    }
+
+    fn set_range(&self, line: Line) -> std::ops::Range<usize> {
+        let set = (line.0 & (self.sets - 1)) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn find(&self, line: Line) -> Option<usize> {
+        self.set_range(line)
+            .find(|&i| self.slots[i].valid && self.slots[i].tag == line.0)
+    }
+
+    /// Returns `true` if `line` is present (does not touch LRU state).
+    pub fn contains(&self, line: Line) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Looks up `line`; on a hit, refreshes LRU and optionally marks the
+    /// line dirty/persistent. Returns whether it hit.
+    pub fn touch(&mut self, line: Line, write: bool, persistent: bool) -> bool {
+        self.tick += 1;
+        match self.find(line) {
+            Some(i) => {
+                let s = &mut self.slots[i];
+                s.stamp = self.tick;
+                if write {
+                    s.dirty = true;
+                    s.persistent |= persistent;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `line` (which must not be present), returning the evicted
+    /// victim if the set was full.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is already present.
+    pub fn insert(&mut self, line: Line, dirty: bool, persistent: bool) -> Option<Evicted> {
+        debug_assert!(!self.contains(line), "insert of present line");
+        self.tick += 1;
+        let range = self.set_range(line);
+        // Prefer an invalid slot; otherwise evict the LRU victim.
+        let mut victim = range.start;
+        let mut best = u64::MAX;
+        for i in range {
+            let s = &self.slots[i];
+            if !s.valid {
+                victim = i;
+                break;
+            }
+            if s.stamp < best {
+                best = s.stamp;
+                victim = i;
+            }
+        }
+        let old = self.slots[victim];
+        self.slots[victim] = Slot {
+            tag: line.0,
+            valid: true,
+            dirty,
+            persistent,
+            stamp: self.tick,
+        };
+        if old.valid {
+            Some(Evicted {
+                line: Line(old.tag),
+                dirty: old.dirty,
+                persistent: old.persistent,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Removes `line` if present, returning its (dirty, persistent) state.
+    pub fn remove(&mut self, line: Line) -> Option<(bool, bool)> {
+        self.find(line).map(|i| {
+            let s = &mut self.slots[i];
+            s.valid = false;
+            (s.dirty, s.persistent)
+        })
+    }
+
+    /// Marks `line` clean (data persisted) and clears its persistent bit.
+    /// Returns `true` if the line was present and dirty.
+    pub fn clean(&mut self, line: Line) -> bool {
+        match self.find(line) {
+            Some(i) => {
+                let s = &mut self.slots[i];
+                let was = s.dirty;
+                s.dirty = false;
+                s.persistent = false;
+                was
+            }
+            None => false,
+        }
+    }
+
+    /// Marks an already-present line dirty (used when a writeback from an
+    /// upper level lands here).
+    pub fn mark_dirty(&mut self, line: Line, persistent: bool) {
+        if let Some(i) = self.find(line) {
+            self.slots[i].dirty = true;
+            self.slots[i].persistent |= persistent;
+        }
+    }
+
+    /// Invalidates every valid line, returning their states (used for
+    /// end-of-run draining).
+    pub fn drain_valid(&mut self) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        for s in &mut self.slots {
+            if s.valid {
+                out.push(Evicted {
+                    line: Line(s.tag),
+                    dirty: s.dirty,
+                    persistent: s.persistent,
+                });
+                s.valid = false;
+                s.dirty = false;
+                s.persistent = false;
+            }
+        }
+        out
+    }
+
+    /// Invalidates everything (simulated power loss).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.valid = false;
+            s.dirty = false;
+            s.persistent = false;
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways
+        Cache::new(&CacheConfig {
+            capacity_bytes: 4 * 2 * 64,
+            ways: 2,
+            latency_cycles: 1,
+        })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert!(!c.touch(Line(1), false, false));
+        c.insert(Line(1), false, false);
+        assert!(c.touch(Line(1), false, false));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 map to the same set (4 sets).
+        c.insert(Line(0), false, false);
+        c.insert(Line(4), false, false);
+        c.touch(Line(0), false, false); // 0 is now MRU
+        let ev = c.insert(Line(8), true, false).expect("must evict");
+        assert_eq!(ev.line, Line(4));
+        assert!(c.contains(Line(0)));
+        assert!(c.contains(Line(8)));
+    }
+
+    #[test]
+    fn eviction_reports_dirty_and_persistent() {
+        let mut c = tiny();
+        c.insert(Line(0), false, false);
+        c.touch(Line(0), true, true);
+        c.insert(Line(4), false, false);
+        let ev = c.insert(Line(8), false, false).unwrap();
+        assert_eq!(ev.line, Line(0));
+        assert!(ev.dirty);
+        assert!(ev.persistent);
+    }
+
+    #[test]
+    fn clean_clears_dirty_and_persistent() {
+        let mut c = tiny();
+        c.insert(Line(3), true, true);
+        assert!(c.clean(Line(3)));
+        assert!(!c.clean(Line(3)));
+        c.insert(Line(7), false, false);
+        c.insert(Line(11), false, false);
+        let ev = c.insert(Line(15), false, false).unwrap();
+        assert!(!ev.dirty && !ev.persistent);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = tiny();
+        c.insert(Line(5), true, false);
+        assert_eq!(c.remove(Line(5)), Some((true, false)));
+        assert_eq!(c.remove(Line(5)), None);
+        c.insert(Line(6), true, true);
+        c.clear();
+        assert_eq!(c.resident(), 0);
+    }
+}

@@ -1,0 +1,464 @@
+//! The three-level inclusive hierarchy.
+//!
+//! Private L1/L2 per core, shared LLC. Inclusion is maintained: an LLC
+//! eviction back-invalidates every private copy and merges their dirty /
+//! persistent bits into the reported eviction, which is the event stream the
+//! persistence engines consume.
+
+use simcore::addr::Line;
+use simcore::config::SimConfig;
+use simcore::stats::Counter;
+use simcore::{CoreId, Cycle};
+
+use crate::cache::{Cache, Evicted};
+
+/// Result of one hierarchy access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Latency of the cache portion of the access (the engine adds memory
+    /// latency when `llc_miss`).
+    pub latency: Cycle,
+    /// Whether the access missed all cache levels.
+    pub llc_miss: bool,
+    /// A dirty line pushed out of the LLC by this access's fill, if any.
+    pub evicted: Option<Evicted>,
+}
+
+/// Result of flushing one line out of the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushResult {
+    /// The line was present and dirty somewhere (so it carries data that
+    /// must be written down).
+    pub was_dirty: bool,
+    /// The dirty copy carried the persistent bit.
+    pub was_persistent: bool,
+}
+
+/// Hit/miss statistics for the hierarchy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HierStats {
+    /// Total accesses.
+    pub accesses: Counter,
+    /// L1 hits.
+    pub l1_hits: Counter,
+    /// L2 hits.
+    pub l2_hits: Counter,
+    /// LLC hits.
+    pub llc_hits: Counter,
+    /// Misses in all levels.
+    pub llc_misses: Counter,
+    /// Dirty lines evicted from the LLC.
+    pub dirty_evictions: Counter,
+}
+
+impl HierStats {
+    /// Fraction of accesses that miss the whole hierarchy.
+    pub fn llc_miss_ratio(&self) -> f64 {
+        let a = self.accesses.get();
+        if a == 0 {
+            0.0
+        } else {
+            self.llc_misses.get() as f64 / a as f64
+        }
+    }
+}
+
+/// The modeled cache hierarchy.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    llc: Cache,
+    l1_latency: Cycle,
+    l2_latency: Cycle,
+    llc_latency: Cycle,
+    stats: HierStats,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy described by `cfg` (one L1/L2 pair per core).
+    pub fn new(cfg: &SimConfig) -> Self {
+        let cores = cfg.cores as usize;
+        Hierarchy {
+            l1: (0..cores).map(|_| Cache::new(&cfg.l1)).collect(),
+            l2: (0..cores).map(|_| Cache::new(&cfg.l2)).collect(),
+            llc: Cache::new(&cfg.llc),
+            l1_latency: cfg.l1.latency_cycles,
+            l2_latency: cfg.l2.latency_cycles,
+            llc_latency: cfg.llc.latency_cycles,
+            stats: HierStats::default(),
+        }
+    }
+
+    /// Accesses `line` from `core`. `write` marks the line dirty; when the
+    /// access happens inside a failure-atomic region, `persistent` sets the
+    /// per-line persistent bit (§III-G).
+    ///
+    /// On an LLC miss the line is filled into all levels; the returned
+    /// latency covers the cache levels only — the caller adds the memory
+    /// read latency supplied by its persistence engine.
+    pub fn access(&mut self, core: CoreId, line: Line, write: bool, persistent: bool) -> AccessResult {
+        let c = core.index();
+        self.stats.accesses.inc();
+        let mut latency = self.l1_latency;
+
+        if self.l1[c].touch(line, write, persistent) {
+            self.stats.l1_hits.inc();
+            return AccessResult {
+                latency,
+                llc_miss: false,
+                evicted: None,
+            };
+        }
+
+        latency += self.l2_latency;
+        if self.l2[c].touch(line, write, persistent) {
+            self.stats.l2_hits.inc();
+            let evicted = self.fill_l1(c, line, write, persistent);
+            debug_assert!(evicted.is_none(), "L1 fill cannot evict from LLC");
+            return AccessResult {
+                latency,
+                llc_miss: false,
+                evicted: None,
+            };
+        }
+
+        latency += self.llc_latency;
+        if self.llc.touch(line, write, persistent) {
+            self.stats.llc_hits.inc();
+            // On a write, steal the line from any other core that has it.
+            if write {
+                self.invalidate_private_except(c, line);
+            }
+            self.fill_l2(c, line);
+            let _ = self.fill_l1(c, line, write, persistent);
+            return AccessResult {
+                latency,
+                llc_miss: false,
+                evicted: None,
+            };
+        }
+
+        // Full miss: fill all levels, possibly evicting from the LLC.
+        self.stats.llc_misses.inc();
+        if write {
+            self.invalidate_private_except(c, line);
+        }
+        let evicted = self.fill_llc(line, write, write && persistent);
+        self.fill_l2(c, line);
+        let _ = self.fill_l1(c, line, write, persistent);
+        if evicted.is_some() {
+            self.stats.dirty_evictions.inc();
+        }
+        AccessResult {
+            latency,
+            llc_miss: true,
+            evicted,
+        }
+    }
+
+    /// Inserts into the LLC, handling inclusion: the victim is purged from
+    /// every private cache and private dirty/persistent state is merged.
+    /// Returns the victim only if its merged state is dirty.
+    fn fill_llc(&mut self, line: Line, dirty: bool, persistent: bool) -> Option<Evicted> {
+        let victim = self.llc.insert(line, dirty, persistent)?;
+        let mut merged = victim;
+        for c in 0..self.l1.len() {
+            if let Some((d, p)) = self.l1[c].remove(victim.line) {
+                merged.dirty |= d;
+                merged.persistent |= p;
+            }
+            if let Some((d, p)) = self.l2[c].remove(victim.line) {
+                merged.dirty |= d;
+                merged.persistent |= p;
+            }
+        }
+        merged.dirty.then_some(merged)
+    }
+
+    /// Inserts into a core's L2; a dirty L2 victim is written back into the
+    /// LLC (which must contain it, by inclusion).
+    fn fill_l2(&mut self, core: usize, line: Line) {
+        if self.l2[core].contains(line) {
+            return;
+        }
+        if let Some(v) = self.l2[core].insert(line, false, false) {
+            // Inclusion: purge from L1 too; merge its state.
+            let mut dirty = v.dirty;
+            let mut persistent = v.persistent;
+            if let Some((d, p)) = self.l1[core].remove(v.line) {
+                dirty |= d;
+                persistent |= p;
+            }
+            if dirty {
+                self.llc.mark_dirty(v.line, persistent);
+            }
+        }
+    }
+
+    /// Inserts into a core's L1; a dirty L1 victim is written back into L2.
+    fn fill_l1(&mut self, core: usize, line: Line, write: bool, persistent: bool) -> Option<Evicted> {
+        if self.l1[core].contains(line) {
+            self.l1[core].touch(line, write, persistent);
+            return None;
+        }
+        if let Some(v) = self.l1[core].insert(line, write, write && persistent) {
+            if v.dirty {
+                self.l2[core].mark_dirty(v.line, v.persistent);
+            }
+        }
+        None
+    }
+
+    fn invalidate_private_except(&mut self, owner: usize, line: Line) {
+        for c in 0..self.l1.len() {
+            if c == owner {
+                continue;
+            }
+            if let Some((d, p)) = self.l1[c].remove(line) {
+                if d {
+                    self.llc.mark_dirty(line, p);
+                }
+            }
+            if let Some((d, p)) = self.l2[c].remove(line) {
+                if d {
+                    self.llc.mark_dirty(line, p);
+                }
+            }
+        }
+    }
+
+    /// Marks a line resident in `core`'s L1 as dirty (and optionally
+    /// persistent) without a full access. HOOP uses this when an LLC miss is
+    /// served from the OOP region: the filled line differs from its home
+    /// copy, so it must not be silently dropped on a clean eviction.
+    pub fn mark_dirty(&mut self, core: CoreId, line: Line, persistent: bool) {
+        let c = core.index();
+        if self.l1[c].contains(line) {
+            self.l1[c].mark_dirty(line, persistent);
+        } else if self.l2[c].contains(line) {
+            self.l2[c].mark_dirty(line, persistent);
+        } else {
+            self.llc.mark_dirty(line, persistent);
+        }
+    }
+
+    /// Marks `line` clean in every level (its data just became durable).
+    /// Returns `true` if any copy was dirty.
+    pub fn clean_line(&mut self, line: Line) -> bool {
+        let mut was = false;
+        for c in 0..self.l1.len() {
+            was |= self.l1[c].clean(line);
+            was |= self.l2[c].clean(line);
+        }
+        was |= self.llc.clean(line);
+        was
+    }
+
+    /// Flushes `line` out of the entire hierarchy (clflush semantics),
+    /// reporting whether a dirty / persistent copy existed.
+    pub fn flush_line(&mut self, line: Line) -> FlushResult {
+        let mut dirty = false;
+        let mut persistent = false;
+        for c in 0..self.l1.len() {
+            if let Some((d, p)) = self.l1[c].remove(line) {
+                dirty |= d;
+                persistent |= p;
+            }
+            if let Some((d, p)) = self.l2[c].remove(line) {
+                dirty |= d;
+                persistent |= p;
+            }
+        }
+        if let Some((d, p)) = self.llc.remove(line) {
+            dirty |= d;
+            persistent |= p;
+        }
+        FlushResult {
+            was_dirty: dirty,
+            was_persistent: persistent,
+        }
+    }
+
+    /// Returns `true` if `line` is resident anywhere in the hierarchy.
+    pub fn contains(&self, line: Line) -> bool {
+        self.llc.contains(line)
+            || self.l1.iter().any(|c| c.contains(line))
+            || self.l2.iter().any(|c| c.contains(line))
+    }
+
+    /// Removes and returns every dirty line in the hierarchy (merging
+    /// private and shared state), cleaning them in place. Used at the end of
+    /// a measured run so write-traffic totals are comparable across engines
+    /// regardless of what happened to still be cached.
+    pub fn drain_dirty(&mut self) -> Vec<Evicted> {
+        use std::collections::HashMap;
+        let mut merged: HashMap<u64, (bool, bool)> = HashMap::new();
+        let mut note = |ev: Option<Evicted>| {
+            if let Some(e) = ev {
+                let entry = merged.entry(e.line.0).or_insert((false, false));
+                entry.0 |= e.dirty;
+                entry.1 |= e.persistent;
+            }
+        };
+        for c in 0..self.l1.len() {
+            for ev in self.l1[c].drain_valid() {
+                note(Some(ev));
+            }
+            for ev in self.l2[c].drain_valid() {
+                note(Some(ev));
+            }
+        }
+        for ev in self.llc.drain_valid() {
+            note(Some(ev));
+        }
+        let mut out: Vec<Evicted> = merged
+            .into_iter()
+            .filter(|(_, (d, _))| *d)
+            .map(|(l, (d, p))| Evicted {
+                line: Line(l),
+                dirty: d,
+                persistent: p,
+            })
+            .collect();
+        out.sort_by_key(|e| e.line.0);
+        out
+    }
+
+    /// Invalidates everything (simulated power loss).
+    pub fn clear(&mut self) {
+        for c in &mut self.l1 {
+            c.clear();
+        }
+        for c in &mut self.l2 {
+            c.clear();
+        }
+        self.llc.clear();
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> &HierStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = HierStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(&SimConfig::small_for_tests())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut h = small();
+        let a = h.access(CoreId(0), Line(100), false, false);
+        assert!(a.llc_miss);
+        let b = h.access(CoreId(0), Line(100), false, false);
+        assert!(!b.llc_miss);
+        assert_eq!(b.latency, 4);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction_pressure() {
+        let mut h = small();
+        // 4 KB 4-way L1 => 16 sets. Touch 5 lines in the same L1 set.
+        for i in 0..5 {
+            h.access(CoreId(0), Line(16 * i), false, false);
+        }
+        // Line 0 fell out of L1 but not out of L2.
+        let r = h.access(CoreId(0), Line(0), false, false);
+        assert!(!r.llc_miss);
+        assert_eq!(r.latency, 4 + 12);
+    }
+
+    #[test]
+    fn dirty_llc_eviction_reported_with_persistent_bit() {
+        let mut h = small();
+        // 64 KB 16-way LLC => 64 sets. Fill one LLC set with dirty
+        // persistent lines, then overflow it.
+        for i in 0..16 {
+            h.access(CoreId(0), Line(64 * i), true, true);
+        }
+        let r = h.access(CoreId(0), Line(64 * 16), true, true);
+        let ev = r.evicted.expect("overflow must evict dirty line");
+        assert!(ev.dirty);
+        assert!(ev.persistent);
+        assert_eq!(ev.line.0 % 64, 0);
+    }
+
+    #[test]
+    fn clean_line_prevents_eviction_writeback() {
+        let mut h = small();
+        for i in 0..16 {
+            h.access(CoreId(0), Line(64 * i), true, false);
+            h.clean_line(Line(64 * i));
+        }
+        let r = h.access(CoreId(0), Line(64 * 16), false, false);
+        assert!(r.evicted.is_none(), "cleaned lines need no writeback");
+    }
+
+    #[test]
+    fn flush_reports_dirty_state_and_invalidates() {
+        let mut h = small();
+        h.access(CoreId(0), Line(9), true, true);
+        let f = h.flush_line(Line(9));
+        assert!(f.was_dirty && f.was_persistent);
+        assert!(!h.contains(Line(9)));
+        let again = h.flush_line(Line(9));
+        assert!(!again.was_dirty);
+    }
+
+    #[test]
+    fn write_steals_line_from_other_core() {
+        let mut h = small();
+        h.access(CoreId(0), Line(5), true, false);
+        // Core 1 writes the same line: core 0's private copies must go, and
+        // the line must stay coherent (dirty merged into LLC).
+        h.access(CoreId(1), Line(5), true, false);
+        let r = h.access(CoreId(1), Line(5), false, false);
+        assert_eq!(r.latency, 4, "core 1 now owns the line in L1");
+    }
+
+    #[test]
+    fn inclusion_back_invalidates_private_copies() {
+        let mut h = small();
+        // Fill an LLC set from core 0 while keeping the lines hot in L1.
+        for i in 0..17 {
+            h.access(CoreId(0), Line(64 * i), false, false);
+        }
+        // At least one of the first lines was back-invalidated; accessing it
+        // again must be an LLC miss, not a private-cache hit.
+        let victims: Vec<u64> = (0..17)
+            .filter(|&i| !h.contains(Line(64 * i)))
+            .map(|i| 64 * i)
+            .collect();
+        assert!(!victims.is_empty());
+        let r = h.access(CoreId(0), Line(victims[0]), false, false);
+        assert!(r.llc_miss);
+    }
+
+    #[test]
+    fn stats_track_miss_ratio() {
+        let mut h = small();
+        h.access(CoreId(0), Line(1), false, false);
+        h.access(CoreId(0), Line(1), false, false);
+        assert_eq!(h.stats().accesses.get(), 2);
+        assert_eq!(h.stats().llc_misses.get(), 1);
+        assert!((h.stats().llc_miss_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut h = small();
+        h.access(CoreId(0), Line(1), true, true);
+        h.clear();
+        assert!(!h.contains(Line(1)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the cache hierarchy: inclusion, dirty-data
+//! conservation, and flush/clean semantics under random access streams.
+
+use std::collections::HashSet;
+
+use memhier::Hierarchy;
+use proptest::prelude::*;
+use simcore::addr::Line;
+use simcore::{CoreId, SimConfig};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Access { core: u8, line: u64, write: bool, persistent: bool },
+    Clean { line: u64 },
+    Flush { line: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0u8..2, 0u64..256, any::<bool>(), any::<bool>()).prop_map(
+            |(core, line, write, persistent)| Op::Access { core, line, write, persistent }
+        ),
+        1 => (0u64..256).prop_map(|line| Op::Clean { line }),
+        1 => (0u64..256).prop_map(|line| Op::Flush { line }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every write is accounted for: at the end of any access stream, each
+    /// written-and-not-cleaned line must either still be dirty in the
+    /// hierarchy (drained at the end) or have been reported as a dirty
+    /// eviction / dirty flush. No silent data loss.
+    #[test]
+    fn dirty_data_is_conserved(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let cfg = SimConfig::small_for_tests();
+        let mut h = Hierarchy::new(&cfg);
+        let mut dirty_somewhere: HashSet<u64> = HashSet::new();
+
+        for op in &ops {
+            match op {
+                Op::Access { core, line, write, persistent } => {
+                    let res = h.access(CoreId(*core), Line(*line), *write, *persistent);
+                    if *write {
+                        dirty_somewhere.insert(*line);
+                    }
+                    if let Some(ev) = res.evicted {
+                        prop_assert!(ev.dirty, "only dirty evictions are reported");
+                        prop_assert!(
+                            dirty_somewhere.remove(&ev.line.0),
+                            "evicted line {} was never written",
+                            ev.line.0
+                        );
+                    }
+                }
+                Op::Clean { line } => {
+                    h.clean_line(Line(*line));
+                    dirty_somewhere.remove(line);
+                }
+                Op::Flush { line } => {
+                    let f = h.flush_line(Line(*line));
+                    let was_tracked = dirty_somewhere.remove(line);
+                    prop_assert_eq!(
+                        f.was_dirty, was_tracked,
+                        "flush dirtiness mismatch for line {}", line
+                    );
+                }
+            }
+        }
+
+        // Drain: everything still tracked must come out dirty exactly once.
+        let drained: HashSet<u64> = h.drain_dirty().into_iter().map(|e| e.line.0).collect();
+        prop_assert_eq!(&drained, &dirty_somewhere, "drain must return the dirty residue");
+    }
+
+    /// Inclusion: immediately after any access, the accessed line is
+    /// resident, and re-accessing it is never an LLC miss.
+    #[test]
+    fn accessed_lines_are_resident(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let cfg = SimConfig::small_for_tests();
+        let mut h = Hierarchy::new(&cfg);
+        for op in &ops {
+            if let Op::Access { core, line, write, persistent } = op {
+                h.access(CoreId(*core), Line(*line), *write, *persistent);
+                prop_assert!(h.contains(Line(*line)));
+                let again = h.access(CoreId(*core), Line(*line), false, false);
+                prop_assert!(!again.llc_miss, "back-to-back re-access missed");
+            }
+        }
+    }
+
+    /// Persistent bits travel with dirty lines through writebacks and
+    /// evictions: a line only ever reports persistent=true if some write to
+    /// it was transactional since its last clean.
+    #[test]
+    fn persistent_bit_is_never_invented(
+        ops in prop::collection::vec(op_strategy(), 1..300)
+    ) {
+        let cfg = SimConfig::small_for_tests();
+        let mut h = Hierarchy::new(&cfg);
+        let mut persistent_lines: HashSet<u64> = HashSet::new();
+        for op in &ops {
+            match op {
+                Op::Access { core, line, write, persistent } => {
+                    let res = h.access(CoreId(*core), Line(*line), *write, *persistent);
+                    if *write && *persistent {
+                        persistent_lines.insert(*line);
+                    }
+                    if let Some(ev) = res.evicted {
+                        if ev.persistent {
+                            prop_assert!(
+                                persistent_lines.remove(&ev.line.0),
+                                "line {} evicted persistent without a transactional write",
+                                ev.line.0
+                            );
+                        } else {
+                            persistent_lines.remove(&ev.line.0);
+                        }
+                    }
+                }
+                Op::Clean { line } => {
+                    h.clean_line(Line(*line));
+                    persistent_lines.remove(line);
+                }
+                Op::Flush { line } => {
+                    let f = h.flush_line(Line(*line));
+                    if f.was_persistent {
+                        prop_assert!(persistent_lines.remove(line));
+                    } else {
+                        persistent_lines.remove(line);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Banked NVM device model and durable byte store.
+//!
+//! This crate supplies the memory substrate below the memory controller:
+//!
+//! * [`device::NvmDevice`] — the timing/energy/bandwidth model (Table II of
+//!   the paper): banked array with per-bank row buffers, 50 ns reads /
+//!   150 ns writes, a shared channel with finite bandwidth, and the PCM
+//!   energy-per-bit parameters.
+//! * [`store::PersistentStore`] — the functional contents of the NVM: a
+//!   sparse byte image with 8-byte atomic persists and helpers for torn
+//!   multi-word writes, used by the crash-injection tests.
+//! * [`traffic`] — traffic classification (data / log / GC / checkpoint /
+//!   recovery / metadata) so experiments can attribute write amplification
+//!   to its source (Fig. 8).
+//!
+//! Persistence engines own one [`device::NvmDevice`] (timing) and one
+//! [`store::PersistentStore`] (contents). Only bytes an engine actually
+//! persisted survive [`store::PersistentStore`] across a simulated crash —
+//! volatile controller state lives in the engine structs and is dropped by
+//! `PersistenceEngine::crash`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod device;
+pub mod store;
+pub mod traffic;
+pub mod wearlevel;
+
+pub use device::{AccessOutcome, NvmDevice, Op};
+pub use store::PersistentStore;
+pub use traffic::TrafficClass;
+pub use wearlevel::{EnduranceMap, StartGap};

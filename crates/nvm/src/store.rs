@@ -1,0 +1,189 @@
+//! Durable contents of the NVM.
+//!
+//! [`PersistentStore`] is the byte image that survives a simulated crash.
+//! Engines write to it only at the moment data actually becomes durable
+//! under their protocol (log persist, slice flush, checkpoint, ...), so a
+//! crash test simply stops calling the engine and inspects the store.
+//!
+//! The store persists at 8-byte granularity — the atomic unit commodity
+//! 64-bit hardware guarantees (§II-A of the paper). Multi-word writes can be
+//! torn: [`PersistentStore::write_bytes_torn`] persists only a prefix, which
+//! the property tests use to model crashes in the middle of a persist.
+
+use std::collections::HashMap;
+
+use simcore::PAddr;
+
+const PAGE_BYTES: u64 = 4096;
+
+/// A sparse durable byte image, initialized to zero.
+#[derive(Clone, Debug, Default)]
+pub struct PersistentStore {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+}
+
+impl PersistentStore {
+    /// Creates an empty (all-zero) store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_BYTES as usize] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: PAddr) -> u8 {
+        match self.pages.get(&(addr.0 / PAGE_BYTES)) {
+            Some(p) => p[(addr.0 % PAGE_BYTES) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte. Prefer the word/byte-slice APIs; this exists for
+    /// codec internals.
+    pub fn write_u8(&mut self, addr: PAddr, value: u8) {
+        self.page_mut(addr.0 / PAGE_BYTES)[(addr.0 % PAGE_BYTES) as usize] = value;
+    }
+
+    /// Reads a little-endian u64 at `addr` (need not be aligned, though all
+    /// simulator callers use word-aligned addresses).
+    pub fn read_u64(&self, addr: PAddr) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Durably writes a little-endian u64 at `addr` — the hardware-atomic
+    /// persist unit.
+    pub fn write_u64(&mut self, addr: PAddr, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: PAddr, buf: &mut [u8]) {
+        let mut pos = addr.0;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let page = pos / PAGE_BYTES;
+            let in_page = (pos % PAGE_BYTES) as usize;
+            let take = (buf.len() - off).min(PAGE_BYTES as usize - in_page);
+            match self.pages.get(&page) {
+                Some(p) => buf[off..off + take].copy_from_slice(&p[in_page..in_page + take]),
+                None => buf[off..off + take].fill(0),
+            }
+            off += take;
+            pos += take as u64;
+        }
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    pub fn read_vec(&self, addr: PAddr, len: usize) -> Vec<u8> {
+        let mut v = vec![0; len];
+        self.read_bytes(addr, &mut v);
+        v
+    }
+
+    /// Durably writes `data` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: PAddr, data: &[u8]) {
+        let mut pos = addr.0;
+        let mut off = 0usize;
+        while off < data.len() {
+            let page = pos / PAGE_BYTES;
+            let in_page = (pos % PAGE_BYTES) as usize;
+            let take = (data.len() - off).min(PAGE_BYTES as usize - in_page);
+            self.page_mut(page)[in_page..in_page + take].copy_from_slice(&data[off..off + take]);
+            off += take;
+            pos += take as u64;
+        }
+    }
+
+    /// Writes `data` but persists only the first `persisted` bytes, rounded
+    /// down to the 8-byte atomic-persist unit — modeling a crash that tears
+    /// a multi-word persist.
+    ///
+    /// Returns the number of bytes actually persisted.
+    pub fn write_bytes_torn(&mut self, addr: PAddr, data: &[u8], persisted: usize) -> usize {
+        let keep = persisted.min(data.len()) & !7usize;
+        self.write_bytes(addr, &data[..keep]);
+        keep
+    }
+
+    /// Fills `[addr, addr+len)` with zeros (used when reclaiming regions).
+    pub fn zero_range(&mut self, addr: PAddr, len: u64) {
+        // Drop whole pages when possible; zero partial edges.
+        let mut pos = addr.0;
+        let end = addr.0 + len;
+        while pos < end {
+            let page = pos / PAGE_BYTES;
+            let in_page = pos % PAGE_BYTES;
+            let take = (end - pos).min(PAGE_BYTES - in_page);
+            if in_page == 0 && take == PAGE_BYTES {
+                self.pages.remove(&page);
+            } else if let Some(p) = self.pages.get_mut(&page) {
+                p[in_page as usize..(in_page + take) as usize].fill(0);
+            }
+            pos += take;
+        }
+    }
+
+    /// Number of resident (non-zero-candidate) pages, for memory diagnostics.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let s = PersistentStore::new();
+        assert_eq!(s.read_u64(PAddr(0)), 0);
+        assert_eq!(s.read_u64(PAddr(123_456_789)), 0);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut s = PersistentStore::new();
+        s.write_u64(PAddr(64), 0xDEAD_BEEF_F00D_CAFE);
+        assert_eq!(s.read_u64(PAddr(64)), 0xDEAD_BEEF_F00D_CAFE);
+    }
+
+    #[test]
+    fn cross_page_bytes() {
+        let mut s = PersistentStore::new();
+        let addr = PAddr(PAGE_BYTES - 3);
+        let data = [1u8, 2, 3, 4, 5, 6, 7];
+        s.write_bytes(addr, &data);
+        assert_eq!(s.read_vec(addr, 7), data);
+        assert_eq!(s.resident_pages(), 2);
+    }
+
+    #[test]
+    fn torn_write_keeps_word_prefix() {
+        let mut s = PersistentStore::new();
+        let data: Vec<u8> = (0..32).collect();
+        let kept = s.write_bytes_torn(PAddr(0), &data, 20);
+        assert_eq!(kept, 16); // rounded down to 8-byte units
+        assert_eq!(s.read_vec(PAddr(0), 16), data[..16]);
+        assert_eq!(s.read_u64(PAddr(16)), 0);
+    }
+
+    #[test]
+    fn zero_range_reclaims() {
+        let mut s = PersistentStore::new();
+        s.write_bytes(PAddr(0), &[0xAA; 2 * PAGE_BYTES as usize]);
+        assert_eq!(s.resident_pages(), 2);
+        s.zero_range(PAddr(0), PAGE_BYTES);
+        assert_eq!(s.resident_pages(), 1);
+        assert_eq!(s.read_u8(PAddr(10)), 0);
+        assert_eq!(s.read_u8(PAddr(PAGE_BYTES)), 0xAA);
+        s.zero_range(PAddr(PAGE_BYTES + 8), 8);
+        assert_eq!(s.read_u8(PAddr(PAGE_BYTES + 8)), 0);
+        assert_eq!(s.read_u8(PAddr(PAGE_BYTES + 16)), 0xAA);
+    }
+}

@@ -1,0 +1,229 @@
+//! Start-Gap wear leveling (Qureshi et al., MICRO'09 — the paper's \[43])
+//! and endurance accounting.
+//!
+//! HOOP's write-traffic reductions matter because PCM cells endure a
+//! bounded number of writes (§I: extra writes "hurt NVM lifetime"). This
+//! module provides the substrate to quantify that claim:
+//!
+//! * [`StartGap`] — the classic algebraic wear-leveling layer: one spare
+//!   line plus a gap that rotates through the region every `GAP_MOVE_RATE`
+//!   writes, so hot logical lines spread over all physical lines without a
+//!   remapping table.
+//! * [`EnduranceMap`] — per-physical-line write counters with lifetime
+//!   estimation, used by the `ext_lifetime` harness to compare engines'
+//!   wear profiles.
+
+use std::collections::HashMap;
+
+use simcore::addr::Line;
+
+/// Move the gap one slot every this many writes (the paper's \[43] uses 100;
+/// smaller values level faster at higher overhead).
+pub const GAP_MOVE_RATE: u64 = 100;
+
+/// Start-Gap address rotation over a region of `n` lines (with one spare).
+///
+/// Logical line `l` maps to physical line `(l + start) % (n+1)`, skipping
+/// the current gap. Every [`GAP_MOVE_RATE`] writes the gap moves down one
+/// slot (copying one line in a real device — accounted as one extra write);
+/// after `n+1` gap rotations, `start` advances, so every logical line
+/// eventually visits every physical slot.
+#[derive(Clone, Debug)]
+pub struct StartGap {
+    lines: u64,
+    start: u64,
+    gap: u64,
+    writes_since_move: u64,
+    /// Extra line writes performed by gap movement (leveling overhead).
+    pub overhead_writes: u64,
+}
+
+impl StartGap {
+    /// Creates a leveler over `lines` logical lines (physical size is
+    /// `lines + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines == 0`.
+    pub fn new(lines: u64) -> Self {
+        assert!(lines > 0, "empty region");
+        StartGap {
+            lines,
+            start: 0,
+            gap: lines, // gap starts at the spare slot
+            writes_since_move: 0,
+            overhead_writes: 0,
+        }
+    }
+
+    /// Number of logical lines.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Translates a logical line to its current physical line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of range.
+    pub fn translate(&self, logical: Line) -> Line {
+        assert!(logical.0 < self.lines, "logical line out of range");
+        let phys = (logical.0 + self.start) % (self.lines + 1);
+        // Slots at or past the gap are shifted down by one.
+        if phys >= self.gap {
+            Line((phys + 1) % (self.lines + 1))
+        } else {
+            Line(phys)
+        }
+    }
+
+    /// Records a write to any logical line; periodically rotates the gap.
+    pub fn on_write(&mut self) {
+        self.writes_since_move += 1;
+        if self.writes_since_move < GAP_MOVE_RATE {
+            return;
+        }
+        self.writes_since_move = 0;
+        self.overhead_writes += 1; // the gap move copies one line
+        if self.gap == 0 {
+            self.gap = self.lines;
+            self.start = (self.start + 1) % (self.lines + 1);
+        } else {
+            self.gap -= 1;
+        }
+    }
+
+    /// Fraction of extra writes added by leveling (≈ 1/[`GAP_MOVE_RATE`]).
+    pub fn overhead_fraction(&self, total_writes: u64) -> f64 {
+        if total_writes == 0 {
+            0.0
+        } else {
+            self.overhead_writes as f64 / total_writes as f64
+        }
+    }
+}
+
+/// Per-physical-line write counters and lifetime estimation.
+#[derive(Clone, Debug, Default)]
+pub struct EnduranceMap {
+    counts: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl EnduranceMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` writes to a physical line.
+    pub fn record(&mut self, line: Line, n: u64) {
+        *self.counts.entry(line.0).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total line writes recorded.
+    pub fn total_writes(&self) -> u64 {
+        self.total
+    }
+
+    /// The hottest line's write count (0 if empty).
+    pub fn max_writes(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Mean writes per touched line (0 if empty).
+    pub fn mean_writes(&self) -> f64 {
+        if self.counts.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.counts.len() as f64
+        }
+    }
+
+    /// Wear skew: hottest line relative to the mean (1.0 = perfectly even).
+    pub fn skew(&self) -> f64 {
+        let mean = self.mean_writes();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_writes() as f64 / mean
+        }
+    }
+
+    /// Estimated device lifetime in "workload repetitions": with cell
+    /// endurance `endurance_writes`, the device dies when its hottest line
+    /// does, so lifetime scales with `endurance / max_writes`.
+    pub fn lifetime_repetitions(&self, endurance_writes: u64) -> f64 {
+        let max = self.max_writes();
+        if max == 0 {
+            f64::INFINITY
+        } else {
+            endurance_writes as f64 / max as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_is_a_bijection_at_all_times() {
+        let mut sg = StartGap::new(37);
+        for step in 0..5000 {
+            let mut seen = std::collections::HashSet::new();
+            for l in 0..37 {
+                let p = sg.translate(Line(l));
+                assert!(p.0 <= 37, "physical out of range at step {step}");
+                assert!(seen.insert(p.0), "collision at step {step}, line {l}");
+            }
+            sg.on_write();
+        }
+    }
+
+    #[test]
+    fn hot_line_visits_many_physical_slots() {
+        let mut sg = StartGap::new(16);
+        let mut slots = std::collections::HashSet::new();
+        // One pathological hot line; leveling must spread it.
+        for _ in 0..(GAP_MOVE_RATE * 17 * 18) {
+            slots.insert(sg.translate(Line(0)).0);
+            sg.on_write();
+        }
+        assert!(
+            slots.len() >= 16,
+            "hot line stuck on {} physical slots",
+            slots.len()
+        );
+    }
+
+    #[test]
+    fn overhead_matches_move_rate() {
+        let mut sg = StartGap::new(8);
+        for _ in 0..10_000 {
+            sg.on_write();
+        }
+        let frac = sg.overhead_fraction(10_000);
+        assert!((frac - 1.0 / GAP_MOVE_RATE as f64).abs() < 1e-3, "{frac}");
+    }
+
+    #[test]
+    fn endurance_map_tracks_skew_and_lifetime() {
+        let mut m = EnduranceMap::new();
+        m.record(Line(1), 90);
+        m.record(Line(2), 10);
+        assert_eq!(m.total_writes(), 100);
+        assert_eq!(m.max_writes(), 90);
+        assert!((m.skew() - 1.8).abs() < 1e-9);
+        assert!((m.lifetime_repetitions(900) - 10.0).abs() < 1e-9);
+        assert_eq!(EnduranceMap::new().lifetime_repetitions(100), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_translation_panics() {
+        let sg = StartGap::new(4);
+        let _ = sg.translate(Line(4));
+    }
+}

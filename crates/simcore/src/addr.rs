@@ -1,0 +1,179 @@
+//! Typed physical addresses.
+//!
+//! The simulated machine exposes a flat *home region* physical address space
+//! plus engine-private regions (log areas, the OOP region, shadow areas).
+//! [`PAddr`] is a newtype over `u64` so that simulated addresses cannot be
+//! confused with ordinary integers, and [`Line`] identifies a cache line.
+
+use std::fmt;
+
+/// Size of a cache line in bytes (64 B, as on the modeled x86 machine).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Size of a machine word in bytes. HOOP tracks updates at word granularity
+/// (§III-C of the paper).
+pub const WORD_BYTES: u64 = 8;
+
+/// Number of words in a cache line.
+pub const WORDS_PER_LINE: u64 = CACHE_LINE_BYTES / WORD_BYTES;
+
+/// A simulated physical byte address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// Returns the cache line containing this address.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simcore::addr::{Line, PAddr};
+    /// assert_eq!(PAddr(130).line(), Line(2));
+    /// ```
+    pub fn line(self) -> Line {
+        Line(self.0 / CACHE_LINE_BYTES)
+    }
+
+    /// Returns the address rounded down to its word boundary.
+    pub fn word_aligned(self) -> PAddr {
+        PAddr(self.0 & !(WORD_BYTES - 1))
+    }
+
+    /// Returns the byte offset of this address within its cache line.
+    pub fn line_offset(self) -> u64 {
+        self.0 % CACHE_LINE_BYTES
+    }
+
+    /// Returns the word index (0..8) of this address within its cache line.
+    pub fn word_in_line(self) -> u64 {
+        self.line_offset() / WORD_BYTES
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub fn offset(self, bytes: u64) -> PAddr {
+        PAddr(self.0 + bytes)
+    }
+
+    /// Returns `true` if the address is aligned to a word boundary.
+    pub fn is_word_aligned(self) -> bool {
+        self.0 % WORD_BYTES == 0
+    }
+}
+
+impl fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PAddr {
+    fn from(v: u64) -> Self {
+        PAddr(v)
+    }
+}
+
+impl From<PAddr> for u64 {
+    fn from(a: PAddr) -> Self {
+        a.0
+    }
+}
+
+/// A cache-line number (a physical address divided by [`CACHE_LINE_BYTES`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Line(pub u64);
+
+impl Line {
+    /// The physical address of the first byte of this line.
+    pub fn base(self) -> PAddr {
+        PAddr(self.0 * CACHE_LINE_BYTES)
+    }
+
+    /// The physical address of the `word`-th word in this line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= WORDS_PER_LINE`.
+    pub fn word(self, word: u64) -> PAddr {
+        assert!(word < WORDS_PER_LINE, "word index {word} out of line");
+        self.base().offset(word * WORD_BYTES)
+    }
+}
+
+impl fmt::Debug for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line({:#x})", self.0)
+    }
+}
+
+/// Enumerates the cache lines covered by the byte range `[addr, addr+len)`.
+///
+/// # Example
+///
+/// ```
+/// use simcore::addr::{lines_covering, Line, PAddr};
+/// let lines: Vec<Line> = lines_covering(PAddr(60), 8).collect();
+/// assert_eq!(lines, vec![Line(0), Line(1)]);
+/// ```
+pub fn lines_covering(addr: PAddr, len: u64) -> impl Iterator<Item = Line> {
+    let first = addr.line().0;
+    let last = if len == 0 {
+        first
+    } else {
+        PAddr(addr.0 + len - 1).line().0
+    };
+    (first..=last).map(Line)
+}
+
+/// Enumerates the word-aligned addresses covered by `[addr, addr+len)`.
+pub fn words_covering(addr: PAddr, len: u64) -> impl Iterator<Item = PAddr> {
+    let first = addr.word_aligned().0;
+    let last = if len == 0 {
+        first
+    } else {
+        (addr.0 + len - 1) & !(WORD_BYTES - 1)
+    };
+    (first..=last).step_by(WORD_BYTES as usize).map(PAddr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        let a = PAddr(0x1234);
+        assert_eq!(a.line(), Line(0x1234 / 64));
+        assert_eq!(a.line_offset(), 0x1234 % 64);
+        assert_eq!(Line(3).base(), PAddr(192));
+        assert_eq!(Line(3).word(2), PAddr(192 + 16));
+    }
+
+    #[test]
+    fn word_alignment() {
+        assert_eq!(PAddr(17).word_aligned(), PAddr(16));
+        assert!(PAddr(24).is_word_aligned());
+        assert!(!PAddr(25).is_word_aligned());
+        assert_eq!(PAddr(72).word_in_line(), 1);
+    }
+
+    #[test]
+    fn covering_iterators() {
+        assert_eq!(lines_covering(PAddr(0), 64).count(), 1);
+        assert_eq!(lines_covering(PAddr(1), 64).count(), 2);
+        assert_eq!(lines_covering(PAddr(0), 0).count(), 1);
+        let w: Vec<_> = words_covering(PAddr(6), 4).collect();
+        assert_eq!(w, vec![PAddr(0), PAddr(8)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn word_index_out_of_line_panics() {
+        let _ = Line(0).word(8);
+    }
+}

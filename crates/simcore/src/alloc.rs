@@ -1,0 +1,141 @@
+//! Allocation of the simulated physical address space.
+//!
+//! The simulated machine partitions its physical space into named regions
+//! (home region, per-engine log areas, the OOP region, shadow areas). A
+//! [`RegionAllocator`] hands out disjoint regions; a [`BumpAllocator`] hands
+//! out objects inside a region. There is no free — workloads allocate their
+//! working set once, which mirrors how the paper's benchmarks pre-populate
+//! their data structures.
+
+use crate::addr::{PAddr, CACHE_LINE_BYTES};
+
+/// Carves disjoint regions out of the physical address space.
+#[derive(Debug, Clone)]
+pub struct RegionAllocator {
+    next: u64,
+    limit: u64,
+}
+
+impl RegionAllocator {
+    /// A region allocator over `[base, base+size)`.
+    pub fn new(base: PAddr, size: u64) -> Self {
+        RegionAllocator {
+            next: base.0,
+            limit: base.0.checked_add(size).expect("region overflows space"),
+        }
+    }
+
+    /// Reserves `size` bytes aligned to `align` and returns the base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is exhausted or `align` is not a power of two.
+    pub fn reserve(&mut self, size: u64, align: u64) -> PAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        let end = base.checked_add(size).expect("reservation overflows");
+        assert!(end <= self.limit, "physical region exhausted");
+        self.next = end;
+        PAddr(base)
+    }
+
+    /// Bytes still available (ignoring alignment padding).
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.next
+    }
+}
+
+/// A simple bump allocator for objects inside one region.
+#[derive(Debug, Clone)]
+pub struct BumpAllocator {
+    next: u64,
+    limit: u64,
+    allocated: u64,
+}
+
+impl BumpAllocator {
+    /// A bump allocator over `[base, base+size)`.
+    pub fn new(base: PAddr, size: u64) -> Self {
+        BumpAllocator {
+            next: base.0,
+            limit: base.0 + size,
+            allocated: 0,
+        }
+    }
+
+    /// Allocates `size` bytes aligned to `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on exhaustion, zero size, or non-power-of-two alignment.
+    pub fn alloc(&mut self, size: u64, align: u64) -> PAddr {
+        assert!(size > 0, "zero-sized allocation");
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        let end = base + size;
+        assert!(
+            end <= self.limit,
+            "bump region exhausted: wanted {size} B, {} B left",
+            self.limit.saturating_sub(self.next)
+        );
+        self.next = end;
+        self.allocated += size;
+        PAddr(base)
+    }
+
+    /// Allocates `size` bytes aligned to a cache line, the common case for
+    /// data-structure nodes (keeps each node's words in as few lines as
+    /// possible, as a real slab allocator would).
+    pub fn alloc_lines(&mut self, size: u64) -> PAddr {
+        self.alloc(size, CACHE_LINE_BYTES)
+    }
+
+    /// Total payload bytes allocated so far.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Bytes still available (ignoring alignment padding).
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint() {
+        let mut ra = RegionAllocator::new(PAddr(0), 1 << 20);
+        let a = ra.reserve(4096, 4096);
+        let b = ra.reserve(4096, 4096);
+        assert_eq!(a, PAddr(0));
+        assert_eq!(b, PAddr(4096));
+    }
+
+    #[test]
+    fn bump_respects_alignment() {
+        let mut ba = BumpAllocator::new(PAddr(10), 1 << 16);
+        let a = ba.alloc(8, 8);
+        assert_eq!(a.0 % 8, 0);
+        let b = ba.alloc_lines(65);
+        assert_eq!(b.0 % 64, 0);
+        assert!(b.0 >= a.0 + 8);
+        assert_eq!(ba.allocated_bytes(), 73);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exhaustion_panics() {
+        let mut ba = BumpAllocator::new(PAddr(0), 64);
+        let _ = ba.alloc(65, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_alignment_panics() {
+        let mut ba = BumpAllocator::new(PAddr(0), 64);
+        let _ = ba.alloc(8, 3);
+    }
+}

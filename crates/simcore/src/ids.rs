@@ -1,0 +1,69 @@
+//! Core and transaction identifiers.
+
+use std::fmt;
+
+/// Identifies a processor core of the simulated machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CoreId(pub u8);
+
+impl CoreId {
+    /// Returns the core index as a `usize`, for indexing per-core state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A transaction identity, assigned by the memory controller at `Tx_begin`
+/// (§III-D of the paper stores a 32-bit TxID in each memory slice; we keep a
+/// u64 internally and truncate at the slice codec boundary).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TxId(pub u64);
+
+impl TxId {
+    /// The TxID value that marks "no transaction".
+    pub const NONE: TxId = TxId(0);
+
+    /// Returns `true` if this is a real transaction id.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The 32-bit on-media representation used by the memory-slice codec.
+    pub fn as_u32(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txid_none() {
+        assert!(!TxId::NONE.is_some());
+        assert!(TxId(1).is_some());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(TxId(42).to_string(), "tx42");
+    }
+
+    #[test]
+    fn txid_truncates_to_32_bits() {
+        assert_eq!(TxId(0x1_0000_0001).as_u32(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Statistics counters shared across the simulator.
+//!
+//! [`Counter`] is a plain saturating counter; [`Histogram`] is a coarse
+//! power-of-two latency histogram used for critical-path profiling (§IV-C);
+//! [`RunningMean`] keeps an online mean without storing samples.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Adds one event.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A power-of-two bucketed histogram (bucket `i` holds values in
+/// `[2^i, 2^(i+1))`, bucket 0 holds 0 and 1).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value < 2 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// An upper bound for the p-th percentile (0 < p <= 100), from bucket
+    /// boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile_bound(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count as f64 * p / 100.0).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max
+    }
+}
+
+/// Online mean of f64 samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningMean {
+    n: u64,
+    mean: f64,
+}
+
+impl RunningMean {
+    /// Creates an empty mean.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+    }
+
+    /// Current mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 203.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_percentile_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(10_000);
+        assert!(h.percentile_bound(50.0) >= 10);
+        assert!(h.percentile_bound(50.0) <= 16);
+        assert!(h.percentile_bound(100.0) >= 10_000);
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut m = RunningMean::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 4);
+        assert!((m.mean() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Simulated time.
+//!
+//! The simulator counts processor cycles of a fixed-frequency clock
+//! ([`CLOCK_GHZ`], 2.5 GHz per Table II of the paper). Wall-clock time never
+//! feeds a result; every latency and every throughput figure is derived from
+//! [`Cycle`] arithmetic, which keeps experiments deterministic.
+
+/// A point in (or duration of) simulated time, in processor cycles.
+pub type Cycle = u64;
+
+/// Processor clock frequency in GHz (Table II: 2.5 GHz, out-of-order x86).
+pub const CLOCK_GHZ: f64 = 2.5;
+
+/// Converts a duration in nanoseconds to processor cycles, rounding to the
+/// nearest cycle.
+///
+/// # Example
+///
+/// ```
+/// // The paper's 150 ns NVM write is 375 cycles at 2.5 GHz.
+/// assert_eq!(simcore::time::ns_to_cycles(150.0), 375);
+/// ```
+pub fn ns_to_cycles(ns: f64) -> Cycle {
+    (ns * CLOCK_GHZ).round() as Cycle
+}
+
+/// Converts a cycle count back to nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(simcore::time::cycles_to_ns(375), 150.0);
+/// ```
+pub fn cycles_to_ns(cycles: Cycle) -> f64 {
+    cycles as f64 / CLOCK_GHZ
+}
+
+/// Converts a cycle count to milliseconds. Convenient for GC periods and
+/// recovery times, which the paper reports in milliseconds.
+pub fn cycles_to_ms(cycles: Cycle) -> f64 {
+    cycles_to_ns(cycles) / 1.0e6
+}
+
+/// Converts a duration in milliseconds to processor cycles.
+///
+/// # Example
+///
+/// ```
+/// // The paper's default 10 ms GC period.
+/// assert_eq!(simcore::time::ms_to_cycles(10.0), 25_000_000);
+/// ```
+pub fn ms_to_cycles(ms: f64) -> Cycle {
+    ns_to_cycles(ms * 1.0e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_latencies_match_table_ii() {
+        assert_eq!(ns_to_cycles(50.0), 125);
+        assert_eq!(ns_to_cycles(150.0), 375);
+    }
+
+    #[test]
+    fn roundtrip_ns() {
+        for ns in [0.4, 1.0, 50.0, 150.0, 1000.0] {
+            let c = ns_to_cycles(ns);
+            assert!((cycles_to_ns(c) - ns).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn ms_conversion() {
+        assert_eq!(ms_to_cycles(1.0), 2_500_000);
+        assert!((cycles_to_ms(2_500_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,254 @@
+//! Workload driver and measurement harness.
+//!
+//! Builds one private workload instance per worker core (the paper runs
+//! eight threads, each against its own data — §IV-A), interleaves their
+//! transactions over the simulated machine by always advancing the core
+//! with the smallest local clock, and reports the metrics every figure of
+//! the paper is built from.
+
+use engines::system::System;
+use engines::PersistenceEngine;
+use simcore::config::SimConfig;
+use simcore::time::cycles_to_ms;
+use simcore::{CoreId, Cycle};
+
+use crate::pbtree::PBTree;
+use crate::phashmap::PHashmap;
+use crate::pqueue::PQueue;
+use crate::prbtree::PRbTree;
+use crate::pvector::PVector;
+use crate::spec::{WorkloadKind, WorkloadSpec};
+use crate::tpcc::TpccNewOrder;
+use crate::ycsb::Ycsb;
+use crate::TxWorkload;
+
+/// Builds one workload instance (deterministic per `stream`).
+pub fn build_workload(spec: WorkloadSpec, stream: u64) -> Box<dyn TxWorkload> {
+    match spec.kind {
+        WorkloadKind::Vector => Box::new(PVector::new(spec, stream)),
+        WorkloadKind::Hashmap => Box::new(PHashmap::new(spec, stream)),
+        WorkloadKind::Queue => Box::new(PQueue::new(spec, stream)),
+        WorkloadKind::RbTree => Box::new(PRbTree::new(spec, stream)),
+        WorkloadKind::BTree => Box::new(PBTree::new(spec, stream)),
+        WorkloadKind::Ycsb => Box::new(Ycsb::new(spec, stream)),
+        WorkloadKind::Tpcc => Box::new(TpccNewOrder::new(spec, stream)),
+    }
+}
+
+/// Measured results of one workload run on one engine.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// Committed transactions in the measured window.
+    pub txs: u64,
+    /// Simulated cycles elapsed in the measured window.
+    pub cycles: Cycle,
+    /// Transactions per simulated millisecond.
+    pub throughput_tx_per_ms: f64,
+    /// Mean critical-path latency per transaction (cycles).
+    pub avg_tx_latency: f64,
+    /// NVM bytes written per transaction (all traffic classes).
+    pub write_bytes_per_tx: f64,
+    /// NVM bytes read per transaction.
+    pub read_bytes_per_tx: f64,
+    /// NVM energy per transaction (pJ).
+    pub energy_pj_per_tx: f64,
+    /// LLC miss ratio of the run.
+    pub llc_miss_ratio: f64,
+    /// Memory loads per LLC miss (paper §IV-C profiles 1.28 for HOOP).
+    pub loads_per_miss: f64,
+    /// Fraction of served misses that needed parallel OOP+home reads.
+    pub parallel_read_fraction: f64,
+    /// GC data-reduction ratio (Table IV).
+    pub gc_reduction: f64,
+    /// Critical-path cycles lost to on-demand GC (Fig. 10/13 mechanism).
+    pub ondemand_gc_stall_cycles: u64,
+    /// Post-run verification mismatches (0 = functionally correct).
+    pub verify_errors: usize,
+}
+
+impl RunReport {
+    /// Formats a compact single-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<9} {:<12} txs={:<7} thr={:>9.1} tx/ms lat={:>8.0} cyc wr/tx={:>7.1}B rd/tx={:>8.1}B pj/tx={:>9.0}",
+            self.engine,
+            self.workload,
+            self.txs,
+            self.throughput_tx_per_ms,
+            self.avg_tx_latency,
+            self.write_bytes_per_tx,
+            self.read_bytes_per_tx,
+            self.energy_pj_per_tx
+        )
+    }
+}
+
+/// Drives per-core workload instances over a `System`.
+pub struct Driver {
+    workloads: Vec<Box<dyn TxWorkload>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for Driver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Driver").field("workers", &self.workers).finish()
+    }
+}
+
+impl Driver {
+    /// Builds one workload instance per worker core of `cfg`.
+    pub fn new(spec: WorkloadSpec, cfg: &SimConfig) -> Self {
+        let workers = cfg.worker_threads as usize;
+        Driver {
+            workloads: (0..workers)
+                .map(|w| build_workload(spec, w as u64))
+                .collect(),
+            workers,
+        }
+    }
+
+    /// Sets up every worker's private data on the machine.
+    pub fn setup(&mut self, sys: &mut System) {
+        for (w, wl) in self.workloads.iter_mut().enumerate() {
+            wl.setup(sys, CoreId(w as u8));
+        }
+    }
+
+    /// Runs `warmup` then `measured` transactions (interleaved across
+    /// workers), drains, and reports.
+    pub fn run(&mut self, sys: &mut System, warmup: u64, measured: u64) -> RunReport {
+        self.run_until(sys, warmup, measured, 0)
+    }
+
+    /// Like [`run`](Driver::run), but keeps issuing transactions (beyond
+    /// `measured`, up to 64x) until at least `min_cycles` of simulated time
+    /// elapse — so a measured window spans several background GC/checkpoint
+    /// periods and captures steady-state traffic.
+    pub fn run_until(
+        &mut self,
+        sys: &mut System,
+        warmup: u64,
+        measured: u64,
+        min_cycles: Cycle,
+    ) -> RunReport {
+        for _ in 0..warmup {
+            let core = sys.next_core();
+            self.workloads[core.index()].run_tx(sys, core);
+        }
+        // Settle warmup state (flush caches, run GC/checkpoints) so the
+        // measured window starts from a steady durable state and background
+        // traffic attribution is not skewed by warmup leftovers.
+        sys.drain();
+        sys.reset_counters();
+        let t0 = sys.global_time();
+        let mut issued = 0u64;
+        while issued < measured
+            || (sys.global_time() - t0 < min_cycles && issued < measured.saturating_mul(64))
+        {
+            let core = sys.next_core();
+            self.workloads[core.index()].run_tx(sys, core);
+            issued += 1;
+        }
+        sys.drain();
+        let cycles = sys.global_time() - t0;
+        let verify_errors = self.verify(sys);
+        let engine = sys.engine();
+        let stats = engine.stats();
+        let traffic = engine.device().traffic();
+        let txs = stats.committed_txs.get().max(1);
+        let misses = stats.misses_served.get().max(1);
+        RunReport {
+            engine: engine.name(),
+            workload: self.workloads[0].name().to_string(),
+            txs: stats.committed_txs.get(),
+            cycles,
+            throughput_tx_per_ms: stats.committed_txs.get() as f64 / cycles_to_ms(cycles.max(1)),
+            avg_tx_latency: sys.tx_latency().mean(),
+            write_bytes_per_tx: traffic.total_written() as f64 / txs as f64,
+            read_bytes_per_tx: traffic.total_read() as f64 / txs as f64,
+            energy_pj_per_tx: engine.device().energy_pj() / txs as f64,
+            llc_miss_ratio: sys.hier_stats().llc_miss_ratio(),
+            loads_per_miss: stats.loads_per_miss(),
+            parallel_read_fraction: stats.parallel_reads.get() as f64 / misses as f64,
+            gc_reduction: stats.gc_reduction_ratio(),
+            ondemand_gc_stall_cycles: stats.ondemand_gc_stall_cycles.get(),
+            verify_errors,
+        }
+    }
+
+    /// Runs a single transaction on `core` (profiling/driver internals).
+    pub fn run_one(&mut self, sys: &mut System, core: CoreId) {
+        self.workloads[core.index()].run_tx(sys, core);
+    }
+
+    /// Verifies every worker's structure; returns total mismatches.
+    pub fn verify(&self, sys: &System) -> usize {
+        self.workloads.iter().map(|w| w.verify(sys)).sum()
+    }
+
+    /// Number of worker instances.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+/// Convenience: build a system for `engine_name` over `cfg`. Lives here so
+/// harnesses and tests share one registry of engines.
+pub fn build_system(engine_name: &str, cfg: &SimConfig) -> System {
+    let engine: Box<dyn PersistenceEngine> = match engine_name {
+        "Ideal" => Box::new(engines::native::NativeEngine::new(cfg)),
+        "Opt-Redo" => Box::new(engines::redo::OptRedoEngine::new(cfg)),
+        "Opt-Undo" => Box::new(engines::undo::OptUndoEngine::new(cfg)),
+        "OSP" => Box::new(engines::osp::OspEngine::new(cfg)),
+        "LSM" => Box::new(engines::lsm::LsmEngine::new(cfg)),
+        "LAD" => Box::new(engines::lad::LadEngine::new(cfg)),
+        "HOOP" => Box::new(hoop::engine::HoopEngine::new(cfg)),
+        "HOOP-MC2" => Box::new(hoop::multi::MultiHoopEngine::new(cfg, 2)),
+        "HOOP-MC4" => Box::new(hoop::multi::MultiHoopEngine::new(cfg, 4)),
+        other => panic!("unknown engine {other}"),
+    };
+    System::new(engine, cfg)
+}
+
+/// Engine names in the paper's presentation order.
+pub const ENGINES: [&str; 7] = ["Opt-Redo", "Opt-Undo", "OSP", "LSM", "LAD", "HOOP", "Ideal"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_runs_every_workload_on_native() {
+        let cfg = SimConfig::small_for_tests();
+        for kind in WorkloadKind::ALL {
+            let mut spec = WorkloadSpec::small(kind);
+            spec.items = 128;
+            let mut sys = build_system("Ideal", &cfg);
+            let mut driver = Driver::new(spec, &cfg);
+            driver.setup(&mut sys);
+            let report = driver.run(&mut sys, 10, 60);
+            assert_eq!(report.verify_errors, 0, "{kind} failed verification");
+            assert_eq!(report.txs, 60, "{kind} tx count");
+            assert!(report.throughput_tx_per_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn every_engine_builds() {
+        let cfg = SimConfig::small_for_tests();
+        for name in ENGINES {
+            let sys = build_system(name, &cfg);
+            assert_eq!(sys.engine().name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_engine_panics() {
+        let _ = build_system("nope", &SimConfig::small_for_tests());
+    }
+}

@@ -1,0 +1,138 @@
+//! Persistent queue workload (Table III: 4 stores/tx, 100 % writes).
+//!
+//! A ring buffer in the home region with head/tail indices. Enqueue
+//! transactions write three payload words plus the tail pointer; dequeue
+//! transactions read the item and write the head pointer, a consumer
+//! register and a tombstone word — four 8-byte stores either way.
+
+use engines::system::System;
+use simcore::{CoreId, PAddr, SimRng};
+
+use crate::spec::WorkloadSpec;
+use crate::TxWorkload;
+
+/// The persistent-queue benchmark.
+#[derive(Debug)]
+pub struct PQueue {
+    spec: WorkloadSpec,
+    /// Layout: [head, tail, last_dequeued, pad] then `items` slots.
+    meta: PAddr,
+    slots: PAddr,
+    capacity: u64,
+    rng: SimRng,
+    /// Shadow ring.
+    shadow: std::collections::VecDeque<u64>,
+    head: u64,
+    tail: u64,
+    version: u64,
+}
+
+impl PQueue {
+    /// Creates the workload from its spec.
+    pub fn new(spec: WorkloadSpec, stream: u64) -> Self {
+        PQueue {
+            spec,
+            meta: PAddr(0),
+            slots: PAddr(0),
+            capacity: spec.items,
+            rng: SimRng::seed(spec.seed ^ 0x51ED).fork(stream),
+            shadow: std::collections::VecDeque::new(),
+            head: 0,
+            tail: 0,
+            version: 0,
+        }
+    }
+
+    fn slot_addr(&self, i: u64) -> PAddr {
+        self.slots.offset((i % self.capacity) * self.spec.item_bytes)
+    }
+
+    fn occupancy(&self) -> u64 {
+        self.tail - self.head
+    }
+}
+
+impl TxWorkload for PQueue {
+    fn name(&self) -> &'static str {
+        "queue"
+    }
+
+    fn setup(&mut self, sys: &mut System, _core: CoreId) {
+        self.meta = sys.alloc(64);
+        self.slots = sys.alloc(self.capacity * self.spec.item_bytes);
+        sys.write_initial(self.meta, &0u64.to_le_bytes());
+        sys.write_initial(self.meta.offset(8), &0u64.to_le_bytes());
+    }
+
+    fn run_tx(&mut self, sys: &mut System, core: CoreId) {
+        let tx = sys.tx_begin(core);
+        let enqueue = self.occupancy() == 0
+            || (self.occupancy() < self.capacity && self.rng.chance(0.55));
+        if enqueue {
+            self.version += 1;
+            let v = self.version.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let slot = self.slot_addr(self.tail);
+            sys.store_u64(core, slot, v);
+            sys.store_u64(core, slot.offset(8), v ^ 0xFF);
+            sys.store_u64(core, slot.offset(16), self.tail);
+            self.tail += 1;
+            sys.store_u64(core, self.meta.offset(8), self.tail);
+            self.shadow.push_back(v);
+        } else {
+            let slot = self.slot_addr(self.head);
+            let v = sys.load_u64(core, slot);
+            self.head += 1;
+            sys.store_u64(core, self.meta, self.head);
+            sys.store_u64(core, self.meta.offset(16), v);
+            sys.store_u64(core, slot, 0); // tombstone
+            sys.store_u64(core, slot.offset(8), 0);
+            let expected = self.shadow.pop_front().expect("shadow in sync");
+            debug_assert_eq!(v, expected);
+        }
+        sys.tx_end(core, tx);
+    }
+
+    fn verify(&self, sys: &System) -> usize {
+        let mut bad = 0;
+        if sys.peek_u64(self.meta) != self.head {
+            bad += 1;
+        }
+        if sys.peek_u64(self.meta.offset(8)) != self.tail {
+            bad += 1;
+        }
+        for (k, v) in self.shadow.iter().enumerate() {
+            let slot = self.slot_addr(self.head + k as u64);
+            if sys.peek_u64(slot) != *v {
+                bad += 1;
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engines::native::NativeEngine;
+    use simcore::SimConfig;
+
+    #[test]
+    fn enqueue_dequeue_verify() {
+        let cfg = SimConfig::small_for_tests();
+        let mut s = System::new(Box::new(NativeEngine::new(&cfg)), &cfg);
+        let mut w = PQueue::new(
+            WorkloadSpec {
+                items: 32,
+                ..WorkloadSpec::small(crate::WorkloadKind::Queue)
+            },
+            2,
+        );
+        w.setup(&mut s, CoreId(0));
+        for _ in 0..200 {
+            w.run_tx(&mut s, CoreId(0));
+        }
+        assert_eq!(w.verify(&s), 0);
+        assert!(w.tail >= w.head);
+        assert!(w.occupancy() <= w.capacity);
+    }
+}

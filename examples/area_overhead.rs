@@ -1,0 +1,31 @@
+//! Controller area-overhead report (§III-H: the paper estimates 4.25 %
+//! with CACTI against a Sandy Bridge-class package).
+//!
+//! Run with: `cargo run --release --example area_overhead`
+
+use hoop_repro::hoop::area::{area_overhead, ReferencePackage};
+use hoop_repro::prelude::*;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let pkg = ReferencePackage::default();
+    let rep = area_overhead(&cfg, &pkg);
+    println!("Added controller structures:");
+    println!("  mapping table    {:>8} KB", rep.mapping_table_bytes / 1024);
+    println!("  eviction buffer  {:>8} KB", rep.eviction_buffer_bytes / 1024);
+    println!("  OOP data buffers {:>8} KB", rep.oop_buffer_bytes / 1024);
+    println!("  persistent bits  {:>8} KB", rep.persistent_bit_bytes / 1024);
+    println!(
+        "\narea overhead vs reference package: {:.2} %  (paper: 4.25 %)",
+        rep.overhead_percent
+    );
+
+    // How the overhead scales with the mapping table (the Fig. 13 knob).
+    println!("\nmapping table sweep:");
+    for mb in [1u64, 2, 4, 8] {
+        let mut c = cfg;
+        c.hoop.mapping_table_bytes = mb << 20;
+        let r = area_overhead(&c, &pkg);
+        println!("  {mb} MB table -> {:.2} % overhead", r.overhead_percent);
+    }
+}

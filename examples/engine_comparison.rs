@@ -1,0 +1,60 @@
+//! Head-to-head comparison of every crash-consistency engine on one
+//! workload — a miniature Fig. 7/8 in a single binary.
+//!
+//! Run with: `cargo run --release --example engine_comparison [workload]`
+//! where `workload` is one of vector|hashmap|queue|rbtree|btree|ycsb|tpcc
+//! (default: hashmap).
+
+use hoop_repro::prelude::*;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "hashmap".into());
+    let kind = match which.as_str() {
+        "vector" => WorkloadKind::Vector,
+        "hashmap" => WorkloadKind::Hashmap,
+        "queue" => WorkloadKind::Queue,
+        "rbtree" => WorkloadKind::RbTree,
+        "btree" => WorkloadKind::BTree,
+        "ycsb" => WorkloadKind::Ycsb,
+        "tpcc" => WorkloadKind::Tpcc,
+        other => panic!("unknown workload {other}"),
+    };
+    let cfg = SimConfig::default();
+    let spec = WorkloadSpec {
+        items: 4096,
+        ..WorkloadSpec::small(kind)
+    };
+
+    println!("workload: {kind} (8 worker cores, {} items/core)\n", spec.items);
+    println!(
+        "{:<10}{:>12}{:>12}{:>12}{:>12}{:>10}",
+        "engine", "tx/ms", "lat(cyc)", "wrB/tx", "pJ/tx", "verify"
+    );
+    let mut baseline = None;
+    for engine in ENGINES {
+        let mut sys = build_system(engine, &cfg);
+        let mut driver = Driver::new(spec, &cfg);
+        driver.setup(&mut sys);
+        let r = driver.run(&mut sys, 500, 10_000);
+        println!(
+            "{:<10}{:>12.1}{:>12.0}{:>12.1}{:>12.0}{:>10}",
+            engine,
+            r.throughput_tx_per_ms,
+            r.avg_tx_latency,
+            r.write_bytes_per_tx,
+            r.energy_pj_per_tx,
+            if r.verify_errors == 0 { "ok" } else { "FAIL" }
+        );
+        if engine == "Opt-Redo" {
+            baseline = Some(r.throughput_tx_per_ms);
+        }
+        if engine == "HOOP" {
+            if let Some(base) = baseline {
+                println!(
+                    "{:<10}{:>12}",
+                    "", format!("(x{:.2} vs Opt-Redo)", r.throughput_tx_per_ms / base)
+                );
+            }
+        }
+    }
+}

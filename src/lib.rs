@@ -1,0 +1,55 @@
+//! # hoop-repro — a reproduction of HOOP (ISCA 2020)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`simcore`] — simulation kernel (cycles, addresses, config, RNG, stats).
+//! * [`nvm`] — banked NVM device model with timing/energy/bandwidth and a
+//!   durable byte store.
+//! * [`memhier`] — three-level inclusive cache hierarchy with per-line
+//!   persistent bits.
+//! * [`engines`] — the [`engines::PersistenceEngine`] abstraction plus the
+//!   five baselines evaluated in the paper (Opt-Redo, Opt-Undo, OSP, LSM,
+//!   LAD) and the no-persistence Ideal system.
+//! * [`hoop`] — the paper's contribution: the hardware-assisted
+//!   out-of-place-update controller (OOP region, memory slices, data
+//!   packing, mapping table, eviction buffer, GC with coalescing, parallel
+//!   recovery).
+//! * [`workloads`] — the Table III benchmarks: five persistent data
+//!   structures, YCSB and TPC-C New-Order on an N-store-like row store.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for paper-vs-measured results for every table and
+//! figure.
+//!
+//! # Example
+//!
+//! ```
+//! use hoop_repro::prelude::*;
+//!
+//! // Build a HOOP-backed system, run a transaction, crash, recover.
+//! let cfg = SimConfig::small_for_tests();
+//! let mut sys = System::new(Box::new(HoopEngine::new(&cfg)), &cfg);
+//! let base = sys.alloc(64);
+//! let tx = sys.tx_begin(CoreId(0));
+//! sys.store_u64(CoreId(0), base, 0xdead_beef);
+//! sys.tx_end(CoreId(0), tx);
+//! sys.crash_and_recover(1);
+//! assert_eq!(sys.load_u64(CoreId(0), base), 0xdead_beef);
+//! ```
+
+pub use engines;
+pub use hoop;
+pub use memhier;
+pub use nvm;
+pub use simcore;
+pub use workloads;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use hoop::engine::HoopEngine;
+    pub use simcore::{CoreId, PAddr, SimConfig, SimRng, TxId};
+    pub use engines::system::System;
+    pub use engines::PersistenceEngine;
+    pub use workloads::driver::{build_system, Driver, ENGINES};
+    pub use workloads::{WorkloadKind, WorkloadSpec};
+}

@@ -1,0 +1,183 @@
+//! HOOP-specific structural invariants: wear leveling, mapping-table
+//! bounds, GC idempotence, packing/coalescing ablations, and a property
+//! test that the newest committed version of every word wins recovery.
+
+use std::collections::HashMap;
+
+use hoop_repro::hoop::engine::HoopEngine;
+use hoop_repro::prelude::*;
+use proptest::prelude::*;
+
+fn engine() -> HoopEngine {
+    HoopEngine::new(&SimConfig::small_for_tests())
+}
+
+fn commit(e: &mut HoopEngine, core: u8, words: &[(u64, u64)], now: u64) {
+    let tx = e.tx_begin(CoreId(core), now);
+    for (a, v) in words {
+        e.on_store(CoreId(core), tx, PAddr(*a), &v.to_le_bytes(), now);
+    }
+    e.tx_end(CoreId(core), tx, now + 10);
+}
+
+#[test]
+fn blocks_age_uniformly_across_gc_generations() {
+    let mut e = engine();
+    for round in 0..4000u64 {
+        commit(&mut e, 0, &[(round % 256 * 64, round)], round * 50);
+        if round % 500 == 499 {
+            e.run_gc(round * 50 + 20);
+        }
+    }
+    e.run_gc(1_000_000_000);
+    let wear = e.oop_region().wear_profile();
+    let used: Vec<u64> = wear.into_iter().filter(|&w| w > 0).collect();
+    assert!(used.len() >= 2, "several blocks must have cycled");
+    let min = *used.iter().min().expect("nonempty");
+    let max = *used.iter().max().expect("nonempty");
+    // Round-robin allocation keeps wear within one block-generation.
+    let per_block = e.oop_region().slices_per_block() as u64;
+    assert!(
+        max - min <= per_block,
+        "wear skew {min}..{max} exceeds one generation ({per_block})"
+    );
+}
+
+#[test]
+fn mapping_table_stays_bounded_by_on_demand_gc() {
+    let mut cfg = SimConfig::small_for_tests();
+    cfg.hoop.mapping_table_bytes = 4 * 1024; // 256 entries
+    let mut e = HoopEngine::new(&cfg);
+    let capacity = cfg.hoop.mapping_table_entries();
+    for i in 0..4000u64 {
+        commit(&mut e, 0, &[(i * 64, i)], i * 40);
+        assert!(
+            e.mapping_table().len() <= capacity + 8,
+            "mapping table exceeded capacity at tx {i}: {}",
+            e.mapping_table().len()
+        );
+    }
+    assert!(
+        e.stats().ondemand_gc_stall_cycles.get() > 0,
+        "pressure must have forced on-demand GC"
+    );
+}
+
+#[test]
+fn gc_is_idempotent_and_region_reusable() {
+    let mut e = engine();
+    for i in 0..200u64 {
+        commit(&mut e, 0, &[(i % 32 * 64, i)], i * 30);
+    }
+    e.run_gc(100_000);
+    let out1 = e.stats().gc_bytes_out.get();
+    e.run_gc(200_000);
+    assert_eq!(e.stats().gc_bytes_out.get(), out1, "second GC must be a no-op");
+    // The region is empty and reusable.
+    assert_eq!(e.oop_region().fill_fraction(), 0.0);
+    for i in 0..200u64 {
+        commit(&mut e, 0, &[(i % 32 * 64, 1000 + i)], 300_000 + i * 30);
+    }
+    e.crash();
+    e.recover(2);
+    for slot in 0..32u64 {
+        let want = 1000 + (0..200).filter(|i| i % 32 == slot).next_back().expect("exists");
+        assert_eq!(e.durable().read_u64(PAddr(slot * 64)), want);
+    }
+}
+
+#[test]
+fn packing_ablation_increases_slice_traffic() {
+    let run = |packing: bool| -> u64 {
+        let mut e = engine();
+        e.set_packing(packing);
+        for i in 0..100u64 {
+            let words: Vec<(u64, u64)> = (0..8).map(|w| (i % 16 * 64 + w * 8, i)).collect();
+            commit(&mut e, 0, &words, i * 50);
+        }
+        e.device().traffic().written(nvm::TrafficClass::Log)
+    };
+    let packed = run(true);
+    let unpacked = run(false);
+    assert!(
+        unpacked >= 4 * packed,
+        "packing must cut slice traffic: packed={packed} unpacked={unpacked}"
+    );
+}
+
+#[test]
+fn coalescing_ablation_increases_gc_writeback() {
+    let run = |coalescing: bool| -> u64 {
+        let mut e = engine();
+        e.set_coalescing(coalescing);
+        for i in 0..400u64 {
+            commit(&mut e, 0, &[(i % 4 * 64, i)], i * 50);
+        }
+        e.run_gc(1_000_000);
+        e.stats().gc_bytes_out.get()
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        without >= 20 * with,
+        "coalescing must cut home writes: with={with} without={without}"
+    );
+}
+
+#[test]
+fn eviction_buffer_capacity_is_respected() {
+    let mut e = engine();
+    let cap = SimConfig::small_for_tests().hoop.eviction_buffer_entries();
+    for i in 0..(cap as u64 + 500) {
+        commit(&mut e, 0, &[(i * 64, i)], i * 30);
+    }
+    e.run_gc(1_000_000_000);
+    assert!(
+        e.extra_metrics()
+            .iter()
+            .find(|(k, _)| *k == "eviction_buffer_entries")
+            .map(|(_, v)| *v as usize <= cap)
+            .expect("metric exists"),
+        "eviction buffer exceeded its configured capacity"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn newest_committed_version_wins_recovery(
+        txs in prop::collection::vec(
+            prop::collection::vec((0u64..48, any::<u64>()), 1..12),
+            1..40,
+        ),
+        threads in 1usize..8,
+        crash_at in 0usize..40,
+    ) {
+        let mut e = engine();
+        let mut committed: HashMap<u64, u64> = HashMap::new();
+        let mut now = 0u64;
+        for (i, writes) in txs.iter().enumerate() {
+            if i == crash_at {
+                break;
+            }
+            let core = (i % 2) as u8;
+            let words: Vec<(u64, u64)> =
+                writes.iter().map(|(s, v)| (s * 8, *v)).collect();
+            commit(&mut e, core, &words, now);
+            for (s, v) in writes {
+                committed.insert(s * 8, *v);
+            }
+            now += 1000;
+        }
+        e.crash();
+        e.recover(threads);
+        for (addr, want) in &committed {
+            prop_assert_eq!(
+                e.durable().read_u64(PAddr(*addr)),
+                *want,
+                "word {} after recovery", addr
+            );
+        }
+    }
+}

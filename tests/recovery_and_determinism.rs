@@ -1,0 +1,118 @@
+//! Parallel-recovery behavior and whole-simulation determinism.
+
+use hoop_repro::prelude::*;
+use hoop_repro::workloads::driver::build_workload;
+use hoop_repro::workloads::TxWorkload;
+
+#[test]
+fn recovery_result_is_thread_count_invariant_at_system_level() {
+    let mut images: Vec<Vec<u64>> = Vec::new();
+    for threads in [1usize, 3, 8] {
+        let cfg = SimConfig::small_for_tests();
+        let mut sys = build_system("HOOP", &cfg);
+        let base = sys.alloc(64 * 32);
+        for i in 0..300u64 {
+            let tx = sys.tx_begin(CoreId((i % 2) as u8));
+            sys.store_u64(CoreId((i % 2) as u8), base.offset(i % 32 * 64), i);
+            sys.tx_end(CoreId((i % 2) as u8), tx);
+        }
+        let report = sys.crash_and_recover(threads);
+        assert_eq!(report.threads, threads);
+        assert!(report.txs_replayed > 0);
+        images.push((0..32).map(|s| sys.peek_u64(base.offset(s * 64))).collect());
+    }
+    assert!(images.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn modeled_recovery_time_scales_with_bytes_and_threads() {
+    use hoop_repro::hoop::recovery::model_recovery_ms;
+    // More data -> more time; more threads -> less (until bandwidth-bound).
+    let t1 = model_recovery_ms(256 << 20, 16 << 20, 4, 20.0);
+    let t2 = model_recovery_ms(1 << 30, 16 << 20, 4, 20.0);
+    assert!(t2 > t1);
+    let few = model_recovery_ms(1 << 30, 16 << 20, 1, 20.0);
+    let many = model_recovery_ms(1 << 30, 16 << 20, 8, 20.0);
+    assert!(few > many);
+    // Bandwidth saturation: beyond the device rate, threads stop helping.
+    let t8 = model_recovery_ms(1 << 30, 16 << 20, 8, 10.0);
+    let t16 = model_recovery_ms(1 << 30, 16 << 20, 16, 10.0);
+    assert!((t8 - t16).abs() < 1e-9, "both saturate 10 GB/s");
+}
+
+#[test]
+fn identical_seeds_produce_identical_runs() {
+    // Full-stack determinism: same seed, same engine -> bit-identical
+    // simulated time, traffic, and energy.
+    let run = || {
+        let cfg = SimConfig::small_for_tests();
+        let mut sys = build_system("HOOP", &cfg);
+        let mut w = build_workload(
+            WorkloadSpec {
+                items: 128,
+                ..WorkloadSpec::small(WorkloadKind::Ycsb)
+            },
+            5,
+        );
+        w.setup(&mut sys, CoreId(0));
+        for _ in 0..200 {
+            w.run_tx(&mut sys, CoreId(0));
+        }
+        (
+            sys.global_time(),
+            sys.engine().device().traffic().total_written(),
+            sys.engine().device().traffic().total_read(),
+            sys.engine().device().energy_pj().to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn recovery_report_accounts_scanned_slices() {
+    let cfg = SimConfig::small_for_tests();
+    let mut sys = build_system("HOOP", &cfg);
+    let base = sys.alloc(64 * 8);
+    for i in 0..50u64 {
+        let tx = sys.tx_begin(CoreId(0));
+        sys.store_u64(CoreId(0), base.offset(i % 8 * 64), i);
+        sys.tx_end(CoreId(0), tx);
+    }
+    sys.crash();
+    let report = sys.recover(4);
+    assert!(report.bytes_scanned >= 50 * 128, "each tx wrote >= one slice");
+    assert!(report.bytes_written >= 8 * 64, "eight lines migrated home");
+    assert!(report.modeled_ms > 0.0);
+    assert_eq!(report.txs_replayed, 50);
+}
+
+#[test]
+fn all_engines_recover_to_identical_committed_state() {
+    // Different mechanisms, same contract: after the same committed
+    // schedule and a crash, every persistence engine must expose the same
+    // home image.
+    let mut images: Vec<(String, Vec<u64>)> = Vec::new();
+    for engine in ["Opt-Redo", "Opt-Undo", "OSP", "LSM", "LAD", "HOOP"] {
+        let cfg = SimConfig::small_for_tests();
+        let mut sys = build_system(engine, &cfg);
+        let base = sys.alloc(64 * 8);
+        for i in 0..64u64 {
+            let tx = sys.tx_begin(CoreId(0));
+            sys.store_u64(CoreId(0), base.offset(i % 8 * 64), i * 7 + 1);
+            sys.store_u64(CoreId(0), base.offset((i + 3) % 8 * 64 + 8), i);
+            sys.tx_end(CoreId(0), tx);
+        }
+        sys.crash_and_recover(2);
+        let img: Vec<u64> = (0..16)
+            .map(|w| sys.peek_u64(base.offset(w * 32)))
+            .collect();
+        images.push((engine.to_string(), img));
+    }
+    for pair in images.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "{} and {} disagree on recovered state",
+            pair[0].0, pair[1].0
+        );
+    }
+}

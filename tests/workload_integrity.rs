@@ -1,0 +1,102 @@
+//! End-to-end workload integrity across engines.
+//!
+//! Every Table III workload runs on every engine; the persistent structures
+//! must verify against their shadow models during execution, after a crash
+//! plus recovery, and after continuing to run post-recovery.
+
+use hoop_repro::prelude::*;
+use hoop_repro::workloads::driver::build_workload;
+
+const PERSISTENT_ENGINES: [&str; 6] = ["Opt-Redo", "Opt-Undo", "OSP", "LSM", "LAD", "HOOP"];
+
+fn spec(kind: WorkloadKind) -> WorkloadSpec {
+    WorkloadSpec {
+        items: 128,
+        ..WorkloadSpec::small(kind)
+    }
+}
+
+#[test]
+fn every_workload_verifies_on_every_engine() {
+    let cfg = SimConfig::small_for_tests();
+    for kind in WorkloadKind::ALL {
+        for engine in PERSISTENT_ENGINES {
+            let mut sys = build_system(engine, &cfg);
+            let mut w = build_workload(spec(kind), 7);
+            w.setup(&mut sys, CoreId(0));
+            for _ in 0..120 {
+                w.run_tx(&mut sys, CoreId(0));
+            }
+            assert_eq!(w.verify(&sys), 0, "{engine}/{kind} diverged while running");
+        }
+    }
+}
+
+#[test]
+fn workloads_survive_crash_and_keep_running() {
+    let cfg = SimConfig::small_for_tests();
+    for kind in WorkloadKind::ALL {
+        for engine in PERSISTENT_ENGINES {
+            eprintln!("crash-survival: {engine}/{kind}");
+            let mut sys = build_system(engine, &cfg);
+            let mut w = build_workload(spec(kind), 3);
+            w.setup(&mut sys, CoreId(0));
+            for _ in 0..60 {
+                w.run_tx(&mut sys, CoreId(0));
+            }
+            sys.crash_and_recover(2);
+            assert_eq!(
+                w.verify(&sys),
+                0,
+                "{engine}/{kind} corrupted by crash+recovery"
+            );
+            // The machine must be fully usable after recovery.
+            for _ in 0..40 {
+                w.run_tx(&mut sys, CoreId(0));
+            }
+            sys.crash_and_recover(4);
+            assert_eq!(
+                w.verify(&sys),
+                0,
+                "{engine}/{kind} corrupted on second crash"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_core_drivers_verify_per_engine() {
+    // The Driver interleaves private instances across worker cores; engine
+    // state (TxIDs, logs, OOP region) is shared and must stay consistent.
+    let cfg = SimConfig::small_for_tests();
+    for engine in PERSISTENT_ENGINES {
+        let mut sys = build_system(engine, &cfg);
+        let mut driver = Driver::new(spec(WorkloadKind::Hashmap), &cfg);
+        driver.setup(&mut sys);
+        let report = driver.run(&mut sys, 20, 200);
+        assert_eq!(report.verify_errors, 0, "{engine} multi-core run diverged");
+        assert_eq!(report.txs, 200);
+        assert!(report.write_bytes_per_tx > 0.0);
+    }
+}
+
+#[test]
+fn hoop_matches_reference_engine_functionally() {
+    // HOOP and the Ideal system must produce identical volatile contents for
+    // the same deterministic workload (persistence must never change
+    // functional behavior).
+    let cfg = SimConfig::small_for_tests();
+    let mut reference = build_system("Ideal", &cfg);
+    let mut hoop_sys = build_system("HOOP", &cfg);
+    let s = spec(WorkloadKind::Vector);
+    let mut w1 = build_workload(s, 9);
+    let mut w2 = build_workload(s, 9);
+    w1.setup(&mut reference, CoreId(0));
+    w2.setup(&mut hoop_sys, CoreId(0));
+    for _ in 0..100 {
+        w1.run_tx(&mut reference, CoreId(0));
+        w2.run_tx(&mut hoop_sys, CoreId(0));
+    }
+    assert_eq!(w1.verify(&reference), 0);
+    assert_eq!(w2.verify(&hoop_sys), 0);
+}
