@@ -41,13 +41,14 @@ fn traffic_with(packing: bool, coalescing: bool) -> (u64, u64) {
 fn packing_ablation(c: &mut Criterion) {
     let (on, _) = traffic_with(true, true);
     let (off, _) = traffic_with(false, true);
-    println!("[ablation] data packing: {on} B slices (on) vs {off} B (off) — x{:.1}", off as f64 / on as f64);
+    println!(
+        "[ablation] data packing: {on} B slices (on) vs {off} B (off) — x{:.1}",
+        off as f64 / on as f64
+    );
     let mut group = c.benchmark_group("packing");
     group.sample_size(10);
     for (label, enabled) in [("on", true), ("off", false)] {
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(traffic_with(enabled, true)))
-        });
+        group.bench_function(label, |b| b.iter(|| black_box(traffic_with(enabled, true))));
     }
     group.finish();
 }
@@ -55,13 +56,14 @@ fn packing_ablation(c: &mut Criterion) {
 fn coalescing_ablation(c: &mut Criterion) {
     let (_, on) = traffic_with(true, true);
     let (_, off) = traffic_with(true, false);
-    println!("[ablation] GC coalescing: {on} B home writes (on) vs {off} B (off) — x{:.1}", off as f64 / on.max(1) as f64);
+    println!(
+        "[ablation] GC coalescing: {on} B home writes (on) vs {off} B (off) — x{:.1}",
+        off as f64 / on.max(1) as f64
+    );
     let mut group = c.benchmark_group("coalescing");
     group.sample_size(10);
     for (label, enabled) in [("on", true), ("off", false)] {
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(traffic_with(true, enabled)))
-        });
+        group.bench_function(label, |b| b.iter(|| black_box(traffic_with(true, enabled))));
     }
     group.finish();
 }

@@ -82,7 +82,9 @@ fn eviction_buffer(c: &mut Criterion) {
 fn zipfian(c: &mut Criterion) {
     let z = Zipfian::ycsb(1 << 20);
     let mut rng = SimRng::seed(1);
-    c.bench_function("zipfian_draw", |b| b.iter(|| black_box(z.next_scrambled(&mut rng))));
+    c.bench_function("zipfian_draw", |b| {
+        b.iter(|| black_box(z.next_scrambled(&mut rng)))
+    });
 }
 
 criterion_group!(

@@ -26,7 +26,10 @@ fn main() {
             );
             reports.push(r);
         }
-        let hoop = reports.iter().find(|r| r.engine == "HOOP").expect("HOOP ran");
+        let hoop = reports
+            .iter()
+            .find(|r| r.engine == "HOOP")
+            .expect("HOOP ran");
         for r in &reports {
             if r.engine == "HOOP" {
                 continue;

@@ -10,7 +10,10 @@ fn main() {
         let r = run_cell("HOOP", MATRIX[8], &cfg, Scale::Full);
         eprintln!(
             "period={period} thr={:.1} lat={:.0} ondemand_stall={} wr/tx={:.1}",
-            r.throughput_tx_per_ms, r.avg_tx_latency, r.ondemand_gc_stall_cycles, r.write_bytes_per_tx
+            r.throughput_tx_per_ms,
+            r.avg_tx_latency,
+            r.ondemand_gc_stall_cycles,
+            r.write_bytes_per_tx
         );
         let _ = spec_for(MATRIX[8], Scale::Full);
     }

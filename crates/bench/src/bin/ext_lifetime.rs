@@ -23,7 +23,10 @@ fn main() {
         Scale::Full => 40_000,
     };
 
-    println!("== Extension: NVM lifetime ({} / {} txs) ==", wcfg.label, txs);
+    println!(
+        "== Extension: NVM lifetime ({} / {} txs) ==",
+        wcfg.label, txs
+    );
     println!(
         "{:<10}{:>14}{:>12}{:>10}{:>16}",
         "engine", "line writes", "hottest", "skew", "lifetime vs HOOP"

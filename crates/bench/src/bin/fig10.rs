@@ -30,7 +30,11 @@ fn probe_oop_rate(wcfg: hoop_bench::WorkloadConfig, sim: &SimConfig, scale: Scal
         Scale::Full => 3 * cfg.hoop.gc_period_cycles(),
     };
     let report = driver.run_until(&mut sys, scale.warmup(), scale.measured(), min_cycles);
-    let log_bytes = sys.engine().device().traffic().written(nvm::TrafficClass::Log);
+    let log_bytes = sys
+        .engine()
+        .device()
+        .traffic()
+        .written(nvm::TrafficClass::Log);
     log_bytes as f64 / report.cycles.max(1) as f64
 }
 

@@ -28,12 +28,19 @@ fn populate(engine: &mut HoopEngine, target_bytes: u64) -> u64 {
         * engine.oop_region().block_count() as f64
         * 2.0
         * 1024.0
-        * 1024.0) < target_bytes as f64
+        * 1024.0)
+        < target_bytes as f64
     {
         let tx = engine.tx_begin(CoreId((txs % 8) as u8), now);
         for i in 0..16u64 {
             let addr = PAddr(((key + i) % 2_000_000) * 8);
-            engine.on_store(CoreId((txs % 8) as u8), tx, addr, &(txs + i).to_le_bytes(), now);
+            engine.on_store(
+                CoreId((txs % 8) as u8),
+                tx,
+                addr,
+                &(txs + i).to_le_bytes(),
+                now,
+            );
         }
         engine.tx_end(CoreId((txs % 8) as u8), tx, now + 10);
         key = key.wrapping_add(16);
@@ -53,7 +60,10 @@ fn main() {
         Scale::Quick => 8 << 20,
         Scale::Full => 128 << 20,
     };
-    println!("== Fig 11 (functional, {} MB region) ==", populate_bytes >> 20);
+    println!(
+        "== Fig 11 (functional, {} MB region) ==",
+        populate_bytes >> 20
+    );
     println!(
         "{:<10}{:>8}{:>14}{:>14}{:>12}",
         "bw_GB/s", "threads", "scanned_MB", "modeled_ms", "txs"
@@ -78,10 +88,17 @@ fn main() {
                 rep.modeled_ms,
                 rep.txs_replayed
             );
-            rows.push(format!("{bw},{threads},{},{:.3}", rep.bytes_scanned, rep.modeled_ms));
+            rows.push(format!(
+                "{bw},{threads},{},{:.3}",
+                rep.bytes_scanned, rep.modeled_ms
+            ));
         }
     }
-    write_csv("fig11_recovery_functional", "bw_gbps,threads,bytes_scanned,modeled_ms", &rows);
+    write_csv(
+        "fig11_recovery_functional",
+        "bw_gbps,threads,bytes_scanned,modeled_ms",
+        &rows,
+    );
 
     // Part 2: the paper's exact 1 GB grid from the calibrated model.
     println!("\n== Fig 11 (modeled 1 GB OOP region, as plotted in the paper) ==");
@@ -102,8 +119,15 @@ fn main() {
         println!();
         rows.push(row);
     }
-    write_csv("fig11_recovery_modeled_1gb", "bw_gbps,t1,t2,t4,t8,t16", &rows);
+    write_csv(
+        "fig11_recovery_modeled_1gb",
+        "bw_gbps,t1,t2,t4,t8,t16",
+        &rows,
+    );
     let fast = model_recovery_ms(1 << 30, 64 << 20, 8, 25.0);
     let slow = model_recovery_ms(1 << 30, 64 << 20, 8, 10.0);
-    println!("\n8 threads: {fast:.0} ms @25 GB/s (paper ~47), {:.1}x faster than 10 GB/s (paper 2.3x)", slow / fast);
+    println!(
+        "\n8 threads: {fast:.0} ms @25 GB/s (paper ~47), {:.1}x faster than 10 GB/s (paper 2.3x)",
+        slow / fast
+    );
 }

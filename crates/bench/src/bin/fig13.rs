@@ -40,5 +40,9 @@ fn main() {
             r.throughput_tx_per_ms, r.ondemand_gc_stall_cycles
         ));
     }
-    write_csv("fig13_mapping_table", "mapping_kb,tx_per_ms,ondemand_stall_cycles", &rows);
+    write_csv(
+        "fig13_mapping_table",
+        "mapping_kb,tx_per_ms,ondemand_stall_cycles",
+        &rows,
+    );
 }

@@ -7,17 +7,21 @@
 //! LAD, delivers 20.6 % less throughput than Ideal, and its critical-path
 //! latency is 24.1 % above native while 45.1/52.8/44.3/60.5/21.6 % below
 //! the baselines.
+//!
+//! Runs the engine × workload grid on worker threads (`--jobs N`) and
+//! exports `results/fig7.json` alongside the CSVs.
 
-use hoop_bench::experiments::{
-    geomean_ratio, print_normalized, run_matrix, write_csv, Scale,
-};
+use hoop_bench::experiments::{geomean_ratio, print_normalized, write_csv};
+use hoop_bench::runner::ExperimentPlan;
+use hoop_bench::RunnerOptions;
 use simcore::config::SimConfig;
 use workloads::driver::ENGINES;
 
 fn main() {
-    let sim = SimConfig::default();
-    let scale = Scale::from_args();
-    let reports = run_matrix(&sim, scale);
+    let opts = RunnerOptions::from_args();
+    let plan = ExperimentPlan::matrix("fig7", SimConfig::default(), opts.scale);
+    let cells = plan.run_and_export(opts.jobs);
+    let reports: Vec<_> = cells.into_iter().map(|c| c.report).collect();
 
     let head = format!("workload,{}", ENGINES.join(","));
     let rows = print_normalized(
@@ -69,8 +73,7 @@ fn main() {
     // §IV-C profile: loads per LLC miss and parallel-read probability.
     let hoop: Vec<_> = reports.iter().filter(|r| r.engine == "HOOP").collect();
     let lpm: f64 = hoop.iter().map(|r| r.loads_per_miss).sum::<f64>() / hoop.len() as f64;
-    let prf: f64 =
-        hoop.iter().map(|r| r.parallel_read_fraction).sum::<f64>() / hoop.len() as f64;
+    let prf: f64 = hoop.iter().map(|r| r.parallel_read_fraction).sum::<f64>() / hoop.len() as f64;
     let mr: f64 = hoop.iter().map(|r| r.llc_miss_ratio).sum::<f64>() / hoop.len() as f64;
     println!("\n== §IV-C HOOP read-path profile ==");
     println!("  loads per LLC miss     measured {lpm:.2}   paper 1.28");

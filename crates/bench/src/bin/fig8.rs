@@ -4,17 +4,21 @@
 //! Paper headline numbers (§IV-D): Opt-Redo and Opt-Undo write 2.1x and
 //! 1.9x more than HOOP; OSP, LSM and LAD write 21.2 %, 12.5 % and 11.6 %
 //! more on average.
+//!
+//! Runs the engine × workload grid on worker threads (`--jobs N`) and
+//! exports `results/fig8.json` alongside the CSV.
 
-use hoop_bench::experiments::{
-    geomean_ratio, print_normalized, run_matrix, write_csv, Scale,
-};
+use hoop_bench::experiments::{geomean_ratio, print_normalized, write_csv};
+use hoop_bench::runner::ExperimentPlan;
+use hoop_bench::RunnerOptions;
 use simcore::config::SimConfig;
 use workloads::driver::ENGINES;
 
 fn main() {
-    let sim = SimConfig::default();
-    let scale = Scale::from_args();
-    let reports = run_matrix(&sim, scale);
+    let opts = RunnerOptions::from_args();
+    let plan = ExperimentPlan::matrix("fig8", SimConfig::default(), opts.scale);
+    let cells = plan.run_and_export(opts.jobs);
+    let reports: Vec<_> = cells.into_iter().map(|c| c.report).collect();
 
     let head = format!("workload,{}", ENGINES.join(","));
     let rows = print_normalized(

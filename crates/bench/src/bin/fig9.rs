@@ -5,17 +5,21 @@
 //! and 10.8 % versus OSP, LSM and LAD (and far more versus the logging
 //! schemes), even though parallel reads and GC add read operations —
 //! because PCM array writes (16.82 pJ/bit) dwarf reads (2.47 pJ/bit).
+//!
+//! Runs the engine × workload grid on worker threads (`--jobs N`) and
+//! exports `results/fig9.json` alongside the CSV.
 
-use hoop_bench::experiments::{
-    geomean_ratio, print_normalized, run_matrix, write_csv, Scale,
-};
+use hoop_bench::experiments::{geomean_ratio, print_normalized, write_csv};
+use hoop_bench::runner::ExperimentPlan;
+use hoop_bench::RunnerOptions;
 use simcore::config::SimConfig;
 use workloads::driver::ENGINES;
 
 fn main() {
-    let sim = SimConfig::default();
-    let scale = Scale::from_args();
-    let reports = run_matrix(&sim, scale);
+    let opts = RunnerOptions::from_args();
+    let plan = ExperimentPlan::matrix("fig9", SimConfig::default(), opts.scale);
+    let cells = plan.run_and_export(opts.jobs);
+    let reports: Vec<_> = cells.into_iter().map(|c| c.report).collect();
 
     let head = format!("workload,{}", ENGINES.join(","));
     let rows = print_normalized(

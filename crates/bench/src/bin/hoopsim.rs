@@ -58,7 +58,11 @@ fn kind_of(name: &str) -> WorkloadKind {
 }
 
 fn spec_from(opts: &HashMap<String, String>) -> WorkloadSpec {
-    let kind = kind_of(opts.get("workload").map(String::as_str).unwrap_or("hashmap"));
+    let kind = kind_of(
+        opts.get("workload")
+            .map(String::as_str)
+            .unwrap_or("hashmap"),
+    );
     let mut spec = WorkloadSpec::small(kind);
     if let Some(v) = opts.get("item-bytes") {
         spec.item_bytes = v.parse().expect("--item-bytes takes a number");
@@ -76,7 +80,10 @@ fn spec_from(opts: &HashMap<String, String>) -> WorkloadSpec {
 
 fn u64_opt(opts: &HashMap<String, String>, key: &str, default: u64) -> u64 {
     opts.get(key)
-        .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} takes a number")))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} takes a number"))
+        })
         .unwrap_or(default)
 }
 
@@ -123,7 +130,10 @@ fn main() {
         "trace" => {
             let spec = spec_from(&opts);
             let txs = u64_opt(&opts, "txs", 200);
-            let out = opts.get("out").cloned().unwrap_or_else(|| "trace.txt".into());
+            let out = opts
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| "trace.txt".into());
             let cfg = SimConfig::default();
             let mut sys = build_system("Ideal", &cfg);
             let mut w = build_workload(spec, 0);
@@ -139,7 +149,10 @@ fn main() {
         }
         "replay" => {
             let engine = opts.get("engine").map(String::as_str).unwrap_or("HOOP");
-            let input = opts.get("in").cloned().unwrap_or_else(|| "trace.txt".into());
+            let input = opts
+                .get("in")
+                .cloned()
+                .unwrap_or_else(|| "trace.txt".into());
             let text = std::fs::read_to_string(&input).expect("read trace file");
             let trace = Trace::from_text(&text).expect("parse trace");
             let spec = spec_from(&opts);

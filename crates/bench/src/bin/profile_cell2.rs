@@ -5,7 +5,10 @@ use simcore::config::SimConfig;
 use workloads::driver::{build_system, Driver, ENGINES};
 
 fn main() {
-    let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let sim = SimConfig::default();
     for e in ENGINES {
         let t = std::time::Instant::now();

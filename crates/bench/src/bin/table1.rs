@@ -1,7 +1,6 @@
 //! Table I: qualitative comparison of crash-consistency techniques,
 //! generated from each engine's declared properties.
 
-
 use hoop_bench::experiments::write_csv;
 use simcore::config::SimConfig;
 use workloads::driver::build_system;

@@ -22,9 +22,19 @@ fn main() {
     for kind in WorkloadKind::ALL {
         let spec = WorkloadSpec::small(kind);
         let (stores, mix) = spec.table_iii_row();
-        println!("{:<10}{:<42}{:>11}{:>13}", kind.to_string(), desc(kind), stores, mix);
+        println!(
+            "{:<10}{:<42}{:>11}{:>13}",
+            kind.to_string(),
+            desc(kind),
+            stores,
+            mix
+        );
         rows.push(format!("{kind},{},{stores},{mix}", desc(kind)));
     }
-    write_csv("table3_benchmarks", "workload,description,stores_per_tx,write_read", &rows);
+    write_csv(
+        "table3_benchmarks",
+        "workload,description,stores_per_tx,write_read",
+        &rows,
+    );
     println!("\nDatasets: 64 B and 1 KB items (synthetic); 512 B and 1 KB values (YCSB).");
 }

@@ -4,8 +4,13 @@
 //! Paper values: ~25 % at 10 txs, ~50 % at 100, ~72 % at 1000, ~83 % at
 //! 10^4 — repeated Zipfian updates to the same lines coalesce into a single
 //! home write per GC window.
+//!
+//! Runs the (workload × transaction-count) grid on worker threads
+//! (`--jobs N`) and exports `results/table4.json` alongside the CSV.
 
-use hoop_bench::experiments::{spec_for, write_csv, Scale, MATRIX, TPCC, WorkloadConfig};
+use hoop_bench::experiments::{spec_for, write_csv, Scale, WorkloadConfig, MATRIX, TPCC};
+use hoop_bench::json::Json;
+use hoop_bench::runner::{run_parallel, RunnerOptions, RESULT_SCHEMA_VERSION};
 use simcore::config::SimConfig;
 use workloads::driver::{build_system, Driver};
 
@@ -25,7 +30,8 @@ fn reduction_for(wcfg: WorkloadConfig, txs: u64, sim: &SimConfig, scale: Scale) 
 
 fn main() {
     let sim = SimConfig::default();
-    let scale = Scale::from_args();
+    let opts = RunnerOptions::from_args();
+    let scale = opts.scale;
     let configs = [
         MATRIX[0],  // vector-64B
         MATRIX[4],  // queue-64B
@@ -41,6 +47,14 @@ fn main() {
     };
     let paper = [0.25, 0.51, 0.73, 0.83];
 
+    // Every (txs, workload) measurement is independent — run the whole grid
+    // in parallel and read it back row-major.
+    let grid: Vec<(u64, WorkloadConfig)> = counts
+        .iter()
+        .flat_map(|&n| configs.iter().map(move |&c| (n, c)))
+        .collect();
+    let reductions = run_parallel(&grid, opts.jobs, |&(n, c)| reduction_for(c, n, &sim, scale));
+
     println!("== Table IV: GC data-reduction ratio ==");
     print!("{:<9}", "txs");
     for c in configs {
@@ -48,20 +62,46 @@ fn main() {
     }
     println!("{:>10}", "paper~");
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for (i, &n) in counts.iter().enumerate() {
         print!("{n:<9}");
         let mut row = n.to_string();
-        for c in configs {
-            let red = reduction_for(c, n, &sim, scale);
+        for (j, c) in configs.iter().enumerate() {
+            let red = reductions[i * configs.len() + j];
             print!("{:>12.1}%", red * 100.0);
             row += &format!(",{red:.4}");
+            json_rows.push(Json::obj([
+                ("txs", Json::UInt(n)),
+                ("workload", Json::Str(c.label.to_string())),
+                ("gc_reduction", Json::Num(red)),
+            ]));
         }
         println!("{:>9.0}%", paper[i.min(3)] * 100.0);
         rows.push(row);
     }
-    let head = format!(
-        "txs,{}",
-        configs.map(|c| c.label).join(",")
-    );
+    let head = format!("txs,{}", configs.map(|c| c.label).join(","));
     write_csv("table4_gc_reduction", &head, &rows);
+
+    let doc = Json::obj([
+        ("schema_version", Json::UInt(RESULT_SCHEMA_VERSION)),
+        ("experiment", Json::Str("table4".to_string())),
+        (
+            "scale",
+            Json::Str(
+                match scale {
+                    Scale::Quick => "quick",
+                    Scale::Full => "full",
+                }
+                .to_string(),
+            ),
+        ),
+        ("cells", Json::Arr(json_rows)),
+    ]);
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/table4.json", doc.pretty()).is_ok()
+    {
+        eprintln!("wrote results/table4.json");
+    } else {
+        eprintln!("warning: cannot write results/table4.json");
+    }
 }

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use simcore::config::SimConfig;
-use workloads::driver::{build_system, Driver, RunReport, ENGINES};
+use workloads::driver::{RunReport, ENGINES};
 use workloads::{WorkloadKind, WorkloadSpec};
 
 /// How big to run an experiment.
@@ -68,18 +68,66 @@ pub struct WorkloadConfig {
 /// The §IV-A workload matrix: five synthetic structures with 64 B and 1 KB
 /// items, YCSB with 512 B and 1 KB values, and TPC-C New-Order.
 pub const MATRIX: [WorkloadConfig; 12] = [
-    WorkloadConfig { label: "vector-64B", kind: WorkloadKind::Vector, item_bytes: 64 },
-    WorkloadConfig { label: "vector-1KB", kind: WorkloadKind::Vector, item_bytes: 1024 },
-    WorkloadConfig { label: "hashmap-64B", kind: WorkloadKind::Hashmap, item_bytes: 64 },
-    WorkloadConfig { label: "hashmap-1KB", kind: WorkloadKind::Hashmap, item_bytes: 1024 },
-    WorkloadConfig { label: "queue-64B", kind: WorkloadKind::Queue, item_bytes: 64 },
-    WorkloadConfig { label: "queue-1KB", kind: WorkloadKind::Queue, item_bytes: 1024 },
-    WorkloadConfig { label: "rbtree-64B", kind: WorkloadKind::RbTree, item_bytes: 64 },
-    WorkloadConfig { label: "rbtree-1KB", kind: WorkloadKind::RbTree, item_bytes: 1024 },
-    WorkloadConfig { label: "btree-64B", kind: WorkloadKind::BTree, item_bytes: 64 },
-    WorkloadConfig { label: "btree-1KB", kind: WorkloadKind::BTree, item_bytes: 1024 },
-    WorkloadConfig { label: "ycsb-512B", kind: WorkloadKind::Ycsb, item_bytes: 512 },
-    WorkloadConfig { label: "ycsb-1KB", kind: WorkloadKind::Ycsb, item_bytes: 1024 },
+    WorkloadConfig {
+        label: "vector-64B",
+        kind: WorkloadKind::Vector,
+        item_bytes: 64,
+    },
+    WorkloadConfig {
+        label: "vector-1KB",
+        kind: WorkloadKind::Vector,
+        item_bytes: 1024,
+    },
+    WorkloadConfig {
+        label: "hashmap-64B",
+        kind: WorkloadKind::Hashmap,
+        item_bytes: 64,
+    },
+    WorkloadConfig {
+        label: "hashmap-1KB",
+        kind: WorkloadKind::Hashmap,
+        item_bytes: 1024,
+    },
+    WorkloadConfig {
+        label: "queue-64B",
+        kind: WorkloadKind::Queue,
+        item_bytes: 64,
+    },
+    WorkloadConfig {
+        label: "queue-1KB",
+        kind: WorkloadKind::Queue,
+        item_bytes: 1024,
+    },
+    WorkloadConfig {
+        label: "rbtree-64B",
+        kind: WorkloadKind::RbTree,
+        item_bytes: 64,
+    },
+    WorkloadConfig {
+        label: "rbtree-1KB",
+        kind: WorkloadKind::RbTree,
+        item_bytes: 1024,
+    },
+    WorkloadConfig {
+        label: "btree-64B",
+        kind: WorkloadKind::BTree,
+        item_bytes: 64,
+    },
+    WorkloadConfig {
+        label: "btree-1KB",
+        kind: WorkloadKind::BTree,
+        item_bytes: 1024,
+    },
+    WorkloadConfig {
+        label: "ycsb-512B",
+        kind: WorkloadKind::Ycsb,
+        item_bytes: 512,
+    },
+    WorkloadConfig {
+        label: "ycsb-1KB",
+        kind: WorkloadKind::Ycsb,
+        item_bytes: 1024,
+    },
 ];
 
 /// TPC-C appears once (row width is fixed by the schema).
@@ -111,43 +159,26 @@ pub fn spec_for(cfg: WorkloadConfig, scale: Scale) -> WorkloadSpec {
     }
 }
 
-/// Runs one (engine, workload) cell and returns its report. At
+/// Runs one (engine, workload) cell and returns its report, using the
+/// cell's identity-derived seed (see
+/// [`derive_cell_seed`](crate::runner::derive_cell_seed)). At
 /// [`Scale::Full`] the measured window is extended until it spans several
 /// background GC/checkpoint periods, so steady-state traffic (not just
 /// end-of-run drains) is captured.
-pub fn run_cell(
-    engine: &str,
-    wcfg: WorkloadConfig,
-    sim: &SimConfig,
-    scale: Scale,
-) -> RunReport {
-    let spec = spec_for(wcfg, scale);
-    let mut sys = build_system(engine, sim);
-    let mut driver = Driver::new(spec, sim);
-    driver.setup(&mut sys);
-    let min_cycles = match scale {
-        Scale::Quick => 0,
-        Scale::Full => 3 * sim.hoop.gc_period_cycles(),
-    };
-    let mut report = driver.run_until(&mut sys, scale.warmup(), scale.measured(), min_cycles);
-    report.workload = wcfg.label.to_string();
-    report
+pub fn run_cell(engine: &str, wcfg: WorkloadConfig, sim: &SimConfig, scale: Scale) -> RunReport {
+    let seed = crate::runner::derive_cell_seed(engine, wcfg.label);
+    crate::runner::run_cell_seeded(engine, wcfg, sim, scale, seed)
 }
 
-/// Runs the full engine × workload matrix (Fig. 7/8/9 share these runs).
+/// Runs the full engine × workload matrix serially (Fig. 7/8/9 share these
+/// runs; their binaries use [`ExperimentPlan`](crate::runner::ExperimentPlan)
+/// directly to run the same grid on worker threads).
 pub fn run_matrix(sim: &SimConfig, scale: Scale) -> Vec<RunReport> {
-    let mut out = Vec::new();
-    let mut configs: Vec<WorkloadConfig> = MATRIX.to_vec();
-    configs.push(TPCC);
-    for wcfg in configs {
-        for engine in ENGINES {
-            let r = run_cell(engine, wcfg, sim, scale);
-            eprintln!("  {}", r.summary());
-            assert_eq!(r.verify_errors, 0, "{engine}/{} corrupted data", wcfg.label);
-            out.push(r);
-        }
-    }
-    out
+    crate::runner::ExperimentPlan::matrix("matrix", *sim, scale)
+        .run(1)
+        .into_iter()
+        .map(|c| c.report)
+        .collect()
 }
 
 /// Finds the report of `engine` for `workload` in a matrix result.

@@ -1,0 +1,155 @@
+//! A tiny, dependency-free JSON writer for structured metrics export.
+//!
+//! The build environment is hermetic (no crates.io access), so instead of
+//! `serde_json` the harness serializes through this module. Output is fully
+//! deterministic: object keys keep insertion order, integers print exactly,
+//! and floats use Rust's shortest round-trip formatting — so two runs that
+//! measure the same numbers produce byte-identical files, which is what the
+//! runner's determinism test and CI artifact diffing rely on.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact unsigned integer (u64 counters must not round-trip via f64).
+    UInt(u64),
+    /// A finite float (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize_exactly() {
+        assert_eq!(Json::Null.pretty(), "null\n");
+        assert_eq!(Json::Bool(true).pretty(), "true\n");
+        assert_eq!(Json::UInt(u64::MAX).pretty(), "18446744073709551615\n");
+        assert_eq!(Json::Num(0.5).pretty(), "0.5\n");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).pretty(),
+            "\"a\\\"b\\\\c\\nd\\u0001\"\n"
+        );
+    }
+
+    #[test]
+    fn nested_structure_is_stable() {
+        let v = Json::obj([
+            ("name", Json::Str("fig7".into())),
+            ("cells", Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
+            ("empty", Json::Obj(Vec::new())),
+        ]);
+        let expected =
+            "{\n  \"name\": \"fig7\",\n  \"cells\": [\n    1,\n    2\n  ],\n  \"empty\": {}\n}\n";
+        assert_eq!(v.pretty(), expected);
+    }
+}

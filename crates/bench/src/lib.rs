@@ -2,13 +2,19 @@
 //! paper's evaluation (§IV).
 //!
 //! Each `fig*`/`table*` binary in `src/bin/` prints the rows/series the
-//! paper reports and writes a CSV under `results/`. The shared machinery —
-//! workload matrix, engine sweep, normalization — lives in [`experiments`].
-//! Criterion micro/ablation benches are under `benches/`.
+//! paper reports, writes a CSV under `results/`, and (for the ported
+//! figures) a schema-versioned `results/*.json` metrics document. The
+//! shared machinery — workload matrix, engine sweep, normalization — lives
+//! in [`experiments`]; parallel cell execution and structured export live
+//! in [`runner`] and [`json`]. Criterion micro/ablation benches are under
+//! `benches/`.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
+pub mod runner;
 
 pub use experiments::{Scale, WorkloadConfig};
+pub use runner::{CellResult, ExperimentPlan, RunnerOptions};

@@ -1,0 +1,458 @@
+//! Parallel experiment runner.
+//!
+//! Every figure/table of the paper sweeps the same kind of grid: an engine ×
+//! workload (× swept parameter) matrix where each cell owns a private
+//! [`System`](engines::system::System) and
+//! [`Driver`](workloads::driver::Driver) — cells share nothing, so they are
+//! embarrassingly parallel. This module runs a plan's cells across worker
+//! threads (`--jobs N`) while keeping results **bit-identical to a serial
+//! run**:
+//!
+//! - each cell's workload seed is derived from its `(engine, workload)`
+//!   identity — never from execution order, thread id, or time;
+//! - results are collected by cell index, so output order is the plan order
+//!   regardless of which thread finished first.
+//!
+//! [`CellResult`]s carry the full [`RunReport`] including the raw
+//! [`EngineStats`](engines::EngineStats) and
+//! [`HierStats`](memhier::HierStats) counter snapshots, and serialize to a
+//! schema-versioned JSON document (see [`write_json`]) that CI uploads as an
+//! artifact and trajectory tooling can diff across commits.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use simcore::config::SimConfig;
+use workloads::driver::{build_system, Driver, RunReport, ENGINES};
+
+use crate::experiments::{spec_for, Scale, WorkloadConfig, MATRIX, TPCC};
+use crate::json::Json;
+
+/// Version of the `results/*.json` document layout. Bump when renaming or
+/// removing fields (adding fields is backward compatible).
+pub const RESULT_SCHEMA_VERSION: u64 = 1;
+
+/// Command-line options shared by every figure/table binary:
+/// `--quick`/`--full` selects the [`Scale`], `--jobs N` the worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerOptions {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Worker threads for cell execution.
+    pub jobs: usize,
+}
+
+impl RunnerOptions {
+    /// Parses `--quick` / `--full` / `--jobs N` (or `--jobs=N`) from argv.
+    /// Defaults: full scale, all available cores.
+    pub fn from_args() -> RunnerOptions {
+        let args: Vec<String> = std::env::args().collect();
+        RunnerOptions {
+            scale: Scale::from_args(),
+            jobs: parse_jobs(&args).unwrap_or_else(default_jobs),
+        }
+    }
+}
+
+fn parse_jobs(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let n = it.next().and_then(|v| v.parse().ok());
+            return Some(
+                n.filter(|&n| n > 0)
+                    .unwrap_or_else(|| panic!("--jobs needs a positive integer")),
+            );
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            let n: Option<usize> = v.parse().ok();
+            return Some(
+                n.filter(|&n| n > 0)
+                    .unwrap_or_else(|| panic!("--jobs needs a positive integer")),
+            );
+        }
+    }
+    None
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Deterministic per-cell workload seed, derived purely from the cell's
+/// identity (FNV-1a over `engine` and `label`) so every cell draws an
+/// independent random stream and parallel execution cannot perturb it. The
+/// per-worker `stream` split happens inside the workloads
+/// (`SimRng::seed(seed).fork(stream)`).
+pub fn derive_cell_seed(engine: &str, label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in engine.bytes().chain([0u8]).chain(label.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One cell of an experiment grid.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// Engine name (must be known to `build_system`).
+    pub engine: &'static str,
+    /// Workload column.
+    pub workload: WorkloadConfig,
+}
+
+/// Result of one executed cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Workload label.
+    pub workload: &'static str,
+    /// The seed the cell's workloads drew from.
+    pub seed: u64,
+    /// The full measurement report (metrics + raw counter snapshots).
+    pub report: RunReport,
+}
+
+impl CellResult {
+    /// Serializes the cell (metrics, engine counters, hierarchy counters,
+    /// engine-specific extras) as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let r = &self.report;
+        let es = &r.engine_stats;
+        let hs = &r.hier_stats;
+        Json::obj([
+            ("engine", Json::Str(self.engine.to_string())),
+            ("workload", Json::Str(self.workload.to_string())),
+            ("seed", Json::UInt(self.seed)),
+            (
+                "metrics",
+                Json::obj([
+                    ("txs", Json::UInt(r.txs)),
+                    ("cycles", Json::UInt(r.cycles)),
+                    ("throughput_tx_per_ms", Json::Num(r.throughput_tx_per_ms)),
+                    ("avg_tx_latency_cycles", Json::Num(r.avg_tx_latency)),
+                    ("write_bytes_per_tx", Json::Num(r.write_bytes_per_tx)),
+                    ("read_bytes_per_tx", Json::Num(r.read_bytes_per_tx)),
+                    ("energy_pj_per_tx", Json::Num(r.energy_pj_per_tx)),
+                    ("llc_miss_ratio", Json::Num(r.llc_miss_ratio)),
+                    ("loads_per_miss", Json::Num(r.loads_per_miss)),
+                    (
+                        "parallel_read_fraction",
+                        Json::Num(r.parallel_read_fraction),
+                    ),
+                    ("gc_reduction", Json::Num(r.gc_reduction)),
+                    (
+                        "ondemand_gc_stall_cycles",
+                        Json::UInt(r.ondemand_gc_stall_cycles),
+                    ),
+                    ("verify_errors", Json::UInt(r.verify_errors as u64)),
+                ]),
+            ),
+            (
+                "engine_stats",
+                Json::obj([
+                    ("committed_txs", Json::UInt(es.committed_txs.get())),
+                    (
+                        "commit_stall_cycles",
+                        Json::UInt(es.commit_stall_cycles.get()),
+                    ),
+                    (
+                        "store_overhead_cycles",
+                        Json::UInt(es.store_overhead_cycles.get()),
+                    ),
+                    (
+                        "miss_service_cycles",
+                        Json::UInt(es.miss_service_cycles.get()),
+                    ),
+                    ("misses_served", Json::UInt(es.misses_served.get())),
+                    ("parallel_reads", Json::UInt(es.parallel_reads.get())),
+                    ("miss_memory_loads", Json::UInt(es.miss_memory_loads.get())),
+                    ("gc_runs", Json::UInt(es.gc_runs.get())),
+                    ("gc_bytes_in", Json::UInt(es.gc_bytes_in.get())),
+                    ("gc_bytes_out", Json::UInt(es.gc_bytes_out.get())),
+                    (
+                        "ondemand_gc_stall_cycles",
+                        Json::UInt(es.ondemand_gc_stall_cycles.get()),
+                    ),
+                ]),
+            ),
+            (
+                "hier_stats",
+                Json::obj([
+                    ("accesses", Json::UInt(hs.accesses.get())),
+                    ("l1_hits", Json::UInt(hs.l1_hits.get())),
+                    ("l2_hits", Json::UInt(hs.l2_hits.get())),
+                    ("llc_hits", Json::UInt(hs.llc_hits.get())),
+                    ("llc_misses", Json::UInt(hs.llc_misses.get())),
+                    ("dirty_evictions", Json::UInt(hs.dirty_evictions.get())),
+                ]),
+            ),
+            (
+                "extra_metrics",
+                Json::Obj(
+                    r.extra_metrics
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A named grid of cells to execute at one scale.
+#[derive(Clone, Debug)]
+pub struct ExperimentPlan {
+    /// Experiment name (`fig7`, `table4`, ...) — also the JSON file stem.
+    pub name: &'static str,
+    /// The cells, in output order.
+    pub cells: Vec<Cell>,
+    /// Machine configuration shared by all cells.
+    pub sim: SimConfig,
+    /// Scale of every cell.
+    pub scale: Scale,
+}
+
+impl ExperimentPlan {
+    /// The §IV-A grid shared by Fig. 7/8/9: the full workload matrix
+    /// (including TPC-C) × every engine.
+    pub fn matrix(name: &'static str, sim: SimConfig, scale: Scale) -> ExperimentPlan {
+        let mut cells = Vec::new();
+        for wcfg in MATRIX.into_iter().chain([TPCC]) {
+            for engine in ENGINES {
+                cells.push(Cell {
+                    engine,
+                    workload: wcfg,
+                });
+            }
+        }
+        ExperimentPlan {
+            name,
+            cells,
+            sim,
+            scale,
+        }
+    }
+
+    /// A plan over an explicit cell list.
+    pub fn from_cells(
+        name: &'static str,
+        cells: Vec<Cell>,
+        sim: SimConfig,
+        scale: Scale,
+    ) -> ExperimentPlan {
+        ExperimentPlan {
+            name,
+            cells,
+            sim,
+            scale,
+        }
+    }
+
+    /// Executes every cell on `jobs` worker threads and returns results in
+    /// plan order. Panics (after joining workers) if any cell failed
+    /// verification — a corrupted cell must never silently enter results.
+    pub fn run(&self, jobs: usize) -> Vec<CellResult> {
+        let results = run_parallel(&self.cells, jobs, |cell| {
+            let seed = derive_cell_seed(cell.engine, cell.workload.label);
+            let report = run_cell_seeded(cell.engine, cell.workload, &self.sim, self.scale, seed);
+            eprintln!("  {}", report.summary());
+            CellResult {
+                engine: cell.engine,
+                workload: cell.workload.label,
+                seed,
+                report,
+            }
+        });
+        for r in &results {
+            assert_eq!(
+                r.report.verify_errors, 0,
+                "{}/{} corrupted data",
+                r.engine, r.workload
+            );
+        }
+        results
+    }
+
+    /// Runs the plan and writes `results/<name>.json`; returns the results.
+    pub fn run_and_export(&self, jobs: usize) -> Vec<CellResult> {
+        let results = self.run(jobs);
+        write_json(self.name, self.scale, &results);
+        results
+    }
+}
+
+/// Runs one (engine, workload) cell with an explicit workload seed.
+pub fn run_cell_seeded(
+    engine: &str,
+    wcfg: WorkloadConfig,
+    sim: &SimConfig,
+    scale: Scale,
+    seed: u64,
+) -> RunReport {
+    let mut spec = spec_for(wcfg, scale);
+    spec.seed = seed;
+    let mut sys = build_system(engine, sim);
+    let mut driver = Driver::new(spec, sim);
+    driver.setup(&mut sys);
+    let min_cycles = match scale {
+        Scale::Quick => 0,
+        Scale::Full => 3 * sim.hoop.gc_period_cycles(),
+    };
+    let mut report = driver.run_until(&mut sys, scale.warmup(), scale.measured(), min_cycles);
+    report.workload = wcfg.label.to_string();
+    report
+}
+
+/// Maps `f` over `items` on `jobs` worker threads, returning results in
+/// input order. Workers pull the next unclaimed index from a shared atomic
+/// cursor, so scheduling is dynamic but the output is order-stable — calling
+/// with `jobs = 1` and `jobs = N` yields identical vectors whenever `f` is
+/// deterministic per item.
+pub fn run_parallel<I, T, F>(items: &[I], jobs: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    assert!(jobs > 0, "need at least one worker");
+    let jobs = jobs.min(items.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let result = f(&items[idx]);
+                slots.lock().expect("runner mutex poisoned")[idx] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("runner mutex poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("worker skipped a cell"))
+        .collect()
+}
+
+/// Serializes experiment results as the schema-versioned document written to
+/// `results/<name>.json`.
+pub fn results_json(name: &str, scale: Scale, results: &[CellResult]) -> Json {
+    Json::obj([
+        ("schema_version", Json::UInt(RESULT_SCHEMA_VERSION)),
+        ("experiment", Json::Str(name.to_string())),
+        (
+            "scale",
+            Json::Str(
+                match scale {
+                    Scale::Quick => "quick",
+                    Scale::Full => "full",
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "cells",
+            Json::Arr(results.iter().map(CellResult::to_json).collect()),
+        ),
+    ])
+}
+
+/// Writes `results/<name>.json` (best effort, like
+/// [`write_csv`](crate::experiments::write_csv): read-only checkouts only
+/// get a warning).
+pub fn write_json(name: &str, scale: Scale, results: &[CellResult]) {
+    let doc = results_json(name, scale, results).pretty();
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: cannot create results/, skipping JSON for {name}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if std::fs::write(&path, doc).is_ok() {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The determinism contract: a 2×2 Quick sub-matrix must produce
+    /// byte-identical JSON under serial and parallel execution.
+    #[test]
+    fn jobs1_and_jobs4_produce_identical_json() {
+        let sim = SimConfig::small_for_tests();
+        let cells: Vec<Cell> = ["HOOP", "Opt-Redo"]
+            .into_iter()
+            .flat_map(|engine| {
+                [MATRIX[0], MATRIX[2]]
+                    .into_iter()
+                    .map(move |workload| Cell { engine, workload })
+            })
+            .collect();
+        let plan = ExperimentPlan::from_cells("determinism", cells, sim, Scale::Quick);
+        let serial = results_json("determinism", Scale::Quick, &plan.run(1)).pretty();
+        let parallel = results_json("determinism", Scale::Quick, &plan.run(4)).pretty();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn run_parallel_preserves_input_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let doubled = run_parallel(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cell_seeds_are_identity_derived_and_distinct() {
+        let a = derive_cell_seed("HOOP", "vector-64B");
+        assert_eq!(a, derive_cell_seed("HOOP", "vector-64B"));
+        assert_ne!(a, derive_cell_seed("HOOP", "vector-1KB"));
+        assert_ne!(a, derive_cell_seed("Ideal", "vector-64B"));
+        // The separator byte keeps (engine, label) unambiguous.
+        assert_ne!(derive_cell_seed("a", "bc"), derive_cell_seed("ab", "c"));
+    }
+
+    #[test]
+    fn jobs_flag_parses_both_forms() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_jobs(&to_args(&["bin", "--jobs", "4"])), Some(4));
+        assert_eq!(
+            parse_jobs(&to_args(&["bin", "--jobs=2", "--quick"])),
+            Some(2)
+        );
+        assert_eq!(parse_jobs(&to_args(&["bin", "--quick"])), None);
+    }
+
+    #[test]
+    fn cell_result_json_is_schema_versioned() {
+        let sim = SimConfig::small_for_tests();
+        let plan = ExperimentPlan::from_cells(
+            "schema",
+            vec![Cell {
+                engine: "Ideal",
+                workload: MATRIX[0],
+            }],
+            sim,
+            Scale::Quick,
+        );
+        let doc = results_json("schema", Scale::Quick, &plan.run(1)).pretty();
+        assert!(doc.starts_with("{\n  \"schema_version\": 1,"));
+        for key in [
+            "\"metrics\"",
+            "\"engine_stats\"",
+            "\"hier_stats\"",
+            "\"seed\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+    }
+}

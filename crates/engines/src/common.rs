@@ -47,9 +47,13 @@ impl ControllerBase {
 
     /// Serves an LLC miss with a single home-region read.
     pub fn serve_miss_from_home(&mut self, line: Line, now: Cycle) -> MissFill {
-        let out = self
-            .device
-            .access(now, line.base(), CACHE_LINE_BYTES, Op::Read, TrafficClass::Data);
+        let out = self.device.access(
+            now,
+            line.base(),
+            CACHE_LINE_BYTES,
+            Op::Read,
+            TrafficClass::Data,
+        );
         let latency = out.latency(now);
         self.stats.misses_served.inc();
         self.stats.miss_memory_loads.inc();
@@ -70,19 +74,35 @@ impl ControllerBase {
 
     /// Issues a pipelined write burst of `bytes` at `base` and returns the
     /// completion cycle (channel occupancy plus one device write latency).
-    pub fn write_burst(&mut self, base: PAddr, bytes: u64, now: Cycle, class: TrafficClass) -> Cycle {
+    pub fn write_burst(
+        &mut self,
+        base: PAddr,
+        bytes: u64,
+        now: Cycle,
+        class: TrafficClass,
+    ) -> Cycle {
         if bytes == 0 {
             return now;
         }
-        self.device.access(now, base, bytes, Op::Write, class).complete
+        self.device
+            .access(now, base, bytes, Op::Write, class)
+            .complete
     }
 
     /// Issues a pipelined read burst and returns the completion cycle.
-    pub fn read_burst(&mut self, base: PAddr, bytes: u64, now: Cycle, class: TrafficClass) -> Cycle {
+    pub fn read_burst(
+        &mut self,
+        base: PAddr,
+        bytes: u64,
+        now: Cycle,
+        class: TrafficClass,
+    ) -> Cycle {
         if bytes == 0 {
             return now;
         }
-        self.device.access(now, base, bytes, Op::Read, class).complete
+        self.device
+            .access(now, base, bytes, Op::Read, class)
+            .complete
     }
 
     /// Issues a large background transfer as 4 KB chunks staggered across

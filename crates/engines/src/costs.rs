@@ -87,6 +87,6 @@ mod tests {
 
     #[test]
     fn shootdown_dominates_sram() {
-        assert!(TLB_SHOOTDOWN > 100 * MAPPING_TABLE_LOOKUP);
+        const { assert!(TLB_SHOOTDOWN > 100 * MAPPING_TABLE_LOOKUP) }
     }
 }

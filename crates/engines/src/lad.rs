@@ -8,7 +8,7 @@
 //! commit. HOOP beats it by persisting at *word* granularity with packing
 //! (§IV-B: "LAD ... persists updated data at cache-line granularity").
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use nvm::{NvmDevice, PersistentStore, TrafficClass};
 use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
@@ -32,7 +32,7 @@ const COMMIT_PROTOCOL_CYCLES: Cycle = 40;
 pub struct LadEngine {
     base: ControllerBase,
     /// Volatile controller queues: per-transaction line images.
-    active: HashMap<TxId, HashMap<u64, LineImage>>,
+    active: DetHashMap<TxId, DetHashMap<u64, LineImage>>,
 }
 
 impl LadEngine {
@@ -40,7 +40,7 @@ impl LadEngine {
     pub fn new(cfg: &SimConfig) -> Self {
         LadEngine {
             base: ControllerBase::new(cfg),
-            active: HashMap::new(),
+            active: DetHashMap::default(),
         }
     }
 }
@@ -65,18 +65,20 @@ impl PersistenceEngine for LadEngine {
 
     fn tx_begin(&mut self, _core: CoreId, _now: Cycle) -> TxId {
         let tx = self.base.alloc_tx();
-        self.active.insert(tx, HashMap::new());
+        self.active.insert(tx, DetHashMap::default());
         tx
     }
 
-    fn on_store(&mut self, _core: CoreId, tx: TxId, addr: PAddr, data: &[u8], _now: Cycle) -> Cycle {
+    fn on_store(
+        &mut self,
+        _core: CoreId,
+        tx: TxId,
+        addr: PAddr,
+        data: &[u8],
+        _now: Cycle,
+    ) -> Cycle {
         let bases: Vec<(Line, LineImage)> = lines_covering(addr, data.len() as u64)
-            .map(|l| {
-                (
-                    l,
-                    to_line_image(&self.base.store.read_vec(l.base(), 64)),
-                )
-            })
+            .map(|l| (l, to_line_image(&self.base.store.read_vec(l.base(), 64))))
             .collect();
         let entry = self.active.get_mut(&tx).expect("store outside tx");
         let mut off = 0usize;
@@ -89,7 +91,10 @@ impl PersistenceEngine for LadEngine {
             img[lo..hi].copy_from_slice(&data[off..off + (hi - lo)]);
             off += hi - lo;
         }
-        self.base.stats.store_overhead_cycles.add(costs::LAD_QUEUE_APPEND);
+        self.base
+            .stats
+            .store_overhead_cycles
+            .add(costs::LAD_QUEUE_APPEND);
         costs::LAD_QUEUE_APPEND
     }
 

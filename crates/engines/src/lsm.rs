@@ -7,7 +7,7 @@
 //! software address translation that walks the index (§II-B), and a
 //! background GC migrates log data to home locations to bound log growth.
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES, WORD_BYTES};
@@ -54,9 +54,9 @@ pub struct LsmEngine {
     /// Volatile DRAM index: home line -> newest log sequence number.
     index: SkipList,
     /// Volatile: newest committed value per word address.
-    newest: HashMap<u64, u64>,
+    newest: DetHashMap<u64, u64>,
     /// Volatile: open transactions' word updates.
-    active: HashMap<TxId, HashMap<u64, u64>>,
+    active: DetHashMap<TxId, DetHashMap<u64, u64>>,
     /// Line-touch bytes committed since the last GC (for the reduction
     /// ratio).
     bytes_since_gc: u64,
@@ -76,8 +76,8 @@ impl LsmEngine {
             log_head: 0,
             log: Vec::new(),
             index: SkipList::new(),
-            newest: HashMap::new(),
-            active: HashMap::new(),
+            newest: DetHashMap::default(),
+            active: DetHashMap::default(),
             bytes_since_gc: 0,
             next_gc: gc_period,
             gc_period,
@@ -111,7 +111,7 @@ impl LsmEngine {
             Op::Read,
             TrafficClass::Gc,
         );
-        let mut lines: HashMap<u64, [u8; 64]> = HashMap::new();
+        let mut lines: DetHashMap<u64, [u8; 64]> = DetHashMap::default();
         for (word, value) in self.newest.drain() {
             let line = Line(word / CACHE_LINE_BYTES);
             let img = lines.entry(line.0).or_insert_with(|| {
@@ -164,11 +164,18 @@ impl PersistenceEngine for LsmEngine {
 
     fn tx_begin(&mut self, _core: CoreId, _now: Cycle) -> TxId {
         let tx = self.base.alloc_tx();
-        self.active.insert(tx, HashMap::new());
+        self.active.insert(tx, DetHashMap::default());
         tx
     }
 
-    fn on_store(&mut self, _core: CoreId, tx: TxId, addr: PAddr, data: &[u8], _now: Cycle) -> Cycle {
+    fn on_store(
+        &mut self,
+        _core: CoreId,
+        tx: TxId,
+        addr: PAddr,
+        data: &[u8],
+        _now: Cycle,
+    ) -> Cycle {
         // Split the store into word updates (read-merge at the edges).
         let mut updates: Vec<(u64, u64)> = Vec::new();
         let mut pos = addr.0;
@@ -260,7 +267,7 @@ impl PersistenceEngine for LsmEngine {
     fn tx_end(&mut self, _core: CoreId, tx: TxId, now: Cycle) -> CommitOutcome {
         let words = self.active.remove(&tx).expect("commit of unknown tx");
         // Group words by line into log records.
-        let mut per_line: HashMap<u64, Vec<(u8, u64)>> = HashMap::new();
+        let mut per_line: DetHashMap<u64, Vec<(u8, u64)>> = DetHashMap::default();
         for (w, v) in &words {
             per_line
                 .entry(*w / CACHE_LINE_BYTES)

@@ -60,14 +60,25 @@ impl PersistenceEngine for NativeEngine {
         id
     }
 
-    fn on_store(&mut self, _core: CoreId, _tx: TxId, _addr: PAddr, _data: &[u8], _now: Cycle) -> Cycle {
+    fn on_store(
+        &mut self,
+        _core: CoreId,
+        _tx: TxId,
+        _addr: PAddr,
+        _data: &[u8],
+        _now: Cycle,
+    ) -> Cycle {
         0
     }
 
     fn on_llc_miss(&mut self, _core: CoreId, line: Line, now: Cycle) -> MissFill {
-        let out = self
-            .device
-            .access(now, line.base(), CACHE_LINE_BYTES, Op::Read, TrafficClass::Data);
+        let out = self.device.access(
+            now,
+            line.base(),
+            CACHE_LINE_BYTES,
+            Op::Read,
+            TrafficClass::Data,
+        );
         let latency = out.latency(now);
         self.stats.misses_served.inc();
         self.stats.miss_memory_loads.inc();
@@ -79,8 +90,13 @@ impl PersistenceEngine for NativeEngine {
     }
 
     fn on_evict_dirty(&mut self, line: Line, _persistent: bool, line_data: &[u8], now: Cycle) {
-        self.device
-            .access(now, line.base(), CACHE_LINE_BYTES, Op::Write, TrafficClass::Data);
+        self.device.access(
+            now,
+            line.base(),
+            CACHE_LINE_BYTES,
+            Op::Write,
+            TrafficClass::Data,
+        );
         self.store.write_bytes(line.base(), line_data);
     }
 

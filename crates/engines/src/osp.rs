@@ -8,7 +8,7 @@
 //! consolidation copies data to keep pages dense (§IV-B lists both as OSP's
 //! costs).
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use nvm::{NvmDevice, PersistentStore, TrafficClass};
 use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
@@ -48,7 +48,7 @@ pub struct OspEngine {
     base: ControllerBase,
     shadow_region: PAddr,
     /// Volatile: open transactions' shadow lines.
-    active: HashMap<TxId, HashMap<u64, TxLine>>,
+    active: DetHashMap<TxId, DetHashMap<u64, TxLine>>,
     lines_since_consolidation: u64,
 }
 
@@ -60,13 +60,14 @@ impl OspEngine {
         OspEngine {
             base: ControllerBase::new(cfg),
             shadow_region,
-            active: HashMap::new(),
+            active: DetHashMap::default(),
             lines_since_consolidation: 0,
         }
     }
 
     fn shadow_addr(&self, line: Line) -> PAddr {
-        self.shadow_region.offset((line.0 * CACHE_LINE_BYTES) & ((1 << 36) - 1))
+        self.shadow_region
+            .offset((line.0 * CACHE_LINE_BYTES) & ((1 << 36) - 1))
     }
 }
 
@@ -90,7 +91,7 @@ impl PersistenceEngine for OspEngine {
 
     fn tx_begin(&mut self, _core: CoreId, _now: Cycle) -> TxId {
         let tx = self.base.alloc_tx();
-        self.active.insert(tx, HashMap::new());
+        self.active.insert(tx, DetHashMap::default());
         tx
     }
 
@@ -181,11 +182,14 @@ impl PersistenceEngine for OspEngine {
         for t in lines.values() {
             done = done.max(t.persisted_at);
         }
-        done = self
-            .base
-            .write_burst(self.shadow_region, n * COMMIT_META_BYTES, done, TrafficClass::Metadata);
-        let mut latency = done.saturating_sub(now)
-            + (costs::TLB_SHOOTDOWN as f64 * SHOOTDOWN_FRACTION) as Cycle;
+        done = self.base.write_burst(
+            self.shadow_region,
+            n * COMMIT_META_BYTES,
+            done,
+            TrafficClass::Metadata,
+        );
+        let mut latency =
+            done.saturating_sub(now) + (costs::TLB_SHOOTDOWN as f64 * SHOOTDOWN_FRACTION) as Cycle;
 
         // Flipping the committed copy makes the shadow data the new home
         // image.

@@ -8,7 +8,7 @@
 //! truncated. Reads of lines whose newest value is still only in the log
 //! must consult the log (Table I: high read latency).
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
@@ -49,9 +49,9 @@ pub struct OptRedoEngine {
     /// Durable: committed, not-yet-checkpointed records in commit order.
     log: Vec<RedoRecord>,
     /// Volatile: write sets of open transactions.
-    active: HashMap<TxId, HashMap<u64, LineImage>>,
+    active: DetHashMap<TxId, DetHashMap<u64, LineImage>>,
     /// Volatile: newest committed image per line awaiting checkpoint.
-    pending: HashMap<u64, LineImage>,
+    pending: DetHashMap<u64, LineImage>,
     next_checkpoint: Cycle,
     checkpoint_period: Cycle,
 }
@@ -67,8 +67,8 @@ impl OptRedoEngine {
             log_region,
             log_head: 0,
             log: Vec::new(),
-            active: HashMap::new(),
-            pending: HashMap::new(),
+            active: DetHashMap::default(),
+            pending: DetHashMap::default(),
             next_checkpoint: period,
             checkpoint_period: period,
         }
@@ -127,11 +127,18 @@ impl PersistenceEngine for OptRedoEngine {
 
     fn tx_begin(&mut self, _core: CoreId, _now: Cycle) -> TxId {
         let tx = self.base.alloc_tx();
-        self.active.insert(tx, HashMap::new());
+        self.active.insert(tx, DetHashMap::default());
         tx
     }
 
-    fn on_store(&mut self, _core: CoreId, tx: TxId, addr: PAddr, data: &[u8], _now: Cycle) -> Cycle {
+    fn on_store(
+        &mut self,
+        _core: CoreId,
+        tx: TxId,
+        addr: PAddr,
+        data: &[u8],
+        _now: Cycle,
+    ) -> Cycle {
         let newest: Vec<(Line, LineImage)> = lines_covering(addr, data.len() as u64)
             .map(|l| (l, self.newest_line(l)))
             .collect();
@@ -264,12 +271,12 @@ impl PersistenceEngine for OptRedoEngine {
     }
 }
 
-/// Small helper: `HashMap::entry(...).or_insert(...)` with a default image.
+/// Small helper: `DetHashMap::entry(...).or_insert(...)` with a default image.
 trait LinesEntry {
     fn lines_entry(&mut self, line: u64, default: LineImage) -> &mut LineImage;
 }
 
-impl LinesEntry for HashMap<u64, LineImage> {
+impl LinesEntry for DetHashMap<u64, LineImage> {
     fn lines_entry(&mut self, line: u64, default: LineImage) -> &mut LineImage {
         self.entry(line).or_insert(default)
     }
@@ -347,7 +354,10 @@ mod tests {
         e.drain(1000);
         let before_home = e.device().traffic().read(TrafficClass::Data);
         e.on_llc_miss(CoreId(0), Line(0), 30);
-        assert_eq!(e.device().traffic().read(TrafficClass::Data), before_home + 64);
+        assert_eq!(
+            e.device().traffic().read(TrafficClass::Data),
+            before_home + 64
+        );
     }
 
     #[test]

@@ -148,8 +148,7 @@ impl SkipList {
                 (self.nodes.len() - 1) as u32
             }
         };
-        for lvl in 0..height {
-            let pred = preds[lvl];
+        for (lvl, &pred) in preds.iter().enumerate().take(height) {
             if pred == NIL {
                 self.nodes[idx as usize].next[lvl] = self.head[lvl];
                 self.head[lvl] = idx;
@@ -171,8 +170,7 @@ impl SkipList {
             return None;
         }
         let height = self.node(node).height as usize;
-        for lvl in 0..height {
-            let pred = preds[lvl];
+        for (lvl, &pred) in preds.iter().enumerate().take(height) {
             let succ = self.node(node).next[lvl];
             if pred == NIL {
                 if self.head[lvl] == node {
@@ -283,7 +281,9 @@ mod tests {
         let mut m = BTreeMap::new();
         let mut x = 12345u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = (x >> 33) % 512;
             match (x >> 1) % 3 {
                 0 => {

@@ -197,14 +197,18 @@ impl System {
             let res = self.hier.access(core, line, write, write && in_tx);
             latency += res.latency;
             if res.llc_miss {
-                let fill = self.engine.on_llc_miss(core, line, self.clocks[c] + latency);
+                let fill = self
+                    .engine
+                    .on_llc_miss(core, line, self.clocks[c] + latency);
                 latency += fill.latency;
                 if fill.fill_dirty {
                     self.hier.mark_dirty(core, line, true);
                 }
             }
             if let Some(ev) = res.evicted {
-                let data = self.volatile.read_vec(ev.line.base(), CACHE_LINE_BYTES as usize);
+                let data = self
+                    .volatile
+                    .read_vec(ev.line.base(), CACHE_LINE_BYTES as usize);
                 self.engine
                     .on_evict_dirty(ev.line, ev.persistent, &data, self.clocks[c] + latency);
             }
@@ -275,8 +279,11 @@ impl System {
     pub fn drain(&mut self) {
         let now = self.global_time();
         for ev in self.hier.drain_dirty() {
-            let data = self.volatile.read_vec(ev.line.base(), CACHE_LINE_BYTES as usize);
-            self.engine.on_evict_dirty(ev.line, ev.persistent, &data, now);
+            let data = self
+                .volatile
+                .read_vec(ev.line.base(), CACHE_LINE_BYTES as usize);
+            self.engine
+                .on_evict_dirty(ev.line, ev.persistent, &data, now);
         }
         self.engine.drain(now);
     }

@@ -121,9 +121,7 @@ impl Trace {
                 TraceEvent::Crash => {
                     sys.crash();
                     report.crashes += 1;
-                    for t in &mut open {
-                        *t = None;
-                    }
+                    open.fill(None);
                 }
                 TraceEvent::Recover { threads } => {
                     sys.recover(*threads as usize);
@@ -268,7 +266,9 @@ mod tests {
     #[test]
     fn malformed_lines_error_with_position() {
         assert!(Trace::from_text("Z 1").is_err());
-        assert!(Trace::from_text("S 0 0x40 abc").unwrap_err().contains("line 1"));
+        assert!(Trace::from_text("S 0 0x40 abc")
+            .unwrap_err()
+            .contains("line 1"));
         assert!(Trace::from_text("L 0").is_err());
     }
 

@@ -140,7 +140,12 @@ impl EngineStats {
 /// [`recover`](PersistenceEngine::recover), the
 /// [`durable`](PersistenceEngine::durable) image must contain the effects of exactly
 /// the committed transactions (plus any non-transactional write-backs).
-pub trait PersistenceEngine {
+///
+/// Engines must be [`Send`]: the experiment runner executes one engine per
+/// worker thread (each cell owns a private [`System`](crate::system::System),
+/// so no synchronization is needed — only the ability to move the engine to
+/// the thread that runs it).
+pub trait PersistenceEngine: Send {
     /// Engine name as used in the paper's figures ("HOOP", "Opt-Redo", ...).
     fn name(&self) -> &'static str;
 

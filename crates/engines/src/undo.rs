@@ -8,7 +8,7 @@
 //! entries and (2) all of its data writes reach NVM. Recovery rolls back
 //! uncommitted transactions by re-applying old images in reverse order.
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use nvm::{NvmDevice, PersistentStore, TrafficClass};
 use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
@@ -46,7 +46,7 @@ struct TouchedLine {
 
 #[derive(Clone, Debug, Default)]
 struct ActiveTx {
-    lines: HashMap<u64, TouchedLine>,
+    lines: DetHashMap<u64, TouchedLine>,
     /// Completion cycle of the last undo-log write.
     log_done: Cycle,
 }
@@ -60,7 +60,7 @@ pub struct OptUndoEngine {
     /// Durable: undo records of not-yet-committed transactions.
     log: Vec<UndoRecord>,
     /// Volatile controller state.
-    active: HashMap<TxId, ActiveTx>,
+    active: DetHashMap<TxId, ActiveTx>,
 }
 
 impl OptUndoEngine {
@@ -73,7 +73,7 @@ impl OptUndoEngine {
             log_region,
             log_head: 0,
             log: Vec::new(),
-            active: HashMap::new(),
+            active: DetHashMap::default(),
         }
     }
 

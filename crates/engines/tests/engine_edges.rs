@@ -71,7 +71,11 @@ fn undo_commit_then_open_tx_rollback_does_not_undo_committed() {
     e.on_store(CoreId(0), t2, PAddr(0), &3u64.to_le_bytes(), 101);
     e.crash();
     e.recover(1);
-    assert_eq!(e.durable().read_u64(PAddr(0)), 2, "rollback target is t1's value");
+    assert_eq!(
+        e.durable().read_u64(PAddr(0)),
+        2,
+        "rollback target is t1's value"
+    );
 }
 
 #[test]

@@ -88,8 +88,8 @@ pub fn area_overhead(cfg: &SimConfig, pkg: &ReferencePackage) -> AreaReport {
     let evict = cfg.hoop.eviction_buffer_bytes;
     let oop = cfg.hoop.oop_buffer_bytes_per_core * pkg.cores;
     let pbits = pkg.cache_lines() / 8;
-    let added = (mapping + evict + oop) as f64 * CONTROLLER_SRAM_FACTOR
-        + pbits as f64 * CACHE_AREA_FACTOR;
+    let added =
+        (mapping + evict + oop) as f64 * CONTROLLER_SRAM_FACTOR + pbits as f64 * CACHE_AREA_FACTOR;
     AreaReport {
         mapping_table_bytes: mapping,
         eviction_buffer_bytes: evict,

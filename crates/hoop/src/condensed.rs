@@ -88,7 +88,13 @@ impl CondensedMappingTable {
                 && e.slot as u64 + e.len == u64::from(slot)
                 && e.len < MAX_RANGE
             {
-                self.ranges.insert(base, RangeEntry { slot: e.slot, len: e.len + 1 });
+                self.ranges.insert(
+                    base,
+                    RangeEntry {
+                        slot: e.slot,
+                        len: e.len + 1,
+                    },
+                );
                 self.try_merge_with_successor(base);
                 return;
             }
@@ -98,7 +104,13 @@ impl CondensedMappingTable {
             let e = self.ranges[&succ];
             if succ == line.0 + 1 && u64::from(slot) + 1 == u64::from(e.slot) && e.len < MAX_RANGE {
                 self.ranges.remove(&succ);
-                self.ranges.insert(line.0, RangeEntry { slot, len: e.len + 1 });
+                self.ranges.insert(
+                    line.0,
+                    RangeEntry {
+                        slot,
+                        len: e.len + 1,
+                    },
+                );
                 return;
             }
         }
@@ -133,7 +145,13 @@ impl CondensedMappingTable {
         let offset = line.0 - base;
         let hit_slot = e.slot + offset as u32;
         if offset > 0 {
-            self.ranges.insert(base, RangeEntry { slot: e.slot, len: offset });
+            self.ranges.insert(
+                base,
+                RangeEntry {
+                    slot: e.slot,
+                    len: offset,
+                },
+            );
         }
         let tail = e.len - offset - 1;
         if tail > 0 {

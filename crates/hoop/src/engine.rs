@@ -11,7 +11,7 @@
 //! buffer](crate::evict_buffer), then home. Background [GC](crate::gc) and
 //! parallel [recovery](crate::recovery) live in their own modules.
 
-use std::collections::HashSet;
+use simcore::det::DetHashSet;
 
 use engines::common::ControllerBase;
 use engines::costs;
@@ -46,7 +46,7 @@ pub(crate) struct CoreTx {
     first: bool,
     outstanding: Cycle,
     slots: Vec<u32>,
-    touched_lines: HashSet<u64>,
+    touched_lines: DetHashSet<u64>,
 }
 
 impl CoreTx {
@@ -58,7 +58,7 @@ impl CoreTx {
             first: true,
             outstanding: 0,
             slots: Vec::new(),
-            touched_lines: HashSet::new(),
+            touched_lines: DetHashSet::default(),
         }
     }
 
@@ -102,7 +102,11 @@ impl HoopEngine {
     pub fn new(cfg: &SimConfig) -> Self {
         let mut regions = layout::engine_region_allocator();
         let region_base = regions.reserve(cfg.hoop.oop_region_bytes, cfg.hoop.oop_block_bytes);
-        let region = OopRegion::new(region_base, cfg.hoop.oop_region_bytes, cfg.hoop.oop_block_bytes);
+        let region = OopRegion::new(
+            region_base,
+            cfg.hoop.oop_region_bytes,
+            cfg.hoop.oop_block_bytes,
+        );
         HoopEngine {
             base: ControllerBase::new(cfg),
             hoop: cfg.hoop,
@@ -151,7 +155,9 @@ impl HoopEngine {
             for local in 0..block.allocated() {
                 let slot = b as u32 * self.region.slices_per_block() + local;
                 let mut raw = [0u8; SLICE_BYTES as usize];
-                self.base.store.read_bytes(self.region.slot_addr(slot), &mut raw);
+                self.base
+                    .store
+                    .read_bytes(self.region.slot_addr(slot), &mut raw);
                 if let Some(d) = DataSlice::decode(&raw) {
                     if d.commit {
                         out.push((slot, d.tx));
@@ -209,7 +215,13 @@ impl HoopEngine {
     /// "Persistence Ordering", first scenario) and returns stall cycles.
     /// `commit` marks the transaction's tail slice — the durable commit
     /// point.
-    fn flush_slice(&mut self, core: usize, batch: Vec<WordUpdate>, now: Cycle, commit: bool) -> Cycle {
+    fn flush_slice(
+        &mut self,
+        core: usize,
+        batch: Vec<WordUpdate>,
+        now: Cycle,
+        commit: bool,
+    ) -> Cycle {
         debug_assert!(!batch.is_empty());
         let (slot, mut stall) = self.alloc_slot(now);
         let tx = self.cores[core].tx.expect("flush outside tx").as_u32();
@@ -229,7 +241,9 @@ impl HoopEngine {
             (8 * slice.words.len() as u64 + 64 + 15) & !15
         };
         self.base.store.write_bytes(addr, &slice.encode());
-        let done = self.base.write_burst(addr, flush, now + stall, TrafficClass::Log);
+        let done = self
+            .base
+            .write_burst(addr, flush, now + stall, TrafficClass::Log);
         for w in &slice.words {
             self.mapping
                 .insert(w.home.line(), slot, 1 << w.home.word_in_line());
@@ -303,7 +317,10 @@ impl PersistenceEngine for HoopEngine {
     fn tx_begin(&mut self, core: CoreId, _now: Cycle) -> TxId {
         let tx = self.base.alloc_tx();
         let c = &mut self.cores[core.index()];
-        assert!(c.tx.is_none(), "controller already has an open tx on {core}");
+        assert!(
+            c.tx.is_none(),
+            "controller already has an open tx on {core}"
+        );
         c.reset();
         c.tx = Some(tx);
         tx
@@ -311,7 +328,7 @@ impl PersistenceEngine for HoopEngine {
 
     fn on_store(&mut self, core: CoreId, tx: TxId, addr: PAddr, data: &[u8], now: Cycle) -> Cycle {
         assert!(
-            addr.is_word_aligned() && data.len() % WORD_BYTES as usize == 0,
+            addr.is_word_aligned() && data.len().is_multiple_of(WORD_BYTES as usize),
             "HOOP tracks updates at word granularity (§III-C): store must be 8-byte aligned"
         );
         let ci = core.index();
@@ -345,10 +362,13 @@ impl PersistenceEngine for HoopEngine {
             // reconstruct the full line (§III-G, step 4/5).
             let slice_addr = self.region.slot_addr(entry.slot);
             let issue = now + latency;
-            let oop = self
-                .base
-                .device
-                .access(issue, slice_addr, SLICE_BYTES, Op::Read, TrafficClass::Log);
+            let oop = self.base.device.access(
+                issue,
+                slice_addr,
+                SLICE_BYTES,
+                Op::Read,
+                TrafficClass::Log,
+            );
             self.base.stats.miss_memory_loads.inc();
             let mut complete = oop.complete;
             if entry.word_mask != 0xFF {
@@ -638,7 +658,10 @@ mod tests {
         let before = e.device().traffic().read(TrafficClass::Log);
         let fill = e.on_llc_miss(CoreId(0), Line(0), 1000);
         assert!(fill.latency > 0);
-        assert_eq!(e.device().traffic().read(TrafficClass::Log), before + SLICE_BYTES);
+        assert_eq!(
+            e.device().traffic().read(TrafficClass::Log),
+            before + SLICE_BYTES
+        );
         // Full-line coverage: no parallel home read.
         assert_eq!(e.stats().parallel_reads.get(), 0);
         // The mapping entry was consumed by the read (§III-C).

@@ -6,14 +6,16 @@
 //! default, each 64 B of data + 8 B of home address) so misses that fall in
 //! the window are served from controller SRAM.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use simcore::det::DetHashMap;
 
 use simcore::addr::Line;
 
 /// A bounded FIFO of recently migrated lines.
 #[derive(Clone, Debug)]
 pub struct EvictionBuffer {
-    map: HashMap<u64, [u8; 64]>,
+    map: DetHashMap<u64, [u8; 64]>,
     order: VecDeque<u64>,
     capacity: usize,
 }
@@ -27,7 +29,7 @@ impl EvictionBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "eviction buffer needs capacity");
         EvictionBuffer {
-            map: HashMap::with_capacity(capacity),
+            map: simcore::det::map_with_capacity(capacity),
             order: VecDeque::with_capacity(capacity),
             capacity,
         }

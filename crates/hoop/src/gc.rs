@@ -10,7 +10,7 @@
 //! are tombstoned, and fully-committed blocks are reclaimed with their
 //! headers set back to `BLK_UNUSED` (lines 28–29).
 
-use std::collections::{HashMap, HashSet};
+use simcore::det::{DetHashMap, DetHashSet};
 
 use nvm::{PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES};
@@ -18,7 +18,9 @@ use simcore::Cycle;
 
 use crate::engine::HoopEngine;
 use crate::region::OopRegion;
-use crate::slice::{AddrSlice, CommitRecord, DataSlice, SliceFlag, COMMIT_TAIL_BIT, NO_LINK, SLICE_BYTES};
+use crate::slice::{
+    AddrSlice, CommitRecord, DataSlice, SliceFlag, COMMIT_TAIL_BIT, NO_LINK, SLICE_BYTES,
+};
 
 /// Reads the raw 128 bytes of a slice slot from NVM.
 pub(crate) fn read_slice_raw(
@@ -79,7 +81,7 @@ pub(crate) struct CommitScan {
 /// commit-tail data slices (the durable commit points).
 pub(crate) fn scan_commit_records(store: &PersistentStore, region: &OopRegion) -> CommitScan {
     let mut scan = CommitScan::default();
-    let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    let mut seen: simcore::det::DetHashSet<(u32, u32)> = simcore::det::DetHashSet::default();
     for b in 0..region.block_count() {
         let block = region.block(b);
         for local in 0..block.allocated() {
@@ -133,15 +135,15 @@ impl HoopEngine {
         }
         // Reverse time order: newest commit first, so first-writer-wins
         // coalescing keeps only the latest version (Algorithm 1, line 7).
-        records.sort_by(|a, b| b.tx.cmp(&a.tx));
+        records.sort_by_key(|r| std::cmp::Reverse(r.tx));
 
-        let mut coalesced: HashMap<u64, u64> = HashMap::new();
+        let mut coalesced: DetHashMap<u64, u64> = DetHashMap::default();
         let mut scanned_slices = 0u64;
         let mut touches = 0u64;
         for rec in &records {
             let chain = walk_chain(&self.base.store, &self.region, rec.last_slot, rec.tx);
             scanned_slices += chain.len() as u64;
-            let mut tx_lines: HashSet<u64> = HashSet::new();
+            let mut tx_lines: DetHashSet<u64> = DetHashSet::default();
             for slice in &chain {
                 for w in &slice.words {
                     tx_lines.insert(w.home.line().0);
@@ -165,7 +167,7 @@ impl HoopEngine {
         );
 
         // Build migrated line images from home + coalesced words.
-        let mut lines: HashMap<u64, [u8; 64]> = HashMap::new();
+        let mut lines: DetHashMap<u64, [u8; 64]> = DetHashMap::default();
         for (word, value) in &coalesced {
             let line = Line(word / CACHE_LINE_BYTES);
             let img = lines.entry(line.0).or_insert_with(|| {
@@ -209,14 +211,16 @@ impl HoopEngine {
         // never walks reclaimed slots: blank the address slices and clear
         // the commit-tail bits of migrated chains.
         for slot in &scan.addr_slots {
-            let empty = AddrSlice { entries: Vec::new() }.encode();
-            self.base.store.write_bytes(self.region.slot_addr(*slot), &empty);
-            t = self.base.write_burst(
-                self.region.slot_addr(*slot),
-                16,
-                t,
-                TrafficClass::Metadata,
-            );
+            let empty = AddrSlice {
+                entries: Vec::new(),
+            }
+            .encode();
+            self.base
+                .store
+                .write_bytes(self.region.slot_addr(*slot), &empty);
+            t = self
+                .base
+                .write_burst(self.region.slot_addr(*slot), 16, t, TrafficClass::Metadata);
         }
         for rec in &records {
             let addr = self.region.slot_addr(rec.last_slot);
@@ -319,7 +323,7 @@ mod tests {
             commit_tx(&mut e, &[(i * 64, i)], i * 100);
         }
         assert!(e.oop_region().fill_fraction() > 0.0);
-        assert!(e.mapping_table().len() > 0);
+        assert!(!e.mapping_table().is_empty());
         e.run_gc(100_000);
         assert_eq!(e.oop_region().fill_fraction(), 0.0);
         assert_eq!(e.mapping_table().len(), 0);

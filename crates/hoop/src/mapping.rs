@@ -8,7 +8,7 @@
 //! of SRAM (8 B home tag + 8 B OOP location), which is how the configured
 //! byte budget (2 MB default, swept in Fig. 13) translates to a capacity.
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use simcore::addr::Line;
 
@@ -26,7 +26,7 @@ pub struct MappingEntry {
 /// The controller's home→OOP mapping table.
 #[derive(Clone, Debug)]
 pub struct MappingTable {
-    map: HashMap<u64, MappingEntry>,
+    map: DetHashMap<u64, MappingEntry>,
     capacity: usize,
 }
 
@@ -39,7 +39,7 @@ impl MappingTable {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "mapping table needs capacity");
         MappingTable {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: simcore::det::map_with_capacity(capacity.min(1 << 20)),
             capacity,
         }
     }
@@ -67,10 +67,10 @@ impl MappingTable {
     /// Records that `slot` now holds the newest words of `line`, OR-ing
     /// `word_mask` into the line's cumulative coverage.
     pub fn insert(&mut self, line: Line, slot: u32, word_mask: u8) {
-        let e = self.map.entry(line.0).or_insert(MappingEntry {
-            slot,
-            word_mask: 0,
-        });
+        let e = self
+            .map
+            .entry(line.0)
+            .or_insert(MappingEntry { slot, word_mask: 0 });
         e.slot = slot;
         e.word_mask |= word_mask;
     }

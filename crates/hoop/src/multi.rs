@@ -20,7 +20,7 @@
 //!   winning per word. A transaction that crashed between Prepare and
 //!   Commit vanishes atomically on all controllers.
 
-use std::collections::{HashMap, HashSet};
+use simcore::det::{DetHashMap, DetHashSet};
 
 use engines::common::ControllerBase;
 use engines::costs;
@@ -85,7 +85,7 @@ impl Chain {
 struct CoreTx {
     tx: Option<TxId>,
     chains: Vec<Chain>,
-    touched_lines: HashSet<u64>,
+    touched_lines: DetHashSet<u64>,
 }
 
 /// The multi-controller HOOP engine (§III-I).
@@ -106,8 +106,8 @@ impl MultiHoopEngine {
     pub fn new(cfg: &SimConfig, controllers: usize) -> Self {
         assert!(controllers > 0, "need at least one controller");
         let mut regions = layout::engine_region_allocator();
-        let per_region = (cfg.hoop.oop_region_bytes / controllers as u64)
-            .max(2 * cfg.hoop.oop_block_bytes);
+        let per_region =
+            (cfg.hoop.oop_region_bytes / controllers as u64).max(2 * cfg.hoop.oop_block_bytes);
         let per_mapping = (cfg.hoop.mapping_table_entries() / controllers).max(16);
         let ctrls = (0..controllers)
             .map(|_| {
@@ -129,7 +129,7 @@ impl MultiHoopEngine {
                 .map(|_| CoreTx {
                     tx: None,
                     chains: (0..controllers).map(|_| Chain::new()).collect(),
-                    touched_lines: HashSet::new(),
+                    touched_lines: DetHashSet::default(),
                 })
                 .collect(),
         }
@@ -154,17 +154,14 @@ impl MultiHoopEngine {
         now: Cycle,
     ) -> Cycle {
         let tx = self.cores[core].tx.expect("flush outside tx").as_u32();
-        let slot = self.ctrls[ctrl]
-            .region
-            .alloc_slice()
-            .unwrap_or_else(|| {
-                // On-demand space reclamation on this controller.
-                self.gc_controller(ctrl);
-                self.ctrls[ctrl]
-                    .region
-                    .alloc_slice()
-                    .expect("multi-controller OOP region exhausted")
-            });
+        let slot = self.ctrls[ctrl].region.alloc_slice().unwrap_or_else(|| {
+            // On-demand space reclamation on this controller.
+            self.gc_controller(ctrl);
+            self.ctrls[ctrl]
+                .region
+                .alloc_slice()
+                .expect("multi-controller OOP region exhausted")
+        });
         let chain = &self.cores[core].chains[ctrl];
         let slice = DataSlice {
             words: batch,
@@ -192,7 +189,13 @@ impl MultiHoopEngine {
         done
     }
 
-    fn append_record(&mut self, ctrl: usize, kind: SliceFlag, rec: CommitRecord, issue: Cycle) -> Cycle {
+    fn append_record(
+        &mut self,
+        ctrl: usize,
+        kind: SliceFlag,
+        rec: CommitRecord,
+        issue: Cycle,
+    ) -> Cycle {
         let is_prepare = matches!(kind, SliceFlag::Prepare);
         let (snapshot, rotate, existing) = {
             let c = &mut self.ctrls[ctrl];
@@ -231,26 +234,17 @@ impl MultiHoopEngine {
             }
         };
         let addr = self.ctrls[ctrl].region.slot_addr(slot);
-        let encoded = AddrSlice {
-            entries: snapshot,
-        }
-        .encode_with_flag(kind);
+        let encoded = AddrSlice { entries: snapshot }.encode_with_flag(kind);
         self.base.store.write_bytes(addr, &encoded);
-        self.base.write_burst(addr, 16, issue, TrafficClass::Metadata)
+        self.base
+            .write_burst(addr, 16, issue, TrafficClass::Metadata)
     }
 
     /// Scans every controller: (committed txids, per-controller prepared
     /// records, record-slice slots for tombstoning).
     #[allow(clippy::type_complexity)]
-    fn scan_all(
-        &self,
-    ) -> (
-        HashSet<u32>,
-        Vec<Vec<CommitRecord>>,
-        Vec<Vec<u32>>,
-        u64,
-    ) {
-        let mut committed = HashSet::new();
+    fn scan_all(&self) -> (DetHashSet<u32>, Vec<Vec<CommitRecord>>, Vec<Vec<u32>>, u64) {
+        let mut committed = DetHashSet::default();
         let mut prepared: Vec<Vec<CommitRecord>> = vec![Vec::new(); self.ctrls.len()];
         let mut record_slots: Vec<Vec<u32>> = vec![Vec::new(); self.ctrls.len()];
         let mut scanned = 0u64;
@@ -286,15 +280,20 @@ impl MultiHoopEngine {
     /// (the multi-controller GC / drain path).
     pub fn migrate_committed_home(&mut self) {
         let (committed, prepared, record_slots, scanned) = self.scan_all();
-        let mut coalesced: HashMap<u64, (u32, u64)> = HashMap::new();
+        let mut coalesced: DetHashMap<u64, (u32, u64)> = DetHashMap::default();
         for (ci, records) in prepared.iter().enumerate() {
             let mut recs = records.clone();
-            recs.sort_by(|a, b| b.tx.cmp(&a.tx));
+            recs.sort_by_key(|r| std::cmp::Reverse(r.tx));
             for rec in recs {
                 if !committed.contains(&rec.tx) {
                     continue;
                 }
-                let chain = walk_chain(&self.base.store, &self.ctrls[ci].region, rec.last_slot, rec.tx);
+                let chain = walk_chain(
+                    &self.base.store,
+                    &self.ctrls[ci].region,
+                    rec.last_slot,
+                    rec.tx,
+                );
                 for slice in &chain {
                     for w in &slice.words {
                         let e = coalesced.entry(w.home.0).or_insert((rec.tx, w.value));
@@ -309,7 +308,7 @@ impl MultiHoopEngine {
             .device
             .account_untimed(scanned * SLICE_BYTES, Op::Read, TrafficClass::Gc);
 
-        let mut lines: HashMap<u64, [u8; 64]> = HashMap::new();
+        let mut lines: DetHashMap<u64, [u8; 64]> = DetHashMap::default();
         for (word, (_, value)) in &coalesced {
             let line = Line(word / CACHE_LINE_BYTES);
             let img = lines.entry(line.0).or_insert_with(|| {
@@ -338,7 +337,10 @@ impl MultiHoopEngine {
         // Tombstone consumed records, then reclaim clean blocks.
         for (ci, slots) in record_slots.iter().enumerate() {
             for slot in slots {
-                let empty = AddrSlice { entries: Vec::new() }.encode();
+                let empty = AddrSlice {
+                    entries: Vec::new(),
+                }
+                .encode();
                 let addr = self.ctrls[ci].region.slot_addr(*slot);
                 self.base.store.write_bytes(addr, &empty);
             }
@@ -367,7 +369,10 @@ impl MultiHoopEngine {
                     let slot = b as u32 * self.ctrls[ci].region.slices_per_block() + local;
                     let raw = read_slice_raw(&self.base.store, &self.ctrls[ci].region, slot);
                     if AddrSlice::decode_with_flag(&raw, SliceFlag::Addr).is_some() {
-                        let empty = AddrSlice { entries: Vec::new() }.encode();
+                        let empty = AddrSlice {
+                            entries: Vec::new(),
+                        }
+                        .encode();
                         let addr = self.ctrls[ci].region.slot_addr(slot);
                         self.base.store.write_bytes(addr, &empty);
                     }
@@ -399,7 +404,10 @@ impl PersistenceEngine for MultiHoopEngine {
         let tx = self.base.alloc_tx();
         let n = self.ctrls.len();
         let c = &mut self.cores[core.index()];
-        assert!(c.tx.is_none(), "controller already has an open tx on {core}");
+        assert!(
+            c.tx.is_none(),
+            "controller already has an open tx on {core}"
+        );
         c.tx = Some(tx);
         c.chains = (0..n).map(|_| Chain::new()).collect();
         c.touched_lines.clear();
@@ -408,7 +416,7 @@ impl PersistenceEngine for MultiHoopEngine {
 
     fn on_store(&mut self, core: CoreId, tx: TxId, addr: PAddr, data: &[u8], now: Cycle) -> Cycle {
         assert!(
-            addr.is_word_aligned() && data.len() % WORD_BYTES as usize == 0,
+            addr.is_word_aligned() && data.len().is_multiple_of(WORD_BYTES as usize),
             "HOOP tracks updates at word granularity"
         );
         let ci = core.index();
@@ -435,10 +443,13 @@ impl PersistenceEngine for MultiHoopEngine {
             self.base.stats.misses_served.inc();
             let slice_addr = self.ctrls[ctrl].region.slot_addr(entry.slot);
             let issue = now + latency;
-            let oop = self
-                .base
-                .device
-                .access(issue, slice_addr, SLICE_BYTES, Op::Read, TrafficClass::Log);
+            let oop = self.base.device.access(
+                issue,
+                slice_addr,
+                SLICE_BYTES,
+                Op::Read,
+                TrafficClass::Log,
+            );
             self.base.stats.miss_memory_loads.inc();
             let mut complete = oop.complete;
             if entry.word_mask != 0xFF {
@@ -672,7 +683,11 @@ mod tests {
         e.crash();
         let rep = e.recover(1);
         assert_eq!(rep.txs_replayed, 0);
-        assert_eq!(e.durable().read_u64(PAddr(0)), 1, "ctrl 0 rolled forward nothing");
+        assert_eq!(
+            e.durable().read_u64(PAddr(0)),
+            1,
+            "ctrl 0 rolled forward nothing"
+        );
         assert_eq!(e.durable().read_u64(PAddr(64)), 2, "ctrl 1 agrees");
     }
 
@@ -696,7 +711,13 @@ mod tests {
         for round in 0..6u64 {
             let tx = e.tx_begin(CoreId(0), round * 1000);
             e.on_store(CoreId(0), tx, PAddr(0), &round.to_le_bytes(), round * 1000);
-            e.on_store(CoreId(0), tx, PAddr(64), &(round * 10).to_le_bytes(), round * 1000);
+            e.on_store(
+                CoreId(0),
+                tx,
+                PAddr(64),
+                &(round * 10).to_le_bytes(),
+                round * 1000,
+            );
             e.tx_end(CoreId(0), tx, round * 1000 + 50);
         }
         e.crash();
@@ -713,7 +734,10 @@ mod tests {
         e.tx_end(CoreId(0), tx, 10);
         let before = e.device().traffic().read(TrafficClass::Log);
         e.on_llc_miss(CoreId(0), Line(0), 1000);
-        assert_eq!(e.device().traffic().read(TrafficClass::Log), before + SLICE_BYTES);
+        assert_eq!(
+            e.device().traffic().read(TrafficClass::Log),
+            before + SLICE_BYTES
+        );
     }
 
     #[test]
@@ -729,7 +753,7 @@ mod tests {
             assert_eq!(e.ctrls[ci].region.fill_fraction(), 0.0, "controller {ci}");
         }
         for i in 0..16u64 {
-            let want = (0..60).filter(|j| j % 16 == i).next_back().expect("written");
+            let want = (0..60).rfind(|j| j % 16 == i).expect("written");
             assert_eq!(e.durable().read_u64(PAddr(i * 64)), want);
         }
     }

@@ -14,7 +14,7 @@
 //! bandwidth model so results stay deterministic — see
 //! [`model_recovery_ms`].
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use engines::traits::RecoveryReport;
 use nvm::{Op, TrafficClass};
@@ -23,6 +23,10 @@ use simcore::addr::{Line, CACHE_LINE_BYTES, WORD_BYTES};
 use crate::engine::HoopEngine;
 use crate::gc::{scan_commit_records, walk_chain};
 use crate::slice::{CommitRecord, SLICE_BYTES};
+
+/// Per-thread scan result: newest `(tx, value)` seen per home word, plus
+/// the number of durable bytes the thread read.
+type ScanLocal = (DetHashMap<u64, (u32, u64)>, u64);
 
 /// Sustained per-thread scan rate in GB/s (decode + hash-insert bound; the
 /// memory controller becomes the bottleneck once `threads × this` exceeds
@@ -44,7 +48,12 @@ pub const RECOVERY_FIXED_MS: f64 = 6.0;
 /// let ms = hoop::recovery::model_recovery_ms(1 << 30, 64 << 20, 8, 25.0);
 /// assert!(ms > 35.0 && ms < 60.0, "modeled {ms} ms");
 /// ```
-pub fn model_recovery_ms(scan_bytes: u64, write_bytes: u64, threads: usize, bandwidth_gbps: f64) -> f64 {
+pub fn model_recovery_ms(
+    scan_bytes: u64,
+    write_bytes: u64,
+    threads: usize,
+    bandwidth_gbps: f64,
+) -> f64 {
     let threads = threads.max(1) as f64;
     let effective = (threads * PER_THREAD_SCAN_GBPS).min(bandwidth_gbps);
     let scan_ms = scan_bytes as f64 / (effective * 1.0e6);
@@ -69,17 +78,13 @@ impl HoopEngine {
         // committed transactions and keeps the largest-TxID value per word.
         let store = &self.base.store;
         let region = &self.region;
-        let locals: Vec<(HashMap<u64, (u32, u64)>, u64)> = std::thread::scope(|scope| {
+        let locals: Vec<ScanLocal> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
-                let my_records: Vec<CommitRecord> = records
-                    .iter()
-                    .skip(t)
-                    .step_by(threads)
-                    .copied()
-                    .collect();
+                let my_records: Vec<CommitRecord> =
+                    records.iter().skip(t).step_by(threads).copied().collect();
                 handles.push(scope.spawn(move || {
-                    let mut local: HashMap<u64, (u32, u64)> = HashMap::new();
+                    let mut local: DetHashMap<u64, (u32, u64)> = DetHashMap::default();
                     let mut slices = 0u64;
                     for rec in my_records.iter().rev() {
                         let chain = walk_chain(store, region, rec.last_slot, rec.tx);
@@ -107,7 +112,7 @@ impl HoopEngine {
         });
 
         // Phase 2: master merge, newest commit id wins.
-        let mut global: HashMap<u64, (u32, u64)> = HashMap::new();
+        let mut global: DetHashMap<u64, (u32, u64)> = DetHashMap::default();
         let mut scanned_slices = 0u64;
         for (local, slices) in locals {
             scanned_slices += slices;
@@ -120,7 +125,7 @@ impl HoopEngine {
         }
 
         // Phase 3: write the recovered versions home (line-grouped bursts).
-        let mut lines: HashMap<u64, [u8; 64]> = HashMap::new();
+        let mut lines: DetHashMap<u64, [u8; 64]> = DetHashMap::default();
         for (word, (_, value)) in &global {
             let line = Line(word / CACHE_LINE_BYTES);
             let img = lines.entry(line.0).or_insert_with(|| {
@@ -198,7 +203,9 @@ mod tests {
             e.crash();
             let rep = e.recover(threads);
             assert_eq!(rep.threads, threads);
-            let img: Vec<u64> = (0..10).map(|k| e.durable().read_u64(PAddr(k * 64))).collect();
+            let img: Vec<u64> = (0..10)
+                .map(|k| e.durable().read_u64(PAddr(k * 64)))
+                .collect();
             images.push(img);
         }
         assert!(images.windows(2).all(|w| w[0] == w[1]));

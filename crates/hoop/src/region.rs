@@ -144,7 +144,11 @@ impl OopRegion {
 
     /// Fraction of slice slots currently allocated.
     pub fn fill_fraction(&self) -> f64 {
-        let total: u64 = self.blocks.iter().map(|b| u64::from(b.slice_capacity())).sum();
+        let total: u64 = self
+            .blocks
+            .iter()
+            .map(|b| u64::from(b.slice_capacity()))
+            .sum();
         let used: u64 = self.blocks.iter().map(|b| u64::from(b.allocated())).sum();
         used as f64 / total as f64
     }

@@ -181,7 +181,10 @@ impl AddrSlice {
             matches!(flag, SliceFlag::Addr | SliceFlag::Prepare),
             "not a record-slice flag"
         );
-        assert!(self.entries.len() <= ADDR_ENTRIES_PER_SLICE, "too many entries");
+        assert!(
+            self.entries.len() <= ADDR_ENTRIES_PER_SLICE,
+            "too many entries"
+        );
         let mut buf = [0u8; SLICE_BYTES as usize];
         for (i, e) in self.entries.iter().enumerate() {
             assert!(e.last_slot <= NO_LINK, "slot exceeds 24 bits");
@@ -235,7 +238,7 @@ impl AddrSlice {
 ///
 /// Panics if `words` is 0 or exceeds [`WORDS_PER_SLICE`].
 pub fn flush_bytes(words: usize) -> u64 {
-    assert!(words >= 1 && words <= WORDS_PER_SLICE, "1..=8 words");
+    assert!((1..=WORDS_PER_SLICE).contains(&words), "1..=8 words");
     let data = 8 * words as u64;
     let meta = 5 * words as u64 + 11; // 40-bit addrs + link/tx/cnt/flag/crc
     (data + meta + 15) & !15

@@ -97,7 +97,13 @@ impl Hierarchy {
     /// On an LLC miss the line is filled into all levels; the returned
     /// latency covers the cache levels only — the caller adds the memory
     /// read latency supplied by its persistence engine.
-    pub fn access(&mut self, core: CoreId, line: Line, write: bool, persistent: bool) -> AccessResult {
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        line: Line,
+        write: bool,
+        persistent: bool,
+    ) -> AccessResult {
         let c = core.index();
         self.stats.accesses.inc();
         let mut latency = self.l1_latency;
@@ -197,7 +203,13 @@ impl Hierarchy {
     }
 
     /// Inserts into a core's L1; a dirty L1 victim is written back into L2.
-    fn fill_l1(&mut self, core: usize, line: Line, write: bool, persistent: bool) -> Option<Evicted> {
+    fn fill_l1(
+        &mut self,
+        core: usize,
+        line: Line,
+        write: bool,
+        persistent: bool,
+    ) -> Option<Evicted> {
         if self.l1[core].contains(line) {
             self.l1[core].touch(line, write, persistent);
             return None;
@@ -292,8 +304,8 @@ impl Hierarchy {
     /// a measured run so write-traffic totals are comparable across engines
     /// regardless of what happened to still be cached.
     pub fn drain_dirty(&mut self) -> Vec<Evicted> {
-        use std::collections::HashMap;
-        let mut merged: HashMap<u64, (bool, bool)> = HashMap::new();
+        use simcore::det::DetHashMap;
+        let mut merged: DetHashMap<u64, (bool, bool)> = DetHashMap::default();
         let mut note = |ev: Option<Evicted>| {
             if let Some(e) = ev {
                 let entry = merged.entry(e.line.0).or_insert((false, false));

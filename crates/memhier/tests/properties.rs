@@ -10,9 +10,18 @@ use simcore::{CoreId, SimConfig};
 
 #[derive(Clone, Debug)]
 enum Op {
-    Access { core: u8, line: u64, write: bool, persistent: bool },
-    Clean { line: u64 },
-    Flush { line: u64 },
+    Access {
+        core: u8,
+        line: u64,
+        write: bool,
+        persistent: bool,
+    },
+    Clean {
+        line: u64,
+    },
+    Flush {
+        line: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -100,8 +100,7 @@ impl NvmDevice {
     /// Creates a device from timing and energy configuration.
     pub fn new(timing: NvmTimingConfig, energy: NvmEnergyConfig) -> Self {
         let read_fp = (simcore::CLOCK_GHZ / timing.bandwidth_gbps * 1024.0).round() as u64;
-        let write_fp =
-            (simcore::CLOCK_GHZ / timing.write_bandwidth_gbps * 1024.0).round() as u64;
+        let write_fp = (simcore::CLOCK_GHZ / timing.write_bandwidth_gbps * 1024.0).round() as u64;
         NvmDevice {
             timing,
             energy,
@@ -149,7 +148,7 @@ impl NvmDevice {
             Op::Read => self.read_cycles_per_kb_byte,
             Op::Write => self.write_cycles_per_kb_byte,
         };
-        (bytes * per_byte + 1023) / 1024
+        (bytes * per_byte).div_ceil(1024)
     }
 
     /// Performs a timed access of `bytes` at `addr`, issued at cycle `now`.
@@ -322,14 +321,19 @@ mod tests {
         let mut d = device();
         // Saturating the device (many writes in a short simulated window)
         // must inflate observed latency via queueing.
-        let light = d.access(0, PAddr(0), 64, Op::Write, TrafficClass::Log).latency(0);
+        let light = d
+            .access(0, PAddr(0), 64, Op::Write, TrafficClass::Log)
+            .latency(0);
         for i in 0..200u64 {
             d.access(i, PAddr(i * 4096), 4096, Op::Write, TrafficClass::Log);
         }
         let heavy = d
             .access(200, PAddr(1 << 20), 64, Op::Write, TrafficClass::Log)
             .latency(200);
-        assert!(heavy > light, "queueing must appear under load: {light} vs {heavy}");
+        assert!(
+            heavy > light,
+            "queueing must appear under load: {light} vs {heavy}"
+        );
         assert!(d.utilization() > 0.9);
     }
 

@@ -10,7 +10,7 @@
 //! torn: [`PersistentStore::write_bytes_torn`] persists only a prefix, which
 //! the property tests use to model crashes in the middle of a persist.
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use simcore::PAddr;
 
@@ -19,7 +19,7 @@ const PAGE_BYTES: u64 = 4096;
 /// A sparse durable byte image, initialized to zero.
 #[derive(Clone, Debug, Default)]
 pub struct PersistentStore {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    pages: DetHashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
 }
 
 impl PersistentStore {

@@ -13,7 +13,7 @@
 //!   estimation, used by the `ext_lifetime` harness to compare engines'
 //!   wear profiles.
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use simcore::addr::Line;
 
@@ -106,7 +106,7 @@ impl StartGap {
 /// Per-physical-line write counters and lifetime estimation.
 #[derive(Clone, Debug, Default)]
 pub struct EnduranceMap {
-    counts: HashMap<u64, u64>,
+    counts: DetHashMap<u64, u64>,
     total: u64,
 }
 
@@ -172,7 +172,7 @@ mod tests {
     fn translation_is_a_bijection_at_all_times() {
         let mut sg = StartGap::new(37);
         for step in 0..5000 {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = simcore::det::DetHashSet::default();
             for l in 0..37 {
                 let p = sg.translate(Line(l));
                 assert!(p.0 <= 37, "physical out of range at step {step}");
@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn hot_line_visits_many_physical_slots() {
         let mut sg = StartGap::new(16);
-        let mut slots = std::collections::HashSet::new();
+        let mut slots = simcore::det::DetHashSet::default();
         // One pathological hot line; leveling must spread it.
         for _ in 0..(GAP_MOVE_RATE * 17 * 18) {
             slots.insert(sg.translate(Line(0)).0);

@@ -56,7 +56,7 @@ impl PAddr {
 
     /// Returns `true` if the address is aligned to a word boundary.
     pub fn is_word_aligned(self) -> bool {
-        self.0 % WORD_BYTES == 0
+        self.0.is_multiple_of(WORD_BYTES)
     }
 }
 

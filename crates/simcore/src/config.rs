@@ -6,12 +6,10 @@
 //! and override only the parameter being swept (NVM latency for Fig. 12,
 //! mapping-table size for Fig. 13, GC period for Fig. 10, ...).
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{ms_to_cycles, Cycle};
 
 /// Geometry and latency of one cache level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -29,7 +27,7 @@ impl CacheConfig {
 }
 
 /// NVM device timing parameters (Table II).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NvmTimingConfig {
     /// Array read latency in nanoseconds (default 50 ns).
     pub read_ns: f64,
@@ -68,7 +66,7 @@ impl Default for NvmTimingConfig {
 
 /// NVM energy parameters in picojoules per bit (Table II, from the PCM
 /// models of Lee et al. \[28] and Ogleari et al. \[40]).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NvmEnergyConfig {
     /// Row-buffer read energy (pJ/bit).
     pub row_read_pj_per_bit: f64,
@@ -92,7 +90,7 @@ impl Default for NvmEnergyConfig {
 }
 
 /// HOOP's structural parameters (§III-C/D/H of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HoopConfig {
     /// OOP data buffer per core, in bytes (default 1 KB per core).
     pub oop_buffer_bytes_per_core: u64,
@@ -148,7 +146,7 @@ impl HoopConfig {
 }
 
 /// Full system configuration (Table II plus HOOP parameters).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimConfig {
     /// Number of cores in the machine (Table II: 16).
     pub cores: u8,
@@ -199,8 +197,10 @@ impl SimConfig {
     /// A configuration scaled down for fast unit tests: tiny caches and a
     /// small OOP region so that evictions and GC trigger quickly.
     pub fn small_for_tests() -> Self {
-        let mut cfg = SimConfig::default();
-        cfg.worker_threads = 2;
+        let mut cfg = SimConfig {
+            worker_threads: 2,
+            ..SimConfig::default()
+        };
         cfg.l1.capacity_bytes = 4 * 1024;
         cfg.l2.capacity_bytes = 16 * 1024;
         cfg.llc.capacity_bytes = 64 * 1024;

@@ -30,6 +30,7 @@ pub mod addr;
 pub mod alloc;
 pub mod config;
 pub mod crc;
+pub mod det;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -38,6 +39,7 @@ pub mod zipf;
 
 pub use addr::{Line, PAddr, CACHE_LINE_BYTES, WORD_BYTES};
 pub use config::SimConfig;
+pub use det::{DetHashMap, DetHashSet};
 pub use ids::{CoreId, TxId};
 pub use rng::SimRng;
 pub use time::{ns_to_cycles, Cycle, CLOCK_GHZ};

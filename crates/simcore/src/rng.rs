@@ -5,14 +5,25 @@
 //! Forking produces statistically independent streams (one per worker core,
 //! one per workload phase) so that adding an experiment never perturbs the
 //! random sequence of another.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (the same algorithm
+//! `rand`'s `SmallRng` uses on 64-bit targets), seeded through splitmix64.
+//! Keeping it in-tree makes the workspace hermetic — no registry access is
+//! needed to build — and pins the exact random streams: results are
+//! reproducible bit-for-bit across machines and toolchains.
 
 /// A deterministic random number generator for the simulation.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
@@ -27,9 +38,14 @@ impl SimRng {
     /// assert_eq!(a.next_u64(), b.next_u64());
     /// ```
     pub fn seed(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        }
+        let mut sm = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
     }
 
     /// Forks an independent stream identified by `stream`.
@@ -43,9 +59,20 @@ impl SimRng {
         SimRng::seed(base ^ stream.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(17))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
     }
 
     /// Uniform value in `[0, bound)`.
@@ -55,7 +82,15 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift with rejection for exact uniformity.
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let lo = m as u64;
+            if lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform value in `[lo, hi]` (inclusive).
@@ -65,12 +100,17 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let width = hi - lo;
+        if width == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(width + 1)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p`.
@@ -80,7 +120,10 @@ impl SimRng {
 
     /// Fills `buf` with random bytes (for value payloads).
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill_bytes(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 
@@ -122,6 +165,23 @@ mod tests {
         let mut r = SimRng::seed(4);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = SimRng::seed(5);
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::seed(6);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is ~impossible");
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! the paper is built from.
 
 use engines::system::System;
-use engines::PersistenceEngine;
+use engines::{EngineStats, PersistenceEngine};
+use memhier::HierStats;
 use simcore::config::SimConfig;
 use simcore::time::cycles_to_ms;
 use simcore::{CoreId, Cycle};
@@ -68,6 +69,12 @@ pub struct RunReport {
     pub ondemand_gc_stall_cycles: u64,
     /// Post-run verification mismatches (0 = functionally correct).
     pub verify_errors: usize,
+    /// Snapshot of the engine's raw counters at the end of the run.
+    pub engine_stats: EngineStats,
+    /// Snapshot of the cache-hierarchy counters at the end of the run.
+    pub hier_stats: HierStats,
+    /// Engine-specific `(name, value)` metrics.
+    pub extra_metrics: Vec<(&'static str, f64)>,
 }
 
 impl RunReport {
@@ -95,7 +102,9 @@ pub struct Driver {
 
 impl std::fmt::Debug for Driver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Driver").field("workers", &self.workers).finish()
+        f.debug_struct("Driver")
+            .field("workers", &self.workers)
+            .finish()
     }
 }
 
@@ -177,6 +186,9 @@ impl Driver {
             gc_reduction: stats.gc_reduction_ratio(),
             ondemand_gc_stall_cycles: stats.ondemand_gc_stall_cycles.get(),
             verify_errors,
+            engine_stats: stats.clone(),
+            hier_stats: *sys.hier_stats(),
+            extra_metrics: engine.extra_metrics(),
         }
     }
 

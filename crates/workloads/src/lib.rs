@@ -33,7 +33,10 @@ use engines::system::System;
 use simcore::CoreId;
 
 /// A transactional benchmark workload bound to one core's private data.
-pub trait TxWorkload {
+///
+/// Workloads must be [`Send`] so the experiment runner can move each
+/// (engine × workload) cell onto its worker thread.
+pub trait TxWorkload: Send {
     /// Workload name (Table III row).
     fn name(&self) -> &'static str;
 

@@ -36,7 +36,10 @@ impl Table {
     ///
     /// Panics if `row_bytes` is not a multiple of 8 or capacity is 0.
     pub fn create(sys: &mut System, name: &'static str, capacity: u64, row_bytes: u64) -> Self {
-        assert!(row_bytes % 8 == 0 && row_bytes > 0, "rows are word-granular");
+        assert!(
+            row_bytes.is_multiple_of(8) && row_bytes > 0,
+            "rows are word-granular"
+        );
         assert!(capacity > 0, "empty table");
         let buckets = (capacity * 2).next_power_of_two();
         Table {
@@ -81,7 +84,8 @@ impl Table {
 
     /// The address of row slot `row` (regardless of index state).
     pub fn row_addr(&self, row: u64) -> PAddr {
-        self.rows_base.offset((row % self.capacity) * self.row_bytes)
+        self.rows_base
+            .offset((row % self.capacity) * self.row_bytes)
     }
 
     /// Inserts a row during setup (untimed), bypassing the measured path.

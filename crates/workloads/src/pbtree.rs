@@ -73,7 +73,10 @@ impl PBTree {
     }
 
     fn alloc_node(&mut self, sys: &mut System, core: CoreId, leaf: bool) -> u64 {
-        assert!(self.next_node < self.max_nodes, "B-tree node pool exhausted");
+        assert!(
+            self.next_node < self.max_nodes,
+            "B-tree node pool exhausted"
+        );
         let n = self.pool.0 + self.next_node * self.node_bytes;
         self.next_node += 1;
         self.set(sys, core, n, COUNT, 0);

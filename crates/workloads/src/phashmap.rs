@@ -131,8 +131,7 @@ impl TxWorkload for PHashmap {
 
     fn run_tx(&mut self, sys: &mut System, core: CoreId) {
         let tx = sys.tx_begin(core);
-        let update =
-            !self.inserted.is_empty() && (self.rng.chance(0.75) || !self.can_insert());
+        let update = !self.inserted.is_empty() && (self.rng.chance(0.75) || !self.can_insert());
         if update {
             // Eight stores spread as 2-word field writes across four
             // Zipfian-popular entries.

@@ -44,7 +44,8 @@ impl PQueue {
     }
 
     fn slot_addr(&self, i: u64) -> PAddr {
-        self.slots.offset((i % self.capacity) * self.spec.item_bytes)
+        self.slots
+            .offset((i % self.capacity) * self.spec.item_bytes)
     }
 
     fn occupancy(&self) -> u64 {
@@ -66,8 +67,8 @@ impl TxWorkload for PQueue {
 
     fn run_tx(&mut self, sys: &mut System, core: CoreId) {
         let tx = sys.tx_begin(core);
-        let enqueue = self.occupancy() == 0
-            || (self.occupancy() < self.capacity && self.rng.chance(0.55));
+        let enqueue =
+            self.occupancy() == 0 || (self.occupancy() < self.capacity && self.rng.chance(0.55));
         if enqueue {
             self.version += 1;
             let v = self.version.wrapping_mul(0x2545_F491_4F6C_DD1D);

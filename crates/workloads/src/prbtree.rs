@@ -301,12 +301,8 @@ impl TxWorkload for PRbTree {
             cur = sys.peek_u64(PAddr(n + RIGHT));
         }
         let want: Vec<(u64, u64)> = self.shadow.iter().map(|(k, v)| (*k, *v)).collect();
-        let mismatches = got
-            .iter()
-            .zip(&want)
-            .filter(|(a, b)| a != b)
-            .count()
-            + got.len().abs_diff(want.len());
+        let mismatches =
+            got.iter().zip(&want).filter(|(a, b)| a != b).count() + got.len().abs_diff(want.len());
         mismatches + self.check_invariants(sys)
     }
 }

@@ -141,7 +141,11 @@ impl TxWorkload for TpccNewOrder {
             let stock = self.stock.as_ref().expect("setup ran");
             let saddr = stock.lookup(sys, core, i_id).expect("stock exists");
             let s_qty = sys.load_u64(core, saddr);
-            let new_qty = if s_qty >= qty + 10 { s_qty - qty } else { s_qty + 91 - qty };
+            let new_qty = if s_qty >= qty + 10 {
+                s_qty - qty
+            } else {
+                s_qty + 91 - qty
+            };
             sys.store_u64(core, saddr, new_qty);
             sys.store_u64(core, saddr.offset(8), s_qty.wrapping_add(qty)); // ytd
             self.stock_qty[(i_id - 1) as usize] = new_qty;

@@ -11,10 +11,19 @@ fn main() {
     let pkg = ReferencePackage::default();
     let rep = area_overhead(&cfg, &pkg);
     println!("Added controller structures:");
-    println!("  mapping table    {:>8} KB", rep.mapping_table_bytes / 1024);
-    println!("  eviction buffer  {:>8} KB", rep.eviction_buffer_bytes / 1024);
+    println!(
+        "  mapping table    {:>8} KB",
+        rep.mapping_table_bytes / 1024
+    );
+    println!(
+        "  eviction buffer  {:>8} KB",
+        rep.eviction_buffer_bytes / 1024
+    );
     println!("  OOP data buffers {:>8} KB", rep.oop_buffer_bytes / 1024);
-    println!("  persistent bits  {:>8} KB", rep.persistent_bit_bytes / 1024);
+    println!(
+        "  persistent bits  {:>8} KB",
+        rep.persistent_bit_bytes / 1024
+    );
     println!(
         "\narea overhead vs reference package: {:.2} %  (paper: 4.25 %)",
         rep.overhead_percent

@@ -25,7 +25,10 @@ fn main() {
         ..WorkloadSpec::small(kind)
     };
 
-    println!("workload: {kind} (8 worker cores, {} items/core)\n", spec.items);
+    println!(
+        "workload: {kind} (8 worker cores, {} items/core)\n",
+        spec.items
+    );
     println!(
         "{:<10}{:>12}{:>12}{:>12}{:>12}{:>10}",
         "engine", "tx/ms", "lat(cyc)", "wrB/tx", "pJ/tx", "verify"
@@ -52,7 +55,8 @@ fn main() {
             if let Some(base) = baseline {
                 println!(
                     "{:<10}{:>12}",
-                    "", format!("(x{:.2} vs Opt-Redo)", r.throughput_tx_per_ms / base)
+                    "",
+                    format!("(x{:.2} vs Opt-Redo)", r.throughput_tx_per_ms / base)
                 );
             }
         }

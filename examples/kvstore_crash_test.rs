@@ -10,7 +10,6 @@
 
 use hoop_repro::prelude::*;
 use hoop_repro::workloads::driver::build_workload;
-use hoop_repro::workloads::TxWorkload;
 
 fn main() {
     let cfg = SimConfig::default();

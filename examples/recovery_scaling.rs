@@ -10,7 +10,10 @@ use hoop_repro::hoop::recovery::model_recovery_ms;
 use hoop_repro::prelude::*;
 
 fn main() {
-    println!("{:<9}{:>14}{:>14}{:>12}", "threads", "scanned_MB", "modeled_ms", "txs");
+    println!(
+        "{:<9}{:>14}{:>14}{:>12}",
+        "threads", "scanned_MB", "modeled_ms", "txs"
+    );
     for threads in [1usize, 2, 4, 8, 16] {
         let mut cfg = SimConfig::default();
         cfg.nvm.bandwidth_gbps = 25.0;

@@ -46,10 +46,10 @@ pub use workloads;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use hoop::engine::HoopEngine;
-    pub use simcore::{CoreId, PAddr, SimConfig, SimRng, TxId};
     pub use engines::system::System;
     pub use engines::PersistenceEngine;
+    pub use hoop::engine::HoopEngine;
+    pub use simcore::{CoreId, PAddr, SimConfig, SimRng, TxId};
     pub use workloads::driver::{build_system, Driver, ENGINES};
     pub use workloads::{WorkloadKind, WorkloadSpec};
 }

@@ -5,8 +5,9 @@
 use hoop_repro::prelude::*;
 use proptest::prelude::*;
 
-const PERSISTENT_ENGINES: [&str; 7] =
-    ["Opt-Redo", "Opt-Undo", "OSP", "LSM", "LAD", "HOOP", "HOOP-MC2"];
+const PERSISTENT_ENGINES: [&str; 7] = [
+    "Opt-Redo", "Opt-Undo", "OSP", "LSM", "LAD", "HOOP", "HOOP-MC2",
+];
 
 #[test]
 fn interleaved_disjoint_transactions_commit_independently() {
@@ -112,10 +113,10 @@ proptest! {
             }
             sys.crash_and_recover(2);
             for c in 0..2 {
-                for s in 0..8 {
+                for (s, &expected) in committed[c].iter().enumerate() {
                     prop_assert_eq!(
                         sys.peek_u64(bases[c].offset(s as u64 * 64)),
-                        committed[c][s],
+                        expected,
                         "{} core {} slot {}", engine, c, s
                     );
                 }

@@ -4,7 +4,6 @@
 
 use hoop_repro::prelude::*;
 use hoop_repro::workloads::driver::build_workload;
-use hoop_repro::workloads::TxWorkload;
 
 const ALL: [&str; 8] = [
     "Ideal", "Opt-Redo", "Opt-Undo", "OSP", "LSM", "LAD", "HOOP", "HOOP-MC2",
@@ -38,7 +37,11 @@ fn durable_image(engine: &str, kind: WorkloadKind, txs: u64) -> Vec<u8> {
 
 #[test]
 fn all_engines_drain_to_the_same_home_image() {
-    for kind in [WorkloadKind::Vector, WorkloadKind::Queue, WorkloadKind::Ycsb] {
+    for kind in [
+        WorkloadKind::Vector,
+        WorkloadKind::Queue,
+        WorkloadKind::Ycsb,
+    ] {
         let reference = durable_image("Ideal", kind, 80);
         for engine in ALL {
             let img = durable_image(engine, kind, 80);
@@ -64,7 +67,11 @@ fn run_until_extends_past_the_minimum_window() {
     driver.setup(&mut sys);
     // Demand a window far longer than 50 txs would produce.
     let report = driver.run_until(&mut sys, 10, 50, 200_000);
-    assert!(report.txs > 50, "run_until must keep issuing: {}", report.txs);
+    assert!(
+        report.txs > 50,
+        "run_until must keep issuing: {}",
+        report.txs
+    );
     assert!(
         report.cycles >= 200_000 || report.txs == 50 * 64,
         "window too short: {} cycles",

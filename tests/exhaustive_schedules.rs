@@ -6,8 +6,9 @@
 
 use hoop_repro::prelude::*;
 
-const PERSISTENT_ENGINES: [&str; 7] =
-    ["Opt-Redo", "Opt-Undo", "OSP", "LSM", "LAD", "HOOP", "HOOP-MC2"];
+const PERSISTENT_ENGINES: [&str; 7] = [
+    "Opt-Redo", "Opt-Undo", "OSP", "LSM", "LAD", "HOOP", "HOOP-MC2",
+];
 
 /// One atomic step of the schedule: (core, action).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

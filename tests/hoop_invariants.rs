@@ -72,7 +72,11 @@ fn gc_is_idempotent_and_region_reusable() {
     e.run_gc(100_000);
     let out1 = e.stats().gc_bytes_out.get();
     e.run_gc(200_000);
-    assert_eq!(e.stats().gc_bytes_out.get(), out1, "second GC must be a no-op");
+    assert_eq!(
+        e.stats().gc_bytes_out.get(),
+        out1,
+        "second GC must be a no-op"
+    );
     // The region is empty and reusable.
     assert_eq!(e.oop_region().fill_fraction(), 0.0);
     for i in 0..200u64 {
@@ -81,7 +85,7 @@ fn gc_is_idempotent_and_region_reusable() {
     e.crash();
     e.recover(2);
     for slot in 0..32u64 {
-        let want = 1000 + (0..200).filter(|i| i % 32 == slot).next_back().expect("exists");
+        let want = 1000 + (0..200).rfind(|i| i % 32 == slot).expect("exists");
         assert_eq!(e.durable().read_u64(PAddr(slot * 64)), want);
     }
 }

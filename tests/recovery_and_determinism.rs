@@ -2,7 +2,6 @@
 
 use hoop_repro::prelude::*;
 use hoop_repro::workloads::driver::build_workload;
-use hoop_repro::workloads::TxWorkload;
 
 #[test]
 fn recovery_result_is_thread_count_invariant_at_system_level() {
@@ -80,7 +79,10 @@ fn recovery_report_accounts_scanned_slices() {
     }
     sys.crash();
     let report = sys.recover(4);
-    assert!(report.bytes_scanned >= 50 * 128, "each tx wrote >= one slice");
+    assert!(
+        report.bytes_scanned >= 50 * 128,
+        "each tx wrote >= one slice"
+    );
     assert!(report.bytes_written >= 8 * 64, "eight lines migrated home");
     assert!(report.modeled_ms > 0.0);
     assert_eq!(report.txs_replayed, 50);
@@ -103,9 +105,7 @@ fn all_engines_recover_to_identical_committed_state() {
             sys.tx_end(CoreId(0), tx);
         }
         sys.crash_and_recover(2);
-        let img: Vec<u64> = (0..16)
-            .map(|w| sys.peek_u64(base.offset(w * 32)))
-            .collect();
+        let img: Vec<u64> = (0..16).map(|w| sys.peek_u64(base.offset(w * 32))).collect();
         images.push((engine.to_string(), img));
     }
     for pair in images.windows(2) {

@@ -5,7 +5,6 @@
 use hoop_repro::engines::trace::Trace;
 use hoop_repro::prelude::*;
 use hoop_repro::workloads::driver::build_workload;
-use hoop_repro::workloads::TxWorkload;
 
 fn record_reference() -> (Trace, Vec<(u64, Vec<u8>)>) {
     // Record a hashmap workload on the Ideal engine, capturing the initial
@@ -22,7 +21,12 @@ fn record_reference() -> (Trace, Vec<(u64, Vec<u8>)>) {
     w.setup(&mut sys, CoreId(0));
     // Snapshot the populated region for replay setup.
     let base_image: Vec<(u64, Vec<u8>)> = (0..1024u64)
-        .map(|i| (4096 + i * 64, sys.peek_vec(simcore::PAddr(4096 + i * 64), 64)))
+        .map(|i| {
+            (
+                4096 + i * 64,
+                sys.peek_vec(simcore::PAddr(4096 + i * 64), 64),
+            )
+        })
         .collect();
     sys.start_recording();
     for _ in 0..80 {
@@ -54,7 +58,10 @@ fn trace_replays_identically_on_all_engines() {
     let reference = replay_on("HOOP", &trace, &image);
     for engine in ["Opt-Redo", "Opt-Undo", "OSP", "LSM", "LAD", "HOOP-MC2"] {
         let got = replay_on(engine, &trace, &image);
-        assert_eq!(got, reference, "{engine} diverged from HOOP on the same trace");
+        assert_eq!(
+            got, reference,
+            "{engine} diverged from HOOP on the same trace"
+        );
     }
 }
 
@@ -98,7 +105,9 @@ fn replay_with_mid_trace_crash_keeps_committed_prefix() {
         assert_eq!(replayed.peek_u64(base.offset(i * 64)), i + 1);
     }
     // Appending junk keeps the parser honest.
-    trace.events.push(hoop_repro::engines::trace::TraceEvent::Crash);
+    trace
+        .events
+        .push(hoop_repro::engines::trace::TraceEvent::Crash);
     let text = trace.to_text();
     assert!(Trace::from_text(&text).is_ok());
 }

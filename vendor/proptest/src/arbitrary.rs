@@ -1,0 +1,42 @@
+//! The [`Arbitrary`] trait: full-domain generation for primitive types.
+
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy (see [`crate::strategy::any`]).
+pub trait Arbitrary: std::fmt::Debug {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::for_case(5, 0);
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[usize::from(bool::arbitrary(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal in-tree replacement for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched from crates.io. This shim implements exactly the API surface the
+//! workspace's property tests use — `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_oneof!`, integer-range / tuple / `any` / vec
+//! strategies and `.prop_map` — with deterministic case generation and **no
+//! shrinking** (a failing case prints its inputs instead).
+//!
+//! Determinism: each test derives its RNG seed from the test name and case
+//! index, so a failure reproduces bit-for-bit on every run and machine. The
+//! case count comes from `ProptestConfig::with_cases`, overridable with the
+//! `PROPTEST_CASES` environment variable (used by CI for reduced profiles).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(binding in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __cases = __config.resolved_cases();
+            let __strategies = ($($strat,)+);
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    $crate::test_runner::fnv1a(stringify!($name).as_bytes()),
+                    u64::from(__case),
+                );
+                let ($($arg,)+) = {
+                    let ($(ref $arg,)+) = __strategies;
+                    ($($crate::strategy::Strategy::generate($arg, &mut __rng),)+)
+                };
+                let __inputs = format!("{:?}", ($(&$arg,)+));
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}\ninputs: {}",
+                        stringify!($name),
+                        __case,
+                        __cases,
+                        e,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (with
+/// its inputs printed) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        $crate::prop_assert_eq!($left, $right, "assertion `left == right` failed")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            format!($($fmt)+),
+                            __l,
+                            __r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies producing
+/// the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
