@@ -17,7 +17,7 @@ use workloads::driver::ENGINES;
 fn main() {
     let opts = RunnerOptions::from_args();
     let plan = ExperimentPlan::matrix("fig8", SimConfig::default(), opts.scale);
-    let cells = plan.run_and_export(opts.jobs);
+    let cells = plan.run_and_export_opts(&opts);
     let reports: Vec<_> = cells.into_iter().map(|c| c.report).collect();
 
     let head = format!("workload,{}", ENGINES.join(","));

@@ -1,7 +1,7 @@
 //! `hoopsim` — command-line front end for the HOOP simulator.
 //!
 //! ```text
-//! hoopsim run      --engine HOOP --workload ycsb --txs 20000 [--item-bytes 1024]
+//! hoopsim run      --engine HOOP --workload ycsb --txs 20000 [--item-bytes 1024] [--sanitize]
 //! hoopsim compare  --workload hashmap [--txs 10000]
 //! hoopsim recover  [--threads 8] [--bandwidth 25]
 //! hoopsim trace    --workload vector --txs 200 --out trace.txt
@@ -10,20 +10,19 @@
 //! hoopsim list
 //! ```
 
-use std::collections::HashMap;
-
 use engines::trace::Trace;
 use hoop::area::{area_overhead, ReferencePackage};
 use hoop::recovery::model_recovery_ms;
 use simcore::config::SimConfig;
+use simcore::det::DetHashMap;
 use simcore::CoreId;
 use workloads::driver::{build_system, build_workload, Driver, ENGINES};
 use workloads::{WorkloadKind, WorkloadSpec};
 
-fn parse_args() -> (String, HashMap<String, String>) {
+fn parse_args() -> (String, DetHashMap<String, String>) {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| "help".into());
-    let mut opts = HashMap::new();
+    let mut opts = DetHashMap::default();
     let mut key: Option<String> = None;
     for a in args {
         if let Some(k) = a.strip_prefix("--") {
@@ -57,7 +56,7 @@ fn kind_of(name: &str) -> WorkloadKind {
     }
 }
 
-fn spec_from(opts: &HashMap<String, String>) -> WorkloadSpec {
+fn spec_from(opts: &DetHashMap<String, String>) -> WorkloadSpec {
     let kind = kind_of(
         opts.get("workload")
             .map(String::as_str)
@@ -78,7 +77,7 @@ fn spec_from(opts: &HashMap<String, String>) -> WorkloadSpec {
     spec
 }
 
-fn u64_opt(opts: &HashMap<String, String>, key: &str, default: u64) -> u64 {
+fn u64_opt(opts: &DetHashMap<String, String>, key: &str, default: u64) -> u64 {
     opts.get(key)
         .map(|v| {
             v.parse()
@@ -88,11 +87,30 @@ fn u64_opt(opts: &HashMap<String, String>, key: &str, default: u64) -> u64 {
 }
 
 fn run_one(engine: &str, spec: WorkloadSpec, txs: u64) -> workloads::driver::RunReport {
+    run_one_sanitized(engine, spec, txs, false).0
+}
+
+fn run_one_sanitized(
+    engine: &str,
+    spec: WorkloadSpec,
+    txs: u64,
+    sanitize: bool,
+) -> (
+    workloads::driver::RunReport,
+    Option<pmcheck::SanitizerSummary>,
+) {
     let cfg = SimConfig::default();
     let mut sys = build_system(engine, &cfg);
+    let san = sanitize.then(|| {
+        let (san, handle) = pmcheck::PersistencySanitizer::shared();
+        sys.attach_sanitizer(handle);
+        san
+    });
     let mut driver = Driver::new(spec, &cfg);
     driver.setup(&mut sys);
-    driver.run(&mut sys, txs / 10, txs)
+    let report = driver.run(&mut sys, txs / 10, txs);
+    let summary = san.map(|s| s.lock().expect("sanitizer poisoned").summary());
+    (report, summary)
 }
 
 fn main() {
@@ -102,12 +120,25 @@ fn main() {
             let engine = opts.get("engine").map(String::as_str).unwrap_or("HOOP");
             let spec = spec_from(&opts);
             let txs = u64_opt(&opts, "txs", 10_000);
-            let r = run_one(engine, spec, txs);
+            let sanitize = opts.contains_key("sanitize");
+            let (r, summary) = run_one_sanitized(engine, spec, txs, sanitize);
             println!("{}", r.summary());
             println!(
                 "  miss_ratio={:.3}  loads/miss={:.2}  gc_reduction={:.3}  verify_errors={}",
                 r.llc_miss_ratio, r.loads_per_miss, r.gc_reduction, r.verify_errors
             );
+            if let Some(s) = summary {
+                println!(
+                    "  sanitizer: {} events, {} lines, {} violation(s), {} redundant flush(es)",
+                    s.events, s.lines_tracked, s.violations, s.redundant_flushes
+                );
+                for sample in &s.samples {
+                    println!("    {sample}");
+                }
+                if !s.is_clean() {
+                    std::process::exit(1);
+                }
+            }
         }
         "compare" => {
             let spec = spec_from(&opts);

@@ -11,7 +11,8 @@ fn main() {
         .unwrap_or(0);
     let sim = SimConfig::default();
     for e in ENGINES {
-        let t = std::time::Instant::now();
+        // Host-side profiling of the simulator itself, not simulated time.
+        let t = std::time::Instant::now(); // lint:allow(wall-clock)
         let spec = spec_for(MATRIX[idx], Scale::Full);
         let mut sys = build_system(e, &sim);
         let mut driver = Driver::new(spec, &sim);

@@ -23,6 +23,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use pmcheck::{PersistencySanitizer, SanitizerSummary};
 use simcore::config::SimConfig;
 use workloads::driver::{build_system, Driver, RunReport, ENGINES};
 
@@ -34,23 +35,29 @@ use crate::json::Json;
 pub const RESULT_SCHEMA_VERSION: u64 = 1;
 
 /// Command-line options shared by every figure/table binary:
-/// `--quick`/`--full` selects the [`Scale`], `--jobs N` the worker count.
+/// `--quick`/`--full` selects the [`Scale`], `--jobs N` the worker count,
+/// `--sanitize` attaches the persistency sanitizer to every cell.
 #[derive(Clone, Copy, Debug)]
 pub struct RunnerOptions {
     /// Experiment scale.
     pub scale: Scale,
     /// Worker threads for cell execution.
     pub jobs: usize,
+    /// Attach the persistency sanitizer (`pmcheck`) to every cell. Off by
+    /// default so unsanitized runs stay byte-identical to older builds.
+    pub sanitize: bool,
 }
 
 impl RunnerOptions {
-    /// Parses `--quick` / `--full` / `--jobs N` (or `--jobs=N`) from argv.
-    /// Defaults: full scale, all available cores.
+    /// Parses `--quick` / `--full` / `--jobs N` (or `--jobs=N`) /
+    /// `--sanitize` from argv. Defaults: full scale, all available cores,
+    /// sanitizer off.
     pub fn from_args() -> RunnerOptions {
         let args: Vec<String> = std::env::args().collect();
         RunnerOptions {
             scale: Scale::from_args(),
             jobs: parse_jobs(&args).unwrap_or_else(default_jobs),
+            sanitize: args.iter().any(|a| a == "--sanitize"),
         }
     }
 }
@@ -114,6 +121,9 @@ pub struct CellResult {
     pub seed: u64,
     /// The full measurement report (metrics + raw counter snapshots).
     pub report: RunReport,
+    /// Persistency-sanitizer summary (`Some` only on `--sanitize` runs; the
+    /// JSON document is unchanged when absent).
+    pub sanitizer: Option<SanitizerSummary>,
 }
 
 impl CellResult {
@@ -123,7 +133,7 @@ impl CellResult {
         let r = &self.report;
         let es = &r.engine_stats;
         let hs = &r.hier_stats;
-        Json::obj([
+        let mut fields = vec![
             ("engine", Json::Str(self.engine.to_string())),
             ("workload", Json::Str(self.workload.to_string())),
             ("seed", Json::UInt(self.seed)),
@@ -199,8 +209,37 @@ impl CellResult {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(s) = &self.sanitizer {
+            fields.push(("sanitizer", sanitizer_json(s)));
+        }
+        Json::obj(fields)
     }
+}
+
+/// Serializes a [`SanitizerSummary`] (per-class counts plus formatted
+/// samples of the first hard violations).
+pub fn sanitizer_json(s: &SanitizerSummary) -> Json {
+    Json::obj([
+        ("engine", Json::Str(s.engine.clone())),
+        ("events", Json::UInt(s.events)),
+        ("lines_tracked", Json::UInt(s.lines_tracked)),
+        ("violations", Json::UInt(s.violations)),
+        ("redundant_flushes", Json::UInt(s.redundant_flushes)),
+        (
+            "by_class",
+            Json::Obj(
+                s.by_class
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::UInt(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "samples",
+            Json::Arr(s.samples.iter().map(|v| Json::Str(v.clone())).collect()),
+        ),
+    ])
 }
 
 /// A named grid of cells to execute at one scale.
@@ -256,15 +295,30 @@ impl ExperimentPlan {
     /// plan order. Panics (after joining workers) if any cell failed
     /// verification — a corrupted cell must never silently enter results.
     pub fn run(&self, jobs: usize) -> Vec<CellResult> {
+        self.run_sanitized(jobs, false)
+    }
+
+    /// Like [`run`](ExperimentPlan::run), optionally attaching the
+    /// persistency sanitizer to every cell. Panics if any sanitized cell
+    /// reports a hard ordering violation (samples are printed first).
+    pub fn run_sanitized(&self, jobs: usize, sanitize: bool) -> Vec<CellResult> {
         let results = run_parallel(&self.cells, jobs, |cell| {
             let seed = derive_cell_seed(cell.engine, cell.workload.label);
-            let report = run_cell_seeded(cell.engine, cell.workload, &self.sim, self.scale, seed);
+            let (report, sanitizer) = run_cell_seeded_sanitized(
+                cell.engine,
+                cell.workload,
+                &self.sim,
+                self.scale,
+                seed,
+                sanitize,
+            );
             eprintln!("  {}", report.summary());
             CellResult {
                 engine: cell.engine,
                 workload: cell.workload.label,
                 seed,
                 report,
+                sanitizer,
             }
         });
         for r in &results {
@@ -273,6 +327,18 @@ impl ExperimentPlan {
                 "{}/{} corrupted data",
                 r.engine, r.workload
             );
+            if let Some(s) = &r.sanitizer {
+                for sample in &s.samples {
+                    eprintln!("  sanitizer: {sample}");
+                }
+                assert!(
+                    s.is_clean(),
+                    "{}/{}: {} persistency violation(s)",
+                    r.engine,
+                    r.workload,
+                    s.violations
+                );
+            }
         }
         results
     }
@@ -280,6 +346,14 @@ impl ExperimentPlan {
     /// Runs the plan and writes `results/<name>.json`; returns the results.
     pub fn run_and_export(&self, jobs: usize) -> Vec<CellResult> {
         let results = self.run(jobs);
+        write_json(self.name, self.scale, &results);
+        results
+    }
+
+    /// [`run_and_export`](ExperimentPlan::run_and_export) honoring the full
+    /// option set (`--jobs`, `--sanitize`).
+    pub fn run_and_export_opts(&self, opts: &RunnerOptions) -> Vec<CellResult> {
+        let results = self.run_sanitized(opts.jobs, opts.sanitize);
         write_json(self.name, self.scale, &results);
         results
     }
@@ -293,9 +367,27 @@ pub fn run_cell_seeded(
     scale: Scale,
     seed: u64,
 ) -> RunReport {
+    run_cell_seeded_sanitized(engine, wcfg, sim, scale, seed, false).0
+}
+
+/// Like [`run_cell_seeded`], optionally auditing the whole cell (setup,
+/// warmup and measurement) with an attached [`PersistencySanitizer`].
+pub fn run_cell_seeded_sanitized(
+    engine: &str,
+    wcfg: WorkloadConfig,
+    sim: &SimConfig,
+    scale: Scale,
+    seed: u64,
+    sanitize: bool,
+) -> (RunReport, Option<SanitizerSummary>) {
     let mut spec = spec_for(wcfg, scale);
     spec.seed = seed;
     let mut sys = build_system(engine, sim);
+    let san = sanitize.then(|| {
+        let (san, handle) = PersistencySanitizer::shared();
+        sys.attach_sanitizer(handle);
+        san
+    });
     let mut driver = Driver::new(spec, sim);
     driver.setup(&mut sys);
     let min_cycles = match scale {
@@ -304,7 +396,8 @@ pub fn run_cell_seeded(
     };
     let mut report = driver.run_until(&mut sys, scale.warmup(), scale.measured(), min_cycles);
     report.workload = wcfg.label.to_string();
-    report
+    let summary = san.map(|s| s.lock().expect("sanitizer poisoned").summary());
+    (report, summary)
 }
 
 /// Maps `f` over `items` on `jobs` worker threads, returning results in

@@ -11,6 +11,7 @@
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
+use simcore::sanitize::SanitizerHandle;
 use simcore::{Cycle, PAddr, TxId};
 
 use crate::traits::{EngineStats, MissFill};
@@ -24,6 +25,10 @@ pub struct ControllerBase {
     pub store: PersistentStore,
     /// Common counters.
     pub stats: EngineStats,
+    /// Persistency-sanitizer hooks (detached by default; engines report
+    /// their durability events — persists, home writes, commit records —
+    /// through this handle).
+    pub san: SanitizerHandle,
     next_tx: u64,
 }
 
@@ -34,6 +39,7 @@ impl ControllerBase {
             device: NvmDevice::new(cfg.nvm, cfg.energy),
             store: PersistentStore::new(),
             stats: EngineStats::default(),
+            san: SanitizerHandle::none(),
             next_tx: 1,
         }
     }
@@ -70,6 +76,7 @@ impl ControllerBase {
         self.device
             .access(now, line.base(), CACHE_LINE_BYTES, Op::Write, class);
         self.store.write_bytes(line.base(), data);
+        self.san.home_write(line, now);
     }
 
     /// Issues a pipelined write burst of `bytes` at `base` and returns the

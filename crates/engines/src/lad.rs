@@ -126,6 +126,15 @@ impl PersistenceEngine for LadEngine {
             .map(|l| Line(*l).base())
             .unwrap_or(PAddr(0));
         let done = self.base.write_burst(first, bytes, now, TrafficClass::Data);
+        for l in lines.keys() {
+            // The ordered home burst makes every queued line durable.
+            self.base.san.data_persisted(tx, Line(*l), done);
+        }
+        // Commit completes when the controller handshake acknowledges the
+        // burst — the transaction's durable point.
+        self.base
+            .san
+            .commit_record(tx, done + COMMIT_PROTOCOL_CYCLES);
         let mut clean_lines = Vec::with_capacity(lines.len());
         for (l, img) in lines {
             clean_lines.push(Line(l));
@@ -173,6 +182,10 @@ impl PersistenceEngine for LadEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
+        self.base.san = handle;
     }
 
     fn reset_counters(&mut self) {

@@ -283,6 +283,14 @@ impl PersistenceEngine for LsmEngine {
         self.log_head = (self.log_head + bytes) % (1 << 34);
         let done = self.base.write_burst(slot, bytes, now, TrafficClass::Log);
         let mut clean_lines = Vec::with_capacity(per_line.len());
+        for l in per_line.keys() {
+            // The log append carries every word update durably; the burst
+            // completing is when each line's payload is persistent.
+            self.base.san.data_persisted(tx, Line(*l), done);
+        }
+        // The same burst ends with the transaction marker — the durable
+        // commit point.
+        self.base.san.commit_record(tx, done);
         for (l, ws) in per_line {
             clean_lines.push(Line(l));
             self.index.insert(l, self.log.len() as u64);
@@ -371,6 +379,10 @@ impl PersistenceEngine for LsmEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
+        self.base.san = handle;
     }
 
     fn reset_counters(&mut self) {

@@ -182,12 +182,19 @@ impl PersistenceEngine for OspEngine {
         for t in lines.values() {
             done = done.max(t.persisted_at);
         }
+        // Every shadow line is durable once the waits resolve — strictly
+        // before the committed-bit flip below.
+        for l in lines.keys() {
+            self.base.san.data_persisted(tx, Line(*l), done);
+        }
         done = self.base.write_burst(
             self.shadow_region,
             n * COMMIT_META_BYTES,
             done,
             TrafficClass::Metadata,
         );
+        // The committed-bit metadata write is the durable commit point.
+        self.base.san.commit_record(tx, done);
         let mut latency =
             done.saturating_sub(now) + (costs::TLB_SHOOTDOWN as f64 * SHOOTDOWN_FRACTION) as Cycle;
 
@@ -255,6 +262,10 @@ impl PersistenceEngine for OspEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
+        self.base.san = handle;
     }
 
     fn reset_counters(&mut self) {

@@ -197,12 +197,16 @@ impl PersistenceEngine for OptRedoEngine {
         let mut clean_lines = Vec::with_capacity(lines.len());
         for (l, img) in lines {
             clean_lines.push(Line(l));
+            self.base.san.data_persisted(tx, Line(l), now);
             self.log.push(RedoRecord {
                 line: Line(l),
                 image: img,
             });
             self.pending.insert(l, img);
         }
+        // The burst carries data + metadata; its completion is the durable
+        // commit point (redo data is persistent strictly before then).
+        self.base.san.commit_record(tx, done);
         let latency = done.saturating_sub(now);
         self.base.stats.commit_stall_cycles.add(latency);
         self.base.stats.committed_txs.inc();
@@ -264,6 +268,10 @@ impl PersistenceEngine for OptRedoEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
+        self.base.san = handle;
     }
 
     fn reset_counters(&mut self) {

@@ -26,6 +26,7 @@ use memhier::Hierarchy;
 use nvm::PersistentStore;
 use simcore::addr::{lines_covering, CACHE_LINE_BYTES};
 use simcore::alloc::BumpAllocator;
+use simcore::sanitize::SanitizerHandle;
 use simcore::stats::Histogram;
 use simcore::{CoreId, Cycle, PAddr, SimConfig, TxId};
 
@@ -47,6 +48,7 @@ pub struct System {
     heap: BumpAllocator,
     tx_latency: Histogram,
     recording: Option<Trace>,
+    san: SanitizerHandle,
 }
 
 impl std::fmt::Debug for System {
@@ -78,7 +80,19 @@ impl System {
             heap,
             tx_latency: Histogram::new(),
             recording: None,
+            san: SanitizerHandle::none(),
         }
+    }
+
+    /// Attaches a persistency sanitizer to the machine *and* its engine:
+    /// the system reports the architectural event stream (transactional
+    /// stores, evictions, transaction boundaries, crashes) while the engine
+    /// reports its protocol-level durability events. Detached by default —
+    /// un-sanitized runs are byte-identical to builds without the hooks.
+    pub fn attach_sanitizer(&mut self, handle: SanitizerHandle) {
+        handle.set_engine(self.engine.name());
+        self.san = handle.clone();
+        self.engine.attach_sanitizer(handle);
     }
 
     /// Starts recording the transactional event stream (see
@@ -161,6 +175,7 @@ impl System {
         self.record(TraceEvent::TxBegin { core: core.0 });
         self.clocks[c] += costs::TX_BEGIN_OVERHEAD;
         let tx = self.engine.tx_begin(core, self.clocks[c]);
+        self.san.tx_begin(core, tx, self.clocks[c]);
         self.active_tx[c] = Some(tx);
         self.tx_start[c] = self.clocks[c];
         tx
@@ -182,6 +197,7 @@ impl System {
         for line in outcome.clean_lines {
             self.hier.clean_line(line);
         }
+        self.san.tx_committed(tx, self.clocks[c]);
         self.active_tx[c] = None;
         self.tx_latency.record(self.clocks[c] - self.tx_start[c]);
         // Give background machinery (GC, checkpointing) a chance to run; any
@@ -209,6 +225,8 @@ impl System {
                 let data = self
                     .volatile
                     .read_vec(ev.line.base(), CACHE_LINE_BYTES as usize);
+                self.san
+                    .evict_dirty(ev.line, ev.persistent, self.clocks[c] + latency);
                 self.engine
                     .on_evict_dirty(ev.line, ev.persistent, &data, self.clocks[c] + latency);
             }
@@ -262,6 +280,15 @@ impl System {
         let lat = self.access_lines(core, addr, data.len() as u64, true);
         self.clocks[c] += lat;
         self.volatile.write_bytes(addr, data);
+        if self.san.is_active() {
+            let tx = self.active_tx[c];
+            for line in lines_covering(addr, data.len() as u64) {
+                match tx {
+                    Some(tx) => self.san.tx_store(tx, line, self.clocks[c]),
+                    None => self.san.volatile_store(line, self.clocks[c]),
+                }
+            }
+        }
         if let Some(tx) = self.active_tx[c] {
             let extra = self.engine.on_store(core, tx, addr, data, self.clocks[c]);
             self.clocks[c] += extra;
@@ -282,6 +309,7 @@ impl System {
             let data = self
                 .volatile
                 .read_vec(ev.line.base(), CACHE_LINE_BYTES as usize);
+            self.san.evict_dirty(ev.line, ev.persistent, now);
             self.engine
                 .on_evict_dirty(ev.line, ev.persistent, &data, now);
         }
@@ -298,6 +326,7 @@ impl System {
         for t in &mut self.active_tx {
             *t = None;
         }
+        self.san.crash();
         self.engine.crash();
     }
 

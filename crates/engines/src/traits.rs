@@ -9,6 +9,7 @@
 
 use nvm::{NvmDevice, PersistentStore};
 use simcore::addr::Line;
+use simcore::sanitize::SanitizerHandle;
 use simcore::stats::Counter;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
@@ -216,6 +217,14 @@ pub trait PersistenceEngine: Send {
     /// Enables per-line endurance tracking on the engine's NVM device
     /// (lifetime studies; off by default).
     fn enable_endurance_tracking(&mut self) {}
+
+    /// Attaches a persistency sanitizer. Engines that support auditing
+    /// store the handle (usually in their `ControllerBase`) and report
+    /// durability events through it; the default drops the handle, so the
+    /// sanitizer simply sees no engine-side events.
+    fn attach_sanitizer(&mut self, handle: SanitizerHandle) {
+        let _ = handle;
+    }
 
     /// Resets statistics and device counters (e.g. after warmup).
     fn reset_counters(&mut self);

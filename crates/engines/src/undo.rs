@@ -197,17 +197,23 @@ impl PersistenceEngine for OptUndoEngine {
             if !t.evicted {
                 self.base.store.write_bytes(Line(l).base(), &t.image);
             }
+            // All write-set data (ordered burst now, or an earlier steal
+            // write-back) is durably home by `done`.
+            self.base.san.data_persisted(tx, Line(l), done);
         }
         // Truncate this transaction's records; the durable truncation
         // marker is bumped asynchronously (ATOM's log management runs in
         // the controller off the critical path).
         self.log.retain(|r| r.tx != tx);
-        let _ = self.base.write_burst(
+        let marker_done = self.base.write_burst(
             self.log_region,
             COMMIT_MARKER_BYTES,
             done,
             TrafficClass::Metadata,
         );
+        // The truncation marker is the durable commit point: it follows the
+        // log and the ordered data writes.
+        self.base.san.commit_record(tx, marker_done);
         let latency = done.saturating_sub(now);
         self.base.stats.commit_stall_cycles.add(latency);
         self.base.stats.committed_txs.inc();
@@ -261,6 +267,10 @@ impl PersistenceEngine for OptUndoEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
+        self.base.san = handle;
     }
 
     fn reset_counters(&mut self) {

@@ -224,7 +224,8 @@ impl HoopEngine {
     ) -> Cycle {
         debug_assert!(!batch.is_empty());
         let (slot, mut stall) = self.alloc_slot(now);
-        let tx = self.cores[core].tx.expect("flush outside tx").as_u32();
+        let txid = self.cores[core].tx.expect("flush outside tx");
+        let tx = txid.as_u32();
         let slice = DataSlice {
             words: batch,
             link: self.cores[core].prev_slot,
@@ -244,11 +245,23 @@ impl HoopEngine {
         let done = self
             .base
             .write_burst(addr, flush, now + stall, TrafficClass::Log);
+        let block = self.region.slot_block(slot);
         for w in &slice.words {
             self.mapping
                 .insert(w.home.line(), slot, 1 << w.home.word_in_line());
+            if self.base.san.is_active() {
+                // The slice burst completing is when these words' newest
+                // versions are durable out of place.
+                self.base.san.data_persisted(txid, w.home.line(), done);
+                self.base.san.map_insert(w.home.line(), block as u32, done);
+            }
         }
-        let block = self.region.slot_block(slot);
+        if commit {
+            // The tail slice's commit flag is the durable commit point
+            // (§III-C); it must be announced before any GC the mapping-table
+            // pressure check below may trigger.
+            self.base.san.commit_record(txid, done);
+        }
         self.region.block_mut(block).add_uncommitted(1);
         let c = &mut self.cores[core];
         c.outstanding = c.outstanding.max(done);
@@ -357,6 +370,11 @@ impl PersistenceEngine for HoopEngine {
         let mut latency = costs::MAPPING_TABLE_LOOKUP;
         if let Some(entry) = self.mapping.remove(line) {
             self.base.stats.misses_served.inc();
+            if self.base.san.is_active() {
+                let block = self.region.slot_block(entry.slot) as u32;
+                self.base.san.redirected_read(line, block, now);
+                self.base.san.map_remove(line, now);
+            }
             // Redirected read: fetch the newest slice; when the cumulative
             // word coverage is partial, the home line is read in parallel to
             // reconstruct the full line (§III-G, step 4/5).
@@ -443,6 +461,9 @@ impl PersistenceEngine for HoopEngine {
             done = self
                 .base
                 .write_burst(addr, COMMIT_APPEND_BYTES, issue, TrafficClass::Metadata);
+            // Setting the tail flag on the already-durable slice is the
+            // commit point for this path.
+            self.base.san.commit_record(tx, done);
         }
         let last_slot = self.cores[ci].prev_slot;
         if last_slot != NO_LINK {
@@ -525,6 +546,7 @@ impl PersistenceEngine for HoopEngine {
     fn crash(&mut self) {
         // Power loss: every SRAM structure in the controller vanishes. The
         // OOP region contents and block headers are NVM-resident and stay.
+        self.base.san.mapping_cleared(0);
         self.mapping.clear();
         self.evict_buf.clear();
         for c in &mut self.cores {
@@ -570,6 +592,10 @@ impl PersistenceEngine for HoopEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
+        self.base.san = handle;
     }
 
     fn reset_counters(&mut self) {

@@ -146,7 +146,11 @@ impl HoopEngine {
             let mut tx_lines: DetHashSet<u64> = DetHashSet::default();
             for slice in &chain {
                 for w in &slice.words {
-                    tx_lines.insert(w.home.line().0);
+                    if tx_lines.insert(w.home.line().0) {
+                        // GC may only migrate versions of the committed
+                        // prefix; announce each migrated (tx, line) pair.
+                        self.base.san.gc_migrate(rec.tx, w.home.line(), now);
+                    }
                     coalesced.entry(w.home.0).or_insert(w.value);
                 }
             }
@@ -204,6 +208,7 @@ impl HoopEngine {
             self.evict_buf.insert(Line(*l), *img);
             // Algorithm 1, lines 22-23: drop the mapping entry.
             self.mapping.remove(Line(*l));
+            self.base.san.map_remove(Line(*l), t);
         }
         self.base.stats.gc_bytes_out.add(out_bytes);
 
@@ -247,6 +252,8 @@ impl HoopEngine {
             let b = self.region.block(i);
             if b.allocated() > 0 && b.uncommitted() == 0 {
                 self.region.reclaim_block(i);
+                // Every mapping entry into this block must be gone by now.
+                self.base.san.block_reclaim(i as u32, t);
                 let header = self.region.header_word(i);
                 self.base
                     .store

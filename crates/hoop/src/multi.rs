@@ -539,6 +539,15 @@ impl PersistenceEngine for MultiHoopEngine {
                     self.ctrls[*ctrl].region.block_mut(b).add_uncommitted(-1);
                 }
             }
+            if self.base.san.is_active() {
+                // Every participant's slices were durable when its prepare
+                // record was acknowledged; the coordinator's commit record
+                // is the transaction's durable point (§III-I).
+                for l in self.cores[ci].touched_lines.iter() {
+                    self.base.san.data_persisted(tx, Line(*l), prepare_done);
+                }
+                self.base.san.commit_record(tx, done);
+            }
         }
         self.base
             .stats
@@ -563,6 +572,7 @@ impl PersistenceEngine for MultiHoopEngine {
     }
 
     fn crash(&mut self) {
+        self.base.san.mapping_cleared(0);
         for c in &mut self.cores {
             c.tx = None;
             for chain in &mut c.chains {
@@ -588,10 +598,19 @@ impl PersistenceEngine for MultiHoopEngine {
     fn recover(&mut self, threads: usize) -> RecoveryReport {
         let (committed, prepared, _, scanned) = self.scan_all();
         let txs_replayed = committed.len() as u64;
+        if self.base.san.is_active() {
+            let mut txs: Vec<u32> = committed.iter().copied().collect();
+            txs.sort_unstable();
+            for t in txs {
+                self.base.san.recovery_replay(t, 0);
+            }
+        }
         self.migrate_committed_home();
         let scan_bytes = scanned * SLICE_BYTES;
         let prepared_total: usize = prepared.iter().map(Vec::len).sum();
         let _ = prepared_total;
+        self.base.san.mapping_cleared(0);
+        self.base.san.region_cleared(0);
         for ctrl in &mut self.ctrls {
             ctrl.region.reclaim_all();
             ctrl.mapping.clear();
@@ -628,6 +647,10 @@ impl PersistenceEngine for MultiHoopEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
+        self.base.san = handle;
     }
 
     fn reset_counters(&mut self) {

@@ -73,6 +73,10 @@ impl HoopEngine {
         // way §III-F describes.
         records.sort_by_key(|r| r.tx);
         let txs_replayed = records.len() as u64;
+        for rec in &records {
+            // Recovery must replay exactly the committed prefix.
+            self.base.san.recovery_replay(rec.tx, 0);
+        }
 
         // Phase 1: parallel scan. Each thread walks its share of the
         // committed transactions and keeps the largest-TxID value per word.
@@ -152,9 +156,11 @@ impl HoopEngine {
         // Phase 4: clear the controller structures and the OOP region
         // (§III-F: "the mapping table, eviction buffer, and OOP region are
         // cleared").
+        self.base.san.mapping_cleared(0);
         self.mapping.clear();
         self.evict_buf.clear();
         self.clear_open_addr_slice();
+        self.base.san.region_cleared(0);
         self.region.reclaim_all();
 
         let modeled_ms = model_recovery_ms(

@@ -1,7 +1,7 @@
 //! Property tests for the cache hierarchy: inclusion, dirty-data
 //! conservation, and flush/clean semantics under random access streams.
 
-use std::collections::HashSet;
+use simcore::det::DetHashSet;
 
 use memhier::Hierarchy;
 use proptest::prelude::*;
@@ -45,7 +45,7 @@ proptest! {
     fn dirty_data_is_conserved(ops in prop::collection::vec(op_strategy(), 1..300)) {
         let cfg = SimConfig::small_for_tests();
         let mut h = Hierarchy::new(&cfg);
-        let mut dirty_somewhere: HashSet<u64> = HashSet::new();
+        let mut dirty_somewhere: DetHashSet<u64> = DetHashSet::default();
 
         for op in &ops {
             match op {
@@ -79,7 +79,7 @@ proptest! {
         }
 
         // Drain: everything still tracked must come out dirty exactly once.
-        let drained: HashSet<u64> = h.drain_dirty().into_iter().map(|e| e.line.0).collect();
+        let drained: DetHashSet<u64> = h.drain_dirty().into_iter().map(|e| e.line.0).collect();
         prop_assert_eq!(&drained, &dirty_somewhere, "drain must return the dirty residue");
     }
 
@@ -108,7 +108,7 @@ proptest! {
     ) {
         let cfg = SimConfig::small_for_tests();
         let mut h = Hierarchy::new(&cfg);
-        let mut persistent_lines: HashSet<u64> = HashSet::new();
+        let mut persistent_lines: DetHashSet<u64> = DetHashSet::default();
         for op in &ops {
             match op {
                 Op::Access { core, line, write, persistent } => {

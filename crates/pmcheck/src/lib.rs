@@ -1,0 +1,28 @@
+//! Analysis layer for the HOOP reproduction: a runtime **persistency
+//! sanitizer** and a hermetic **determinism lint**.
+//!
+//! The sanitizer ([`PersistencySanitizer`]) attaches to a
+//! `System` through the [`simcore::sanitize::SanitizerHandle`] plumbing and
+//! checks the paper's crash-consistency ordering invariants (§III-G) against
+//! a shadow per-cacheline state machine while a workload runs — commit
+//! records may not persist before their payload, GC may not migrate
+//! uncommitted versions, mapping entries may not dangle into reclaimed OOP
+//! blocks, recovery may replay only the committed prefix.
+//!
+//! The lint ([`lint`]) is a registry-dependency-free source scanner that
+//! bans nondeterministic APIs (`RandomState` containers, wall-clock time,
+//! OS-seeded RNGs, unordered parallel iteration) from the simulation crates,
+//! with an annotated `// lint:allow(<rule>)` escape hatch. Run it via
+//! `cargo run -p xtask -- lint`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod sanitizer;
+pub mod shadow;
+
+pub use sanitizer::{
+    PersistencySanitizer, SanitizerSummary, Violation, ViolationKind, MAX_STORED_VIOLATIONS,
+};
+pub use shadow::{LineState, ShadowLine};

@@ -1,0 +1,125 @@
+//! Shadow per-cacheline durability state.
+//!
+//! The sanitizer mirrors every cacheline it has seen with a small state
+//! machine tracking how far the line's *newest value* has progressed toward
+//! durability:
+//!
+//! ```text
+//! Clean → DirtyVolatile → DirtyPersistent → FlushedPending → Persisted
+//! ```
+//!
+//! `Clean` means the durable home copy is the newest value. The two dirty
+//! states distinguish ordinary write-back data from stores inside a
+//! failure-atomic region (the per-line persistent bit of §III-A).
+//! `FlushedPending` models an issued-but-unfenced flush; only a fence (or an
+//! engine-side persist such as an OOP slice flush) promotes the line to
+//! `Persisted`. Each shadow line keeps a bounded trace of its most recent
+//! transitions so a violation report can show *how* the line got into the
+//! offending state.
+
+use simcore::Cycle;
+
+/// Durability progress of a cacheline's newest value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineState {
+    /// The durable home copy is up to date.
+    Clean,
+    /// Dirty in cache from a non-transactional store.
+    DirtyVolatile,
+    /// Dirty in cache from a transactional store (persistent bit set).
+    DirtyPersistent,
+    /// A flush was issued but no fence has completed yet.
+    FlushedPending,
+    /// The newest value is durable (engine persisted it out of place, wrote
+    /// it home, or a fence retired the flush).
+    Persisted,
+}
+
+impl LineState {
+    /// Short name used in violation traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            LineState::Clean => "Clean",
+            LineState::DirtyVolatile => "DirtyVolatile",
+            LineState::DirtyPersistent => "DirtyPersistent",
+            LineState::FlushedPending => "FlushedPending",
+            LineState::Persisted => "Persisted",
+        }
+    }
+}
+
+/// Transitions retained per line for violation reports.
+pub const TRACE_DEPTH: usize = 8;
+
+/// Shadow record of one cacheline.
+#[derive(Clone, Debug)]
+pub struct ShadowLine {
+    state: LineState,
+    /// Most recent `(cycle, new_state)` transitions, oldest first.
+    trace: Vec<(Cycle, LineState)>,
+}
+
+impl Default for ShadowLine {
+    fn default() -> Self {
+        ShadowLine {
+            state: LineState::Clean,
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl ShadowLine {
+    /// Current state.
+    pub fn state(&self) -> LineState {
+        self.state
+    }
+
+    /// Moves the line to `state`, recording the transition at `now`.
+    pub fn set(&mut self, now: Cycle, state: LineState) {
+        self.state = state;
+        if self.trace.len() == TRACE_DEPTH {
+            self.trace.remove(0);
+        }
+        self.trace.push((now, state));
+    }
+
+    /// The recent transition history, oldest first.
+    pub fn trace(&self) -> &[(Cycle, LineState)] {
+        &self.trace
+    }
+
+    /// Formats the transition history as `cycle:State → …`.
+    pub fn trace_string(&self) -> String {
+        let parts: Vec<String> = self
+            .trace
+            .iter()
+            .map(|(c, s)| format!("{c}:{}", s.name()))
+            .collect();
+        parts.join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_bounded_and_ordered() {
+        let mut l = ShadowLine::default();
+        assert_eq!(l.state(), LineState::Clean);
+        for i in 0..20 {
+            l.set(
+                i,
+                if i % 2 == 0 {
+                    LineState::DirtyPersistent
+                } else {
+                    LineState::Persisted
+                },
+            );
+        }
+        assert_eq!(l.trace().len(), TRACE_DEPTH);
+        assert_eq!(l.trace()[0].0, 20 - TRACE_DEPTH as u64);
+        assert_eq!(l.state(), LineState::Persisted);
+        assert!(l.trace_string().contains("19:Persisted"));
+    }
+}

@@ -33,6 +33,7 @@ pub mod crc;
 pub mod det;
 pub mod ids;
 pub mod rng;
+pub mod sanitize;
 pub mod stats;
 pub mod time;
 pub mod zipf;
@@ -42,4 +43,5 @@ pub use config::SimConfig;
 pub use det::{DetHashMap, DetHashSet};
 pub use ids::{CoreId, TxId};
 pub use rng::SimRng;
+pub use sanitize::{SanitizerHandle, SanitizerHooks};
 pub use time::{ns_to_cycles, Cycle, CLOCK_GHZ};

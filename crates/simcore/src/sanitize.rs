@@ -1,0 +1,227 @@
+//! Event hooks for the persistency sanitizer.
+//!
+//! The sanitizer (crate `pmcheck`) observes the simulator's event stream —
+//! transactional stores, evictions, engine flushes/fences, commit records,
+//! GC migrations, mapping-table updates, recovery replays — and checks the
+//! crash-consistency ordering invariants of §III-G against a shadow
+//! per-cacheline state machine. This module defines only the *vocabulary*
+//! (the [`SanitizerHooks`] trait) and a cheap, cloneable [`SanitizerHandle`]
+//! the `System` and every engine carry; the checking logic lives upstream in
+//! `pmcheck` so `simcore` stays dependency-free.
+//!
+//! When no sanitizer is attached (the default), every hook call is a
+//! no-branch `Option` check on a `None` — simulation timing, traffic and
+//! results are completely unaffected, which keeps default runs byte-identical
+//! to non-instrumented builds.
+
+use std::sync::{Arc, Mutex};
+
+use crate::addr::Line;
+use crate::ids::{CoreId, TxId};
+use crate::time::Cycle;
+
+/// Observer interface for the persistency event stream.
+///
+/// All methods default to no-ops so test doubles can override only the
+/// events they care about. Implementations must be [`Send`]: the experiment
+/// runner moves each cell's system (and its attached sanitizer) to a worker
+/// thread.
+#[allow(unused_variables)]
+pub trait SanitizerHooks: Send {
+    /// The observed engine identifies itself (called once at attach time).
+    fn set_engine(&mut self, name: &'static str) {}
+
+    /// A failure-atomic region opened on `core`.
+    fn tx_begin(&mut self, core: CoreId, tx: TxId, now: Cycle) {}
+
+    /// A transactional store dirtied `line` (persistent bit set).
+    fn tx_store(&mut self, tx: TxId, line: Line, now: Cycle) {}
+
+    /// A non-transactional store dirtied `line` (volatile dirty data).
+    fn volatile_store(&mut self, line: Line, now: Cycle) {}
+
+    /// A dirty line left the LLC toward the engine.
+    fn evict_dirty(&mut self, line: Line, persistent: bool, now: Cycle) {}
+
+    /// The engine persisted the transaction's newest data for `line`
+    /// (log record covering the line, OOP slice flush, shadow persist, ...).
+    fn data_persisted(&mut self, tx: TxId, line: Line, now: Cycle) {}
+
+    /// The engine wrote a line image to its home location.
+    fn home_write(&mut self, line: Line, now: Cycle) {}
+
+    /// An explicit cacheline flush was issued for `line` (data leaves the
+    /// cache but is not yet guaranteed durable until the next fence).
+    fn flush(&mut self, line: Line, now: Cycle) {}
+
+    /// An ordering fence completed: previously flushed lines are durable.
+    fn fence(&mut self, now: Cycle) {}
+
+    /// The engine persisted the commit record of `tx` — the durable commit
+    /// point. Every store of `tx` must already be durable.
+    fn commit_record(&mut self, tx: TxId, now: Cycle) {}
+
+    /// The system-level end of the failure-atomic region.
+    fn tx_committed(&mut self, tx: TxId, now: Cycle) {}
+
+    /// GC migrated a version belonging to commit id `tx` back home.
+    fn gc_migrate(&mut self, tx: u32, line: Line, now: Cycle) {}
+
+    /// The mapping table now redirects `line` to OOP block `block`.
+    fn map_insert(&mut self, line: Line, block: u32, now: Cycle) {}
+
+    /// The mapping entry for `line` was dropped.
+    fn map_remove(&mut self, line: Line, now: Cycle) {}
+
+    /// OOP block `block` was reclaimed; no mapping entry may still point
+    /// into it.
+    fn block_reclaim(&mut self, block: u32, now: Cycle) {}
+
+    /// An LLC miss for `line` was served through the mapping table from OOP
+    /// block `block`.
+    fn redirected_read(&mut self, line: Line, block: u32, now: Cycle) {}
+
+    /// The mapping table was cleared wholesale (crash or recovery).
+    fn mapping_cleared(&mut self, now: Cycle) {}
+
+    /// The OOP region was reclaimed wholesale (recovery).
+    fn region_cleared(&mut self, now: Cycle) {}
+
+    /// Recovery replayed the slices of commit id `tx` onto the home region.
+    fn recovery_replay(&mut self, tx: u32, now: Cycle) {}
+
+    /// Simulated power loss: volatile state (caches, open transactions,
+    /// controller queues) is gone.
+    fn crash(&mut self) {}
+}
+
+/// Shared, cloneable handle to an optional attached sanitizer.
+///
+/// The default handle is detached; every forwarding method is then a cheap
+/// `None` check. `System` and `ControllerBase` each hold one, so events can
+/// be emitted from both the machine layer and engine internals.
+#[derive(Clone, Default)]
+pub struct SanitizerHandle(Option<Arc<Mutex<dyn SanitizerHooks>>>);
+
+impl std::fmt::Debug for SanitizerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SanitizerHandle")
+            .field(&self.0.as_ref().map(|_| "attached"))
+            .finish()
+    }
+}
+
+macro_rules! forward {
+    ($(#[$doc:meta] $name:ident ( $($arg:ident : $ty:ty),* );)*) => {
+        $(
+            #[$doc]
+            pub fn $name(&self, $($arg: $ty),*) {
+                if let Some(s) = &self.0 {
+                    s.lock().expect("sanitizer poisoned").$name($($arg),*);
+                }
+            }
+        )*
+    };
+}
+
+impl SanitizerHandle {
+    /// Wraps a hook implementation in an attached handle.
+    pub fn new(hooks: Arc<Mutex<dyn SanitizerHooks>>) -> Self {
+        SanitizerHandle(Some(hooks))
+    }
+
+    /// A detached handle (all events dropped).
+    pub fn none() -> Self {
+        SanitizerHandle(None)
+    }
+
+    /// Whether a sanitizer is attached.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    forward! {
+        /// Forwards [`SanitizerHooks::set_engine`].
+        set_engine(name: &'static str);
+        /// Forwards [`SanitizerHooks::tx_begin`].
+        tx_begin(core: CoreId, tx: TxId, now: Cycle);
+        /// Forwards [`SanitizerHooks::tx_store`].
+        tx_store(tx: TxId, line: Line, now: Cycle);
+        /// Forwards [`SanitizerHooks::volatile_store`].
+        volatile_store(line: Line, now: Cycle);
+        /// Forwards [`SanitizerHooks::evict_dirty`].
+        evict_dirty(line: Line, persistent: bool, now: Cycle);
+        /// Forwards [`SanitizerHooks::data_persisted`].
+        data_persisted(tx: TxId, line: Line, now: Cycle);
+        /// Forwards [`SanitizerHooks::home_write`].
+        home_write(line: Line, now: Cycle);
+        /// Forwards [`SanitizerHooks::flush`].
+        flush(line: Line, now: Cycle);
+        /// Forwards [`SanitizerHooks::fence`].
+        fence(now: Cycle);
+        /// Forwards [`SanitizerHooks::commit_record`].
+        commit_record(tx: TxId, now: Cycle);
+        /// Forwards [`SanitizerHooks::tx_committed`].
+        tx_committed(tx: TxId, now: Cycle);
+        /// Forwards [`SanitizerHooks::gc_migrate`].
+        gc_migrate(tx: u32, line: Line, now: Cycle);
+        /// Forwards [`SanitizerHooks::map_insert`].
+        map_insert(line: Line, block: u32, now: Cycle);
+        /// Forwards [`SanitizerHooks::map_remove`].
+        map_remove(line: Line, now: Cycle);
+        /// Forwards [`SanitizerHooks::block_reclaim`].
+        block_reclaim(block: u32, now: Cycle);
+        /// Forwards [`SanitizerHooks::redirected_read`].
+        redirected_read(line: Line, block: u32, now: Cycle);
+        /// Forwards [`SanitizerHooks::mapping_cleared`].
+        mapping_cleared(now: Cycle);
+        /// Forwards [`SanitizerHooks::region_cleared`].
+        region_cleared(now: Cycle);
+        /// Forwards [`SanitizerHooks::recovery_replay`].
+        recovery_replay(tx: u32, now: Cycle);
+        /// Forwards [`SanitizerHooks::crash`].
+        crash();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct CountingHooks {
+        stores: u64,
+        commits: u64,
+    }
+
+    impl SanitizerHooks for CountingHooks {
+        fn tx_store(&mut self, _tx: TxId, _line: Line, _now: Cycle) {
+            self.stores += 1;
+        }
+        fn commit_record(&mut self, _tx: TxId, _now: Cycle) {
+            self.commits += 1;
+        }
+    }
+
+    #[test]
+    fn detached_handle_drops_events() {
+        let h = SanitizerHandle::none();
+        assert!(!h.is_active());
+        h.tx_store(TxId(1), Line(0), 0);
+        h.fence(0);
+    }
+
+    #[test]
+    fn attached_handle_forwards_and_clones_share_state() {
+        let hooks = Arc::new(Mutex::new(CountingHooks::default()));
+        let h = SanitizerHandle::new(hooks.clone());
+        assert!(h.is_active());
+        let h2 = h.clone();
+        h.tx_store(TxId(1), Line(0), 5);
+        h2.tx_store(TxId(1), Line(1), 6);
+        h2.commit_record(TxId(1), 7);
+        let c = hooks.lock().unwrap();
+        assert_eq!(c.stores, 2);
+        assert_eq!(c.commits, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Workspace task runner (the conventional `xtask` pattern — no external
+//! dependencies, hermetic by construction).
+//!
+//! ```text
+//! cargo run -p xtask -- lint [PATH...]
+//! ```
+//!
+//! `lint` runs the determinism/safety lint of `pmcheck::lint` over the
+//! workspace sources (`crates/`, `src/`, `tests/`, `examples/`; `vendor/`
+//! and `target/` are excluded) and exits nonzero on any finding. Explicitly
+//! annotated `// lint:allow(<rule>)` exceptions are listed so the audit
+//! trail stays visible in CI logs.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        let root = workspace_root();
+        ["crates", "src", "tests", "examples"]
+            .iter()
+            .map(|d| root.join(d))
+            .collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    let report = match pmcheck::lint::lint_paths(&roots) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for a in &report.allows {
+        println!("allowed  {}:{} [{}]", a.path, a.line, a.rule);
+    }
+    if report.is_clean() {
+        println!(
+            "xtask lint: clean — {} files scanned, {} annotated exception(s)",
+            report.files_scanned,
+            report.allows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.findings {
+            eprintln!("error: {f}");
+        }
+        eprintln!(
+            "xtask lint: {} finding(s) in {} files — use simcore::det containers, \
+             simulated time, and SimRng; annotate intentional exceptions with \
+             `// lint:allow(<rule>)`",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [PATH...]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -37,10 +37,13 @@
 //! assert_eq!(sys.load_u64(CoreId(0), base), 0xdead_beef);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use engines;
 pub use hoop;
 pub use memhier;
 pub use nvm;
+pub use pmcheck;
 pub use simcore;
 pub use workloads;
 

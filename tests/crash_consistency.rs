@@ -6,7 +6,7 @@
 //! transactions; after recovery, memory must contain the effects of exactly
 //! the committed transactions — the atomic-durability contract of §II-A.
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use hoop_repro::prelude::*;
 use proptest::prelude::*;
@@ -39,7 +39,7 @@ fn run_scenario(engine: &str, steps: &[Step]) {
     let addr = |slot: u64| base.offset(slot * 64);
 
     // The reference model of committed state.
-    let mut committed: HashMap<u64, u64> = HashMap::new();
+    let mut committed: DetHashMap<u64, u64> = DetHashMap::default();
     let core = CoreId(0);
 
     for step in steps {
@@ -76,7 +76,7 @@ fn run_scenario(engine: &str, steps: &[Step]) {
 fn check(
     engine: &str,
     sys: &System,
-    committed: &HashMap<u64, u64>,
+    committed: &DetHashMap<u64, u64>,
     addr: impl Fn(u64) -> simcore::PAddr,
 ) {
     for (slot, want) in committed {

@@ -2,7 +2,7 @@
 //! bounds, GC idempotence, packing/coalescing ablations, and a property
 //! test that the newest committed version of every word wins recovery.
 
-use std::collections::HashMap;
+use simcore::det::DetHashMap;
 
 use hoop_repro::hoop::engine::HoopEngine;
 use hoop_repro::prelude::*;
@@ -159,7 +159,7 @@ proptest! {
         crash_at in 0usize..40,
     ) {
         let mut e = engine();
-        let mut committed: HashMap<u64, u64> = HashMap::new();
+        let mut committed: DetHashMap<u64, u64> = DetHashMap::default();
         let mut now = 0u64;
         for (i, writes) in txs.iter().enumerate() {
             if i == crash_at {
