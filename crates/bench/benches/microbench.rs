@@ -1,15 +1,19 @@
-//! Micro-benchmarks of HOOP's controller data structures — the host-side
-//! cost of the hot simulator paths (slice codec, mapping table, skip list,
-//! eviction buffer, Zipfian generator).
+//! Micro-benchmarks of the simulator's hot paths — the host-side cost of
+//! the controller data structures (slice codec, mapping table, skip list,
+//! eviction buffer, Zipfian generator) plus the per-access substrate every
+//! engine shares (persistent store reads/writes, cache-hierarchy access).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use engines::skiplist::SkipList;
 use hoop::evict_buffer::EvictionBuffer;
 use hoop::mapping::MappingTable;
 use hoop::slice::{DataSlice, WordUpdate};
+use memhier::Hierarchy;
+use nvm::PersistentStore;
 use simcore::addr::Line;
+use simcore::config::SimConfig;
 use simcore::zipf::Zipfian;
-use simcore::{PAddr, SimRng};
+use simcore::{CoreId, PAddr, SimRng};
 
 fn slice_codec(c: &mut Criterion) {
     let slice = DataSlice {
@@ -87,9 +91,72 @@ fn zipfian(c: &mut Criterion) {
     });
 }
 
+fn persistent_store(c: &mut Criterion) {
+    let mut store = PersistentStore::new();
+    // A few MB of populated pages so reads hit real data paths.
+    for i in 0..(1u64 << 16) {
+        store.write_u64(PAddr(0x10_0000 + i * 8), i);
+    }
+    c.bench_function("store_read_u64_sequential", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 8) & 0x7_FFF8;
+            black_box(store.read_u64(PAddr(0x10_0000 + i)))
+        })
+    });
+    c.bench_function("store_read_line_strided", |b| {
+        let mut buf = [0u8; 64];
+        let mut i = 0u64;
+        b.iter(|| {
+            // Stride past the last-page cache to exercise the page probe.
+            i = (i + 4096 + 64) & 0x7_FFC0;
+            store.read_bytes(PAddr(0x10_0000 + i), &mut buf);
+            black_box(buf[0])
+        })
+    });
+    c.bench_function("store_write_line", |b| {
+        let buf = [0xCDu8; 64];
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 64) & 0x7_FFC0;
+            store.write_bytes(PAddr(0x10_0000 + i), &buf)
+        })
+    });
+}
+
+fn cache_hierarchy(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let mut hier = Hierarchy::new(&cfg);
+    // Touch a window larger than L1 so the bench mixes L1 hits with lower
+    // levels, like the simulated access stream does.
+    for i in 0..4096u64 {
+        let _ = hier.access(CoreId(0), Line(i), false, false);
+    }
+    c.bench_function("hierarchy_access_l1_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) & 0x3F;
+            black_box(hier.access(CoreId(0), Line(4096 + i), false, false).latency)
+        })
+    });
+    c.bench_function("hierarchy_access_working_set", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 587) & 0xFFF;
+            black_box(hier.access(CoreId(0), Line(i), i.is_multiple_of(4), false).latency)
+        })
+    });
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = slice_codec, mapping_table, skiplist, eviction_buffer, zipfian
+    targets = slice_codec,
+    mapping_table,
+    skiplist,
+    eviction_buffer,
+    zipfian,
+    persistent_store,
+    cache_hierarchy
 );
 criterion_main!(benches);

@@ -171,6 +171,16 @@ pub fn to_line_image(data: &[u8]) -> LineImage {
     img
 }
 
+/// Reads one cache line from `store` into a stack image. This sits on every
+/// engine's store path, so it avoids the heap round-trip of
+/// [`PersistentStore::read_vec`].
+#[inline]
+pub fn read_line_image(store: &PersistentStore, line: Line) -> LineImage {
+    let mut img = [0u8; CACHE_LINE_BYTES as usize];
+    store.read_bytes(line.base(), &mut img);
+    img
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

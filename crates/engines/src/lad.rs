@@ -15,7 +15,7 @@ use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
-use crate::common::{to_line_image, ControllerBase, LineImage};
+use crate::common::{read_line_image, to_line_image, ControllerBase, LineImage};
 use crate::costs;
 use crate::traits::{
     CommitOutcome, EngineProperties, EngineStats, Level, MissFill, PersistenceEngine,
@@ -77,13 +77,15 @@ impl PersistenceEngine for LadEngine {
         data: &[u8],
         _now: Cycle,
     ) -> Cycle {
-        let bases: Vec<(Line, LineImage)> = lines_covering(addr, data.len() as u64)
-            .map(|l| (l, to_line_image(&self.base.store.read_vec(l.base(), 64))))
-            .collect();
-        let entry = self.active.get_mut(&tx).expect("store outside tx");
+        // Split borrows: the queue is mutated while the home store is only
+        // read for base images.
+        let LadEngine { base, active } = self;
+        let entry = active.get_mut(&tx).expect("store outside tx");
         let mut off = 0usize;
-        for (line, base_img) in bases {
-            let img = entry.entry(line.0).or_insert(base_img);
+        for line in lines_covering(addr, data.len() as u64) {
+            let img = entry
+                .entry(line.0)
+                .or_insert_with(|| read_line_image(&base.store, line));
             let start = (addr.0 + off as u64).max(line.base().0);
             let end = (addr.0 + data.len() as u64).min(line.base().0 + 64);
             let lo = (start - line.base().0) as usize;

@@ -84,13 +84,6 @@ impl LsmEngine {
         }
     }
 
-    fn newest_word(&self, word_addr: u64) -> u64 {
-        match self.newest.get(&word_addr) {
-            Some(v) => *v,
-            None => self.base.store.read_u64(PAddr(word_addr)),
-        }
-    }
-
     fn gc(&mut self, now: Cycle) {
         if self.newest.is_empty() {
             self.log.clear();
@@ -177,28 +170,31 @@ impl PersistenceEngine for LsmEngine {
         _now: Cycle,
     ) -> Cycle {
         // Split the store into word updates (read-merge at the edges).
-        let mut updates: Vec<(u64, u64)> = Vec::new();
+        let entry = self.active.get_mut(&tx).expect("store outside tx");
         let mut pos = addr.0;
         let mut off = 0usize;
         while off < data.len() {
             let word = pos & !(WORD_BYTES - 1);
             let in_word = (pos - word) as usize;
             let take = (data.len() - off).min(8 - in_word);
-            let mut bytes = self
-                .active
-                .get(&tx)
-                .and_then(|m| m.get(&word))
-                .copied()
-                .unwrap_or_else(|| self.newest_word(word))
+            let value = if take == 8 {
+                // Fully covered word: no read-merge needed.
+                u64::from_le_bytes(data[off..off + 8].try_into().expect("8-byte slice"))
+            } else {
+                let mut bytes = match entry.get(&word) {
+                    Some(v) => *v,
+                    None => match self.newest.get(&word) {
+                        Some(v) => *v,
+                        None => self.base.store.read_u64(PAddr(word)),
+                    },
+                }
                 .to_le_bytes();
-            bytes[in_word..in_word + take].copy_from_slice(&data[off..off + take]);
-            updates.push((word, u64::from_le_bytes(bytes)));
+                bytes[in_word..in_word + take].copy_from_slice(&data[off..off + take]);
+                u64::from_le_bytes(bytes)
+            };
+            entry.insert(word, value);
             pos += take as u64;
             off += take;
-        }
-        let entry = self.active.get_mut(&tx).expect("store outside tx");
-        for (w, v) in updates {
-            entry.insert(w, v);
         }
         self.base
             .stats
@@ -217,7 +213,9 @@ impl PersistenceEngine for LsmEngine {
     }
 
     fn on_llc_miss(&mut self, _core: CoreId, line: Line, now: Cycle) -> MissFill {
-        if self.index.get(line.0).0.is_some() {
+        // Membership only — the translation walk is charged in `on_load`,
+        // not here, so the O(1) index suffices.
+        if self.index.contains(line.0) {
             self.base.stats.misses_served.inc();
             // Newest data lives in the log.
             let out = self.base.device.access(

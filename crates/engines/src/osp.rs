@@ -15,7 +15,7 @@ use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
-use crate::common::{to_line_image, ControllerBase, LineImage};
+use crate::common::{read_line_image, to_line_image, ControllerBase, LineImage};
 use crate::costs;
 use crate::layout;
 use crate::traits::{
@@ -96,23 +96,17 @@ impl PersistenceEngine for OspEngine {
     }
 
     fn on_store(&mut self, _core: CoreId, tx: TxId, addr: PAddr, data: &[u8], now: Cycle) -> Cycle {
-        let bases: Vec<(Line, LineImage, PAddr)> = lines_covering(addr, data.len() as u64)
-            .map(|l| {
-                (
-                    l,
-                    to_line_image(&self.base.store.read_vec(l.base(), 64)),
-                    self.shadow_addr(l),
-                )
-            })
-            .collect();
-        let mut eager: Vec<(u64, PAddr)> = Vec::new();
+        let mut eager: Vec<u64> = Vec::new();
         {
-            let entry = self.active.get_mut(&tx).expect("store outside tx");
+            // Split borrows: the write set is mutated while the home store is
+            // only read for base images.
+            let OspEngine { base, active, .. } = self;
+            let entry = active.get_mut(&tx).expect("store outside tx");
             let mut off = 0usize;
-            for (line, base_img, shadow) in bases {
+            for line in lines_covering(addr, data.len() as u64) {
                 let fresh = !entry.contains_key(&line.0);
-                let t = entry.entry(line.0).or_insert(TxLine {
-                    image: base_img,
+                let t = entry.entry(line.0).or_insert_with(|| TxLine {
+                    image: read_line_image(&base.store, line),
                     persisted_at: 0,
                 });
                 let start = (addr.0 + off as u64).max(line.base().0);
@@ -122,13 +116,14 @@ impl PersistenceEngine for OspEngine {
                 t.image[lo..hi].copy_from_slice(&data[off..off + (hi - lo)]);
                 off += hi - lo;
                 if fresh {
-                    eager.push((line.0, shadow));
+                    eager.push(line.0);
                 }
             }
         }
         // Eager persistence of newly-touched shadow lines (asynchronous —
         // commit waits for them).
-        for (l, shadow) in eager {
+        for l in eager {
+            let shadow = self.shadow_addr(Line(l));
             let done = self
                 .base
                 .write_burst(shadow, CACHE_LINE_BYTES, now, TrafficClass::Data);

@@ -16,7 +16,7 @@ use simcore::config::SimConfig;
 use simcore::time::ms_to_cycles;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
-use crate::common::{to_line_image, ControllerBase, LineImage};
+use crate::common::{read_line_image, ControllerBase, LineImage};
 use crate::layout;
 use crate::traits::{
     CommitOutcome, EngineProperties, EngineStats, Level, MissFill, PersistenceEngine,
@@ -71,13 +71,6 @@ impl OptRedoEngine {
             pending: DetHashMap::default(),
             next_checkpoint: period,
             checkpoint_period: period,
-        }
-    }
-
-    fn newest_line(&self, line: Line) -> LineImage {
-        match self.pending.get(&line.0) {
-            Some(img) => *img,
-            None => to_line_image(&self.base.store.read_vec(line.base(), 64)),
         }
     }
 
@@ -139,13 +132,23 @@ impl PersistenceEngine for OptRedoEngine {
         data: &[u8],
         _now: Cycle,
     ) -> Cycle {
-        let newest: Vec<(Line, LineImage)> = lines_covering(addr, data.len() as u64)
-            .map(|l| (l, self.newest_line(l)))
-            .collect();
-        let entry = self.active.get_mut(&tx).expect("store outside tx");
+        // Split borrows: the write set is mutated while the newest-image
+        // sources (pending log images, home store) are only read.
+        let OptRedoEngine {
+            active,
+            pending,
+            base,
+            ..
+        } = self;
+        let entry = active.get_mut(&tx).expect("store outside tx");
         let mut off = 0usize;
-        for (line, base_img) in newest {
-            let img = entry.lines_entry(line.0, base_img);
+        for line in lines_covering(addr, data.len() as u64) {
+            let img = entry
+                .entry(line.0)
+                .or_insert_with(|| match pending.get(&line.0) {
+                    Some(img) => *img,
+                    None => read_line_image(&base.store, line),
+                });
             let start = (addr.0 + off as u64).max(line.base().0);
             let end = (addr.0 + data.len() as u64).min(line.base().0 + 64);
             let lo = (start - line.base().0) as usize;
@@ -276,17 +279,6 @@ impl PersistenceEngine for OptRedoEngine {
 
     fn reset_counters(&mut self) {
         self.base.reset_counters();
-    }
-}
-
-/// Small helper: `DetHashMap::entry(...).or_insert(...)` with a default image.
-trait LinesEntry {
-    fn lines_entry(&mut self, line: u64, default: LineImage) -> &mut LineImage;
-}
-
-impl LinesEntry for DetHashMap<u64, LineImage> {
-    fn lines_entry(&mut self, line: u64, default: LineImage) -> &mut LineImage {
-        self.entry(line).or_insert(default)
     }
 }
 

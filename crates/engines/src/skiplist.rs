@@ -9,6 +9,13 @@
 //! Node heights are derived from a hash of the key, so a given key set
 //! always produces the same structure (determinism requirement, DESIGN.md
 //! §6).
+//!
+//! The node layout keeps `key` and the low-level links in the same cache
+//! line: every hop of a search reads exactly those two fields of one node,
+//! so splitting them into parallel arrays (tried) costs an extra miss per
+//! hop rather than saving one.
+
+use simcore::LineMap;
 
 const MAX_LEVEL: usize = 24;
 const NIL: u32 = u32::MAX;
@@ -22,11 +29,21 @@ struct Node {
 }
 
 /// A deterministic skip list mapping `u64` keys to `u64` values.
+///
+/// Alongside the list itself, a hash index maps every key to its node. The
+/// *list* models the hardware the LSM engine charges for — [`get`]
+/// (`SkipList::get`) always performs the real walk and reports its visit
+/// count. The index only short-circuits operations whose walk is never
+/// charged: value updates of existing keys ([`insert`](SkipList::insert))
+/// and pure membership tests ([`contains`](SkipList::contains)). Neither
+/// changes the list structure a later `get` walks, so charged visit counts
+/// are unaffected.
 #[derive(Clone, Debug)]
 pub struct SkipList {
     head: [u32; MAX_LEVEL],
     nodes: Vec<Node>,
     free: Vec<u32>,
+    by_key: LineMap<u32>,
     len: usize,
     level: usize,
 }
@@ -53,9 +70,22 @@ impl SkipList {
             head: [NIL; MAX_LEVEL],
             nodes: Vec::new(),
             free: Vec::new(),
+            by_key: LineMap::with_capacity(64, NIL),
             len: 0,
             level: 1,
         }
+    }
+
+    /// O(1) membership test via the key index (no walk, no visit count —
+    /// for callers that never charge the lookup).
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.by_key.contains(key)
+    }
+
+    #[inline]
+    fn node(&self, idx: u32) -> &Node {
+        &self.nodes[idx as usize]
     }
 
     /// Number of entries.
@@ -66,10 +96,6 @@ impl SkipList {
     /// Whether the list is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
-    }
-
-    fn node(&self, idx: u32) -> &Node {
-        &self.nodes[idx as usize]
     }
 
     /// Walks toward `key`, filling `preds` with the predecessor at each
@@ -104,26 +130,49 @@ impl SkipList {
     }
 
     /// Looks up `key`, returning its value and the number of node visits the
-    /// search needed.
+    /// search needed. Identical walk (and visit count) to [`find`], minus
+    /// the predecessor bookkeeping only mutation needs.
     pub fn get(&self, key: u64) -> (Option<u64>, u64) {
-        let mut preds = [NIL; MAX_LEVEL];
-        let (node, visits) = self.find(key, &mut preds);
-        if node == NIL {
-            (None, visits)
+        let mut visits = 0u64;
+        let mut cur = NIL;
+        for lvl in (0..self.level).rev() {
+            let mut next = if cur == NIL {
+                self.head[lvl]
+            } else {
+                self.node(cur).next[lvl]
+            };
+            while next != NIL && self.node(next).key < key {
+                visits += 1;
+                cur = next;
+                next = self.node(cur).next[lvl];
+            }
+            visits += 1;
+        }
+        let candidate = if cur == NIL {
+            self.head[0]
         } else {
-            (Some(self.node(node).value), visits)
+            self.node(cur).next[0]
+        };
+        if candidate != NIL && self.node(candidate).key == key {
+            (Some(self.node(candidate).value), visits)
+        } else {
+            (None, visits)
         }
     }
 
     /// Inserts or updates `key`, returning the previous value if any.
     pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
-        let mut preds = [NIL; MAX_LEVEL];
-        let (existing, _) = self.find(key, &mut preds);
-        if existing != NIL {
+        debug_assert_ne!(key, u64::MAX, "u64::MAX is reserved");
+        // Updates of existing keys don't change the list structure, so the
+        // predecessor walk is skipped entirely.
+        if let Some(&existing) = self.by_key.get(key) {
             let old = self.nodes[existing as usize].value;
             self.nodes[existing as usize].value = value;
             return Some(old);
         }
+        let mut preds = [NIL; MAX_LEVEL];
+        let (existing, _) = self.find(key, &mut preds);
+        debug_assert_eq!(existing, NIL, "key index out of sync");
         let height = height_for(key);
         if height > self.level {
             self.level = height;
@@ -158,12 +207,14 @@ impl SkipList {
                 self.nodes[pred as usize].next[lvl] = idx;
             }
         }
+        self.by_key.insert(key, idx);
         self.len += 1;
         None
     }
 
     /// Removes `key`, returning its value if present.
     pub fn remove(&mut self, key: u64) -> Option<u64> {
+        self.by_key.remove(key)?;
         let mut preds = [NIL; MAX_LEVEL];
         let (node, _) = self.find(key, &mut preds);
         if node == NIL {
@@ -190,6 +241,7 @@ impl SkipList {
         self.head = [NIL; MAX_LEVEL];
         self.nodes.clear();
         self.free.clear();
+        self.by_key.clear();
         self.len = 0;
         self.level = 1;
     }
@@ -255,6 +307,36 @@ mod tests {
             "expected larger index to cost more: {a_small} vs {a_big}"
         );
         assert!(a_big < 80.0, "search should stay logarithmic: {a_big}");
+    }
+
+    #[test]
+    fn get_visits_match_find_visits() {
+        let mut s = SkipList::new();
+        for k in 0..512u64 {
+            s.insert(k * 31, k);
+        }
+        let mut preds = [NIL; MAX_LEVEL];
+        for probe in [0u64, 1, 31, 15 * 31, 511 * 31, 512 * 31, 99999] {
+            let (node, fv) = s.find(probe, &mut preds);
+            let (val, gv) = s.get(probe);
+            assert_eq!(fv, gv, "visit counts diverged for {probe}");
+            assert_eq!(node != NIL, val.is_some());
+        }
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let mut s = SkipList::new();
+        assert!(!s.contains(7));
+        s.insert(7, 1);
+        assert!(s.contains(7));
+        s.insert(7, 2); // update, not re-link
+        assert!(s.contains(7));
+        s.remove(7);
+        assert!(!s.contains(7));
+        s.insert(7, 3);
+        s.clear();
+        assert!(!s.contains(7));
     }
 
     #[test]

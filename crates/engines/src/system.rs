@@ -222,9 +222,8 @@ impl System {
                 }
             }
             if let Some(ev) = res.evicted {
-                let data = self
-                    .volatile
-                    .read_vec(ev.line.base(), CACHE_LINE_BYTES as usize);
+                let mut data = [0u8; CACHE_LINE_BYTES as usize];
+                self.volatile.read_bytes(ev.line.base(), &mut data);
                 self.san
                     .evict_dirty(ev.line, ev.persistent, self.clocks[c] + latency);
                 self.engine
@@ -271,11 +270,15 @@ impl System {
     /// data that persists only via write-back.
     pub fn store_bytes(&mut self, core: CoreId, addr: PAddr, data: &[u8]) {
         let c = core.index();
-        self.record(TraceEvent::Store {
-            core: core.0,
-            addr: addr.0,
-            data: data.to_vec(),
-        });
+        // Only clone the payload when a trace is actually being captured —
+        // the copy is pure overhead on every store otherwise.
+        if self.recording.is_some() {
+            self.record(TraceEvent::Store {
+                core: core.0,
+                addr: addr.0,
+                data: data.to_vec(),
+            });
+        }
         self.clocks[c] += costs::OP_BASE;
         let lat = self.access_lines(core, addr, data.len() as u64, true);
         self.clocks[c] += lat;
@@ -306,9 +309,8 @@ impl System {
     pub fn drain(&mut self) {
         let now = self.global_time();
         for ev in self.hier.drain_dirty() {
-            let data = self
-                .volatile
-                .read_vec(ev.line.base(), CACHE_LINE_BYTES as usize);
+            let mut data = [0u8; CACHE_LINE_BYTES as usize];
+            self.volatile.read_bytes(ev.line.base(), &mut data);
             self.san.evict_dirty(ev.line, ev.persistent, now);
             self.engine
                 .on_evict_dirty(ev.line, ev.persistent, &data, now);

@@ -15,7 +15,7 @@ use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
-use crate::common::{to_line_image, ControllerBase, LineImage};
+use crate::common::{read_line_image, to_line_image, ControllerBase, LineImage};
 use crate::costs;
 use crate::layout;
 use crate::traits::{
@@ -116,7 +116,7 @@ impl PersistenceEngine for OptUndoEngine {
             let entry = self.active.get_mut(&tx).expect("store outside tx");
             for line in lines_covering(addr, data.len() as u64) {
                 entry.lines.entry(line.0).or_insert_with(|| {
-                    let old = to_line_image(&store.read_vec(line.base(), 64));
+                    let old = read_line_image(store, line);
                     pending.push(UndoRecord { tx, line, old });
                     overhead += costs::HW_LOG_FORMATION;
                     TouchedLine {

@@ -8,14 +8,17 @@
 
 use std::collections::VecDeque;
 
-use simcore::det::DetHashMap;
-
 use simcore::addr::Line;
+use simcore::linemap::LineMap;
 
 /// A bounded FIFO of recently migrated lines.
+///
+/// The image map is a [`LineMap`] (open addressing, probed on every LLC
+/// miss that finds no mapping entry); FIFO age is tracked separately in a
+/// queue that tolerates stale slots from overwrites.
 #[derive(Clone, Debug)]
 pub struct EvictionBuffer {
-    map: DetHashMap<u64, [u8; 64]>,
+    map: LineMap<[u8; 64]>,
     order: VecDeque<u64>,
     capacity: usize,
 }
@@ -29,7 +32,7 @@ impl EvictionBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "eviction buffer needs capacity");
         EvictionBuffer {
-            map: simcore::det::map_with_capacity(capacity),
+            map: LineMap::with_capacity(capacity, [0; 64]),
             order: VecDeque::with_capacity(capacity),
             capacity,
         }
@@ -58,7 +61,7 @@ impl EvictionBuffer {
                 // Pop entries until we drop one that is still resident
                 // (stale queue slots from overwrites are skipped).
                 while let Some(old) = self.order.pop_front() {
-                    if old != line.0 && self.map.remove(&old).is_some() {
+                    if old != line.0 && self.map.remove(old).is_some() {
                         break;
                     }
                     if self.order.len() <= self.capacity {
@@ -70,13 +73,15 @@ impl EvictionBuffer {
     }
 
     /// Looks up a line image.
+    #[inline]
     pub fn get(&self, line: Line) -> Option<&[u8; 64]> {
-        self.map.get(&line.0)
+        self.map.get(line.0)
     }
 
     /// Whether the buffer holds `line`.
+    #[inline]
     pub fn contains(&self, line: Line) -> bool {
-        self.map.contains_key(&line.0)
+        self.map.contains(line.0)
     }
 
     /// Drops everything (crash or post-recovery clear).

@@ -8,9 +8,8 @@
 //! of SRAM (8 B home tag + 8 B OOP location), which is how the configured
 //! byte budget (2 MB default, swept in Fig. 13) translates to a capacity.
 
-use simcore::det::DetHashMap;
-
 use simcore::addr::Line;
+use simcore::linemap::LineMap;
 
 /// Where a line's newest out-of-place words live.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,9 +23,14 @@ pub struct MappingEntry {
 }
 
 /// The controller's home→OOP mapping table.
+///
+/// Backed by [`LineMap`] — an open-addressing table probed on every LLC
+/// miss, so the lookup must stay a handful of instructions. The simulated
+/// SRAM capacity is tracked separately from the host table's slot count
+/// (on-demand GC lets the entry count transiently brush the capacity).
 #[derive(Clone, Debug)]
 pub struct MappingTable {
-    map: DetHashMap<u64, MappingEntry>,
+    map: LineMap<MappingEntry>,
     capacity: usize,
 }
 
@@ -39,7 +43,13 @@ impl MappingTable {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "mapping table needs capacity");
         MappingTable {
-            map: simcore::det::map_with_capacity(capacity.min(1 << 20)),
+            map: LineMap::with_capacity(
+                capacity.min(1 << 20),
+                MappingEntry {
+                    slot: 0,
+                    word_mask: 0,
+                },
+            ),
             capacity,
         }
     }
@@ -66,23 +76,29 @@ impl MappingTable {
 
     /// Records that `slot` now holds the newest words of `line`, OR-ing
     /// `word_mask` into the line's cumulative coverage.
+    #[inline]
     pub fn insert(&mut self, line: Line, slot: u32, word_mask: u8) {
-        let e = self
-            .map
-            .entry(line.0)
-            .or_insert(MappingEntry { slot, word_mask: 0 });
-        e.slot = slot;
-        e.word_mask |= word_mask;
+        match self.map.get_mut(line.0) {
+            Some(e) => {
+                e.slot = slot;
+                e.word_mask |= word_mask;
+            }
+            None => {
+                self.map.insert(line.0, MappingEntry { slot, word_mask });
+            }
+        }
     }
 
     /// Looks up the entry for `line`.
+    #[inline]
     pub fn lookup(&self, line: Line) -> Option<MappingEntry> {
-        self.map.get(&line.0).copied()
+        self.map.get(line.0).copied()
     }
 
     /// Removes and returns the entry for `line`.
+    #[inline]
     pub fn remove(&mut self, line: Line) -> Option<MappingEntry> {
-        self.map.remove(&line.0)
+        self.map.remove(line.0)
     }
 
     /// Drops every entry (crash or post-recovery clear).
@@ -90,9 +106,10 @@ impl MappingTable {
         self.map.clear();
     }
 
-    /// Iterates (line, entry) pairs (used by GC for cleanup decisions).
+    /// Iterates (line, entry) pairs in deterministic slot order (used by GC
+    /// for cleanup decisions).
     pub fn iter(&self) -> impl Iterator<Item = (Line, MappingEntry)> + '_ {
-        self.map.iter().map(|(l, e)| (Line(*l), *e))
+        self.map.iter().map(|(l, e)| (Line(l), *e))
     }
 }
 

@@ -14,9 +14,15 @@ use simcore::PAddr;
 use crate::slice::{WordUpdate, WORDS_PER_SLICE};
 
 /// Assembles the open memory slice of one core's transaction.
+///
+/// Flushed batches hand their `Vec` to the caller; returning it through
+/// [`SliceBuilder::recycle`] lets the builder reuse the allocation for the
+/// next slice, so steady-state flushing allocates nothing.
 #[derive(Clone, Debug, Default)]
 pub struct SliceBuilder {
     words: Vec<WordUpdate>,
+    /// Recycled allocation for the next batch handed out.
+    spare: Vec<WordUpdate>,
 }
 
 impl SliceBuilder {
@@ -52,7 +58,10 @@ impl SliceBuilder {
             return None;
         }
         let batch = if self.words.len() == WORDS_PER_SLICE {
-            Some(std::mem::take(&mut self.words))
+            Some(std::mem::replace(
+                &mut self.words,
+                std::mem::take(&mut self.spare),
+            ))
         } else {
             None
         };
@@ -62,7 +71,20 @@ impl SliceBuilder {
 
     /// Drains the partially filled slice (at `Tx_end`).
     pub fn take(&mut self) -> Vec<WordUpdate> {
-        std::mem::take(&mut self.words)
+        std::mem::replace(&mut self.words, std::mem::take(&mut self.spare))
+    }
+
+    /// Returns a flushed batch's allocation for reuse.
+    pub fn recycle(&mut self, mut batch: Vec<WordUpdate>) {
+        batch.clear();
+        if batch.capacity() > self.spare.capacity() {
+            self.spare = batch;
+        }
+    }
+
+    /// Drops any packed words, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.words.clear();
     }
 
     /// Looks up the buffered value of `home`, if present (the OOP address in

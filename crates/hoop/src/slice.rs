@@ -177,24 +177,7 @@ impl AddrSlice {
     /// Panics if there are more than [`ADDR_ENTRIES_PER_SLICE`] entries, a
     /// slot index exceeds 24 bits, or `flag` is not a record-slice flag.
     pub fn encode_with_flag(&self, flag: SliceFlag) -> [u8; SLICE_BYTES as usize] {
-        assert!(
-            matches!(flag, SliceFlag::Addr | SliceFlag::Prepare),
-            "not a record-slice flag"
-        );
-        assert!(
-            self.entries.len() <= ADDR_ENTRIES_PER_SLICE,
-            "too many entries"
-        );
-        let mut buf = [0u8; SLICE_BYTES as usize];
-        for (i, e) in self.entries.iter().enumerate() {
-            assert!(e.last_slot <= NO_LINK, "slot exceeds 24 bits");
-            let packed = (u64::from(e.tx) << 24) | u64::from(e.last_slot);
-            buf[i * 8..(i + 1) * 8].copy_from_slice(&packed.to_le_bytes());
-        }
-        buf[107..111].copy_from_slice(&(self.entries.len() as u32).to_le_bytes());
-        buf[111] = flag as u8;
-        seal(&mut buf);
-        buf
+        encode_records(&self.entries, flag)
     }
 
     /// Decodes a commit-record slice; returns `None` for any other kind.
@@ -224,6 +207,32 @@ impl AddrSlice {
         }
         Some(AddrSlice { entries })
     }
+}
+
+/// Encodes borrowed commit records under a record-slice flag — the
+/// allocation-free form of [`AddrSlice::encode_with_flag`], used on the
+/// per-commit append path.
+///
+/// # Panics
+///
+/// Panics if there are more than [`ADDR_ENTRIES_PER_SLICE`] entries, a slot
+/// index exceeds 24 bits, or `flag` is not a record-slice flag.
+pub fn encode_records(entries: &[CommitRecord], flag: SliceFlag) -> [u8; SLICE_BYTES as usize] {
+    assert!(
+        matches!(flag, SliceFlag::Addr | SliceFlag::Prepare),
+        "not a record-slice flag"
+    );
+    assert!(entries.len() <= ADDR_ENTRIES_PER_SLICE, "too many entries");
+    let mut buf = [0u8; SLICE_BYTES as usize];
+    for (i, e) in entries.iter().enumerate() {
+        assert!(e.last_slot <= NO_LINK, "slot exceeds 24 bits");
+        let packed = (u64::from(e.tx) << 24) | u64::from(e.last_slot);
+        buf[i * 8..(i + 1) * 8].copy_from_slice(&packed.to_le_bytes());
+    }
+    buf[107..111].copy_from_slice(&(entries.len() as u32).to_le_bytes());
+    buf[111] = flag as u8;
+    seal(&mut buf);
+    buf
 }
 
 /// NVM bytes transferred to flush a slice holding `words` packed updates:
@@ -274,27 +283,20 @@ pub fn is_sealed(buf: &[u8; SLICE_BYTES as usize]) -> bool {
     simcore::crc::verify(&buf[..112], stored)
 }
 
+// A 40-bit field at bit offset index*40 always starts on a byte boundary
+// (40 bits = 5 bytes), so the packed little-endian layout is exactly the
+// low 5 bytes of the value — no bit shuffling needed.
 fn put_bits40(area: &mut [u8], index: usize, value: u64) {
     debug_assert!(value < (1 << 40));
-    let bit = index * 40;
-    let mut v = value;
-    for k in 0..40 {
-        let b = bit + k;
-        if v & 1 == 1 {
-            area[b / 8] |= 1 << (b % 8);
-        }
-        v >>= 1;
-    }
+    let off = index * 5;
+    area[off..off + 5].copy_from_slice(&value.to_le_bytes()[..5]);
 }
 
 fn get_bits40(area: &[u8], index: usize) -> u64 {
-    let bit = index * 40;
-    let mut v = 0u64;
-    for k in (0..40).rev() {
-        let b = bit + k;
-        v = (v << 1) | u64::from((area[b / 8] >> (b % 8)) & 1);
-    }
-    v
+    let off = index * 5;
+    let mut b = [0u8; 8];
+    b[..5].copy_from_slice(&area[off..off + 5]);
+    u64::from_le_bytes(b)
 }
 
 #[cfg(test)]

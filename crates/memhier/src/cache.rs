@@ -14,13 +14,23 @@ pub struct Evicted {
     pub persistent: bool,
 }
 
-#[derive(Clone, Copy, Debug, Default)]
+/// Tag value of an invalid slot. Line numbers are physical addresses divided
+/// by the line size, so `u64::MAX` can never collide with a real line.
+const INVALID: u64 = u64::MAX;
+
+const DIRTY: u64 = 1;
+const PERSISTENT: u64 = 2;
+const STAMP_SHIFT: u32 = 2;
+
+/// One way of one set: the line tag plus its LRU stamp and dirty/persistent
+/// bits packed into a single word. Sixteen bytes per slot keeps a whole
+/// 4-way set in one cache line (8-way in two), and a hit updates the same
+/// line the tag scan just read — the layout the hot L1-hit path wants.
+#[derive(Clone, Copy, Debug)]
 struct Slot {
     tag: u64,
-    valid: bool,
-    dirty: bool,
-    persistent: bool,
-    stamp: u64,
+    /// `stamp << 2 | persistent << 1 | dirty`.
+    meta: u64,
 }
 
 /// One set-associative cache level.
@@ -48,38 +58,54 @@ impl Cache {
         Cache {
             sets,
             ways: cfg.ways as usize,
-            slots: vec![Slot::default(); (sets as usize) * cfg.ways as usize],
+            slots: vec![
+                Slot {
+                    tag: INVALID,
+                    meta: 0
+                };
+                (sets as usize) * cfg.ways as usize
+            ],
             tick: 0,
         }
     }
 
-    fn set_range(&self, line: Line) -> std::ops::Range<usize> {
-        let set = (line.0 & (self.sets - 1)) as usize;
-        set * self.ways..(set + 1) * self.ways
+    /// First slot index of `line`'s set.
+    #[inline]
+    fn set_base(&self, line: Line) -> usize {
+        (line.0 & (self.sets - 1)) as usize * self.ways
     }
 
+    /// Scans `line`'s set, early-exiting on the first tag match.
+    #[inline]
     fn find(&self, line: Line) -> Option<usize> {
-        self.set_range(line)
-            .find(|&i| self.slots[i].valid && self.slots[i].tag == line.0)
+        let base = self.set_base(line);
+        self.slots[base..base + self.ways]
+            .iter()
+            .position(|s| s.tag == line.0)
+            .map(|w| base + w)
     }
 
     /// Returns `true` if `line` is present (does not touch LRU state).
+    #[inline]
     pub fn contains(&self, line: Line) -> bool {
         self.find(line).is_some()
     }
 
     /// Looks up `line`; on a hit, refreshes LRU and optionally marks the
     /// line dirty/persistent. Returns whether it hit.
+    #[inline]
     pub fn touch(&mut self, line: Line, write: bool, persistent: bool) -> bool {
         self.tick += 1;
         match self.find(line) {
             Some(i) => {
                 let s = &mut self.slots[i];
-                s.stamp = self.tick;
-                if write {
-                    s.dirty = true;
-                    s.persistent |= persistent;
-                }
+                let flags = (s.meta & (DIRTY | PERSISTENT))
+                    | if write {
+                        DIRTY | if persistent { PERSISTENT } else { 0 }
+                    } else {
+                        0
+                    };
+                s.meta = (self.tick << STAMP_SHIFT) | flags;
                 true
             }
             None => false,
@@ -95,34 +121,32 @@ impl Cache {
     pub fn insert(&mut self, line: Line, dirty: bool, persistent: bool) -> Option<Evicted> {
         debug_assert!(!self.contains(line), "insert of present line");
         self.tick += 1;
-        let range = self.set_range(line);
+        let base = self.set_base(line);
         // Prefer an invalid slot; otherwise evict the LRU victim.
-        let mut victim = range.start;
+        let mut victim = base;
         let mut best = u64::MAX;
-        for i in range {
-            let s = &self.slots[i];
-            if !s.valid {
-                victim = i;
+        for (w, s) in self.slots[base..base + self.ways].iter().enumerate() {
+            if s.tag == INVALID {
+                victim = base + w;
                 break;
             }
-            if s.stamp < best {
-                best = s.stamp;
-                victim = i;
+            if (s.meta >> STAMP_SHIFT) < best {
+                best = s.meta >> STAMP_SHIFT;
+                victim = base + w;
             }
         }
         let old = self.slots[victim];
         self.slots[victim] = Slot {
             tag: line.0,
-            valid: true,
-            dirty,
-            persistent,
-            stamp: self.tick,
+            meta: (self.tick << STAMP_SHIFT)
+                | if dirty { DIRTY } else { 0 }
+                | if persistent { PERSISTENT } else { 0 },
         };
-        if old.valid {
+        if old.tag != INVALID {
             Some(Evicted {
                 line: Line(old.tag),
-                dirty: old.dirty,
-                persistent: old.persistent,
+                dirty: old.meta & DIRTY != 0,
+                persistent: old.meta & PERSISTENT != 0,
             })
         } else {
             None
@@ -130,23 +154,26 @@ impl Cache {
     }
 
     /// Removes `line` if present, returning its (dirty, persistent) state.
+    #[inline]
     pub fn remove(&mut self, line: Line) -> Option<(bool, bool)> {
         self.find(line).map(|i| {
             let s = &mut self.slots[i];
-            s.valid = false;
-            (s.dirty, s.persistent)
+            let meta = s.meta;
+            s.tag = INVALID;
+            s.meta = 0;
+            (meta & DIRTY != 0, meta & PERSISTENT != 0)
         })
     }
 
     /// Marks `line` clean (data persisted) and clears its persistent bit.
     /// Returns `true` if the line was present and dirty.
+    #[inline]
     pub fn clean(&mut self, line: Line) -> bool {
         match self.find(line) {
             Some(i) => {
                 let s = &mut self.slots[i];
-                let was = s.dirty;
-                s.dirty = false;
-                s.persistent = false;
+                let was = s.meta & DIRTY != 0;
+                s.meta &= !(DIRTY | PERSISTENT);
                 was
             }
             None => false,
@@ -155,10 +182,10 @@ impl Cache {
 
     /// Marks an already-present line dirty (used when a writeback from an
     /// upper level lands here).
+    #[inline]
     pub fn mark_dirty(&mut self, line: Line, persistent: bool) {
         if let Some(i) = self.find(line) {
-            self.slots[i].dirty = true;
-            self.slots[i].persistent |= persistent;
+            self.slots[i].meta |= DIRTY | if persistent { PERSISTENT } else { 0 };
         }
     }
 
@@ -167,15 +194,14 @@ impl Cache {
     pub fn drain_valid(&mut self) -> Vec<Evicted> {
         let mut out = Vec::new();
         for s in &mut self.slots {
-            if s.valid {
+            if s.tag != INVALID {
                 out.push(Evicted {
                     line: Line(s.tag),
-                    dirty: s.dirty,
-                    persistent: s.persistent,
+                    dirty: s.meta & DIRTY != 0,
+                    persistent: s.meta & PERSISTENT != 0,
                 });
-                s.valid = false;
-                s.dirty = false;
-                s.persistent = false;
+                s.tag = INVALID;
+                s.meta = 0;
             }
         }
         out
@@ -184,15 +210,14 @@ impl Cache {
     /// Invalidates everything (simulated power loss).
     pub fn clear(&mut self) {
         for s in &mut self.slots {
-            s.valid = false;
-            s.dirty = false;
-            s.persistent = false;
+            s.tag = INVALID;
+            s.meta = 0;
         }
     }
 
     /// Number of valid lines currently resident.
     pub fn resident(&self) -> usize {
-        self.slots.iter().filter(|s| s.valid).count()
+        self.slots.iter().filter(|s| s.tag != INVALID).count()
     }
 }
 
@@ -263,5 +288,28 @@ mod tests {
         c.insert(Line(6), true, true);
         c.clear();
         assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn invalid_slot_preferred_over_lru_victim() {
+        let mut c = tiny();
+        c.insert(Line(0), true, false);
+        c.insert(Line(4), false, false);
+        c.remove(Line(0));
+        // The freed slot must be reused without evicting line 4.
+        assert_eq!(c.insert(Line(8), false, false), None);
+        assert!(c.contains(Line(4)));
+        assert!(c.contains(Line(8)));
+    }
+
+    #[test]
+    fn touch_preserves_existing_dirty_state_on_read() {
+        let mut c = tiny();
+        c.insert(Line(2), true, true);
+        assert!(c.touch(Line(2), false, false));
+        let _ = c.insert(Line(6), false, false);
+        let ev = c.insert(Line(10), false, false).unwrap();
+        assert_eq!(ev.line, Line(2));
+        assert!(ev.dirty && ev.persistent, "read touch must not clear flags");
     }
 }

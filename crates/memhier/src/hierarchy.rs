@@ -185,9 +185,8 @@ impl Hierarchy {
     /// Inserts into a core's L2; a dirty L2 victim is written back into the
     /// LLC (which must contain it, by inclusion).
     fn fill_l2(&mut self, core: usize, line: Line) {
-        if self.l2[core].contains(line) {
-            return;
-        }
+        // Callers only reach here after `line` missed this L2, so there is
+        // no residency check to repeat.
         if let Some(v) = self.l2[core].insert(line, false, false) {
             // Inclusion: purge from L1 too; merge its state.
             let mut dirty = v.dirty;
@@ -210,10 +209,8 @@ impl Hierarchy {
         write: bool,
         persistent: bool,
     ) -> Option<Evicted> {
-        if self.l1[core].contains(line) {
-            self.l1[core].touch(line, write, persistent);
-            return None;
-        }
+        // Callers only reach here after `line` missed this L1, so there is
+        // no residency check to repeat.
         if let Some(v) = self.l1[core].insert(line, write, write && persistent) {
             if v.dirty {
                 self.l2[core].mark_dirty(v.line, v.persistent);
@@ -304,36 +301,27 @@ impl Hierarchy {
     /// a measured run so write-traffic totals are comparable across engines
     /// regardless of what happened to still be cached.
     pub fn drain_dirty(&mut self) -> Vec<Evicted> {
-        use simcore::det::DetHashMap;
-        let mut merged: DetHashMap<u64, (bool, bool)> = DetHashMap::default();
-        let mut note = |ev: Option<Evicted>| {
-            if let Some(e) = ev {
-                let entry = merged.entry(e.line.0).or_insert((false, false));
-                entry.0 |= e.dirty;
-                entry.1 |= e.persistent;
-            }
-        };
+        // Collect every valid copy, then sort by line and merge equal-line
+        // runs in place — no intermediate hash map. The result is the same
+        // line-sorted, state-OR-merged list the old map-based merge built.
+        let mut all: Vec<Evicted> = Vec::new();
         for c in 0..self.l1.len() {
-            for ev in self.l1[c].drain_valid() {
-                note(Some(ev));
-            }
-            for ev in self.l2[c].drain_valid() {
-                note(Some(ev));
+            all.extend(self.l1[c].drain_valid());
+            all.extend(self.l2[c].drain_valid());
+        }
+        all.extend(self.llc.drain_valid());
+        all.sort_by_key(|e| e.line.0);
+        let mut out: Vec<Evicted> = Vec::with_capacity(all.len());
+        for e in all {
+            match out.last_mut() {
+                Some(last) if last.line == e.line => {
+                    last.dirty |= e.dirty;
+                    last.persistent |= e.persistent;
+                }
+                _ => out.push(e),
             }
         }
-        for ev in self.llc.drain_valid() {
-            note(Some(ev));
-        }
-        let mut out: Vec<Evicted> = merged
-            .into_iter()
-            .filter(|(_, (d, _))| *d)
-            .map(|(l, (d, p))| Evicted {
-                line: Line(l),
-                dirty: d,
-                persistent: p,
-            })
-            .collect();
-        out.sort_by_key(|e| e.line.0);
+        out.retain(|e| e.dirty);
         out
     }
 

@@ -9,17 +9,67 @@
 //! 64-bit hardware guarantees (§II-A of the paper). Multi-word writes can be
 //! torn: [`PersistentStore::write_bytes_torn`] persists only a prefix, which
 //! the property tests use to model crashes in the middle of a persist.
+//!
+//! Internally pages live in a slab (`Vec` of boxed 4 KiB arrays) addressed
+//! through a [`LineMap`] page index, with a one-entry last-page cache so the
+//! sequential access runs that dominate slice/log traffic skip the hash
+//! probe entirely. The cache is a single relaxed atomic (a packed page
+//! number and slab index) because the read path takes `&self` and recovery
+//! shares the store across threads; slab indices are stable for the life of
+//! the store, so a cached index can never dangle, and the cache only ever
+//! affects which probe path a read takes — never the bytes returned.
 
-use simcore::det::DetHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use simcore::linemap::LineMap;
 use simcore::PAddr;
 
 const PAGE_BYTES: u64 = 4096;
+const PAGE_SIZE: usize = PAGE_BYTES as usize;
+
+/// Sentinel meaning "last-page cache empty".
+const NO_CACHE: u64 = u64::MAX;
+
+/// Bits of the packed cache word holding the slab index; the remaining high
+/// bits hold the page number. Pages or indices too large to pack simply
+/// skip the cache (correctness never depends on it).
+const IDX_BITS: u32 = 24;
 
 /// A sparse durable byte image, initialized to zero.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug)]
 pub struct PersistentStore {
-    pages: DetHashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    /// Page frames. Slots are never popped — freed frames are zeroed and
+    /// recycled through `free` — so indices held by `last` stay valid.
+    slabs: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Page number → slab index.
+    index: LineMap<u32>,
+    /// Recyclable (already zeroed) slab indices.
+    free: Vec<u32>,
+    /// Last (page number << IDX_BITS | slab index) touched, to
+    /// short-circuit the probe.
+    last: AtomicU64,
+}
+
+impl Default for PersistentStore {
+    fn default() -> Self {
+        PersistentStore {
+            slabs: Vec::new(),
+            index: LineMap::with_capacity(64, 0),
+            free: Vec::new(),
+            last: AtomicU64::new(NO_CACHE),
+        }
+    }
+}
+
+impl Clone for PersistentStore {
+    fn clone(&self) -> Self {
+        PersistentStore {
+            slabs: self.slabs.clone(),
+            index: self.index.clone(),
+            free: self.free.clone(),
+            last: AtomicU64::new(self.last.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl PersistentStore {
@@ -28,16 +78,83 @@ impl PersistentStore {
         Self::default()
     }
 
-    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_BYTES as usize] {
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]))
+    /// Reads the cached (page, slab index) pair, if any.
+    #[inline]
+    fn cache_get(&self) -> Option<(u64, u32)> {
+        let v = self.last.load(Ordering::Relaxed);
+        if v == NO_CACHE {
+            None
+        } else {
+            Some((v >> IDX_BITS, (v & ((1 << IDX_BITS) - 1)) as u32))
+        }
+    }
+
+    /// Caches a (page, slab index) pair when it fits the packed word.
+    #[inline]
+    fn cache_set(&self, page: u64, idx: u32) {
+        if page < (1 << (64 - IDX_BITS)) && idx < (1 << IDX_BITS) {
+            let packed = (page << IDX_BITS) | u64::from(idx);
+            if packed != NO_CACHE {
+                self.last.store(packed, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Resolves `page` to its slab index, if resident.
+    #[inline]
+    fn lookup(&self, page: u64) -> Option<u32> {
+        if let Some((lp, li)) = self.cache_get() {
+            if lp == page {
+                return Some(li);
+            }
+        }
+        let idx = *self.index.get(page)?;
+        self.cache_set(page, idx);
+        Some(idx)
+    }
+
+    /// Resolves `page` to its slab index, allocating a zeroed frame on first
+    /// touch.
+    #[inline]
+    fn lookup_or_alloc(&mut self, page: u64) -> u32 {
+        if let Some((lp, li)) = self.cache_get() {
+            if lp == page {
+                return li;
+            }
+        }
+        let idx = match self.index.get(page) {
+            Some(&i) => i,
+            None => {
+                let i = match self.free.pop() {
+                    Some(i) => i,
+                    None => {
+                        self.slabs.push(Box::new([0; PAGE_SIZE]));
+                        (self.slabs.len() - 1) as u32
+                    }
+                };
+                self.index.insert(page, i);
+                i
+            }
+        };
+        self.cache_set(page, idx);
+        idx
+    }
+
+    /// Releases `page`'s frame back to the free pool, zeroed for reuse.
+    fn release_page(&mut self, page: u64) {
+        if let Some(idx) = self.index.remove(page) {
+            self.slabs[idx as usize].fill(0);
+            self.free.push(idx);
+            if matches!(self.cache_get(), Some((p, _)) if p == page) {
+                self.last.store(NO_CACHE, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: PAddr) -> u8 {
-        match self.pages.get(&(addr.0 / PAGE_BYTES)) {
-            Some(p) => p[(addr.0 % PAGE_BYTES) as usize],
+        match self.lookup(addr.0 / PAGE_BYTES) {
+            Some(i) => self.slabs[i as usize][(addr.0 % PAGE_BYTES) as usize],
             None => 0,
         }
     }
@@ -45,12 +162,24 @@ impl PersistentStore {
     /// Writes one byte. Prefer the word/byte-slice APIs; this exists for
     /// codec internals.
     pub fn write_u8(&mut self, addr: PAddr, value: u8) {
-        self.page_mut(addr.0 / PAGE_BYTES)[(addr.0 % PAGE_BYTES) as usize] = value;
+        let i = self.lookup_or_alloc(addr.0 / PAGE_BYTES);
+        self.slabs[i as usize][(addr.0 % PAGE_BYTES) as usize] = value;
     }
 
     /// Reads a little-endian u64 at `addr` (need not be aligned, though all
     /// simulator callers use word-aligned addresses).
+    #[inline]
     pub fn read_u64(&self, addr: PAddr) -> u64 {
+        let in_page = (addr.0 % PAGE_BYTES) as usize;
+        if in_page <= PAGE_SIZE - 8 {
+            return match self.lookup(addr.0 / PAGE_BYTES) {
+                Some(i) => {
+                    let p = &self.slabs[i as usize];
+                    u64::from_le_bytes(p[in_page..in_page + 8].try_into().unwrap())
+                }
+                None => 0,
+            };
+        }
         let mut buf = [0u8; 8];
         self.read_bytes(addr, &mut buf);
         u64::from_le_bytes(buf)
@@ -58,20 +187,39 @@ impl PersistentStore {
 
     /// Durably writes a little-endian u64 at `addr` — the hardware-atomic
     /// persist unit.
+    #[inline]
     pub fn write_u64(&mut self, addr: PAddr, value: u64) {
+        let in_page = (addr.0 % PAGE_BYTES) as usize;
+        if in_page <= PAGE_SIZE - 8 {
+            let i = self.lookup_or_alloc(addr.0 / PAGE_BYTES);
+            self.slabs[i as usize][in_page..in_page + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         self.write_bytes(addr, &value.to_le_bytes());
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: PAddr, buf: &mut [u8]) {
+        let in_page = (addr.0 % PAGE_BYTES) as usize;
+        if in_page + buf.len() <= PAGE_SIZE {
+            // Entirely within one page — the overwhelmingly common case
+            // (lines, words, and 128-byte slices are page-aligned units).
+            match self.lookup(addr.0 / PAGE_BYTES) {
+                Some(i) => {
+                    buf.copy_from_slice(&self.slabs[i as usize][in_page..in_page + buf.len()])
+                }
+                None => buf.fill(0),
+            }
+            return;
+        }
         let mut pos = addr.0;
         let mut off = 0usize;
         while off < buf.len() {
-            let page = pos / PAGE_BYTES;
             let in_page = (pos % PAGE_BYTES) as usize;
-            let take = (buf.len() - off).min(PAGE_BYTES as usize - in_page);
-            match self.pages.get(&page) {
-                Some(p) => buf[off..off + take].copy_from_slice(&p[in_page..in_page + take]),
+            let take = (buf.len() - off).min(PAGE_SIZE - in_page);
+            match self.lookup(pos / PAGE_BYTES) {
+                Some(i) => buf[off..off + take]
+                    .copy_from_slice(&self.slabs[i as usize][in_page..in_page + take]),
                 None => buf[off..off + take].fill(0),
             }
             off += take;
@@ -88,13 +236,22 @@ impl PersistentStore {
 
     /// Durably writes `data` starting at `addr`.
     pub fn write_bytes(&mut self, addr: PAddr, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let in_page = (addr.0 % PAGE_BYTES) as usize;
+        if in_page + data.len() <= PAGE_SIZE {
+            let i = self.lookup_or_alloc(addr.0 / PAGE_BYTES);
+            self.slabs[i as usize][in_page..in_page + data.len()].copy_from_slice(data);
+            return;
+        }
         let mut pos = addr.0;
         let mut off = 0usize;
         while off < data.len() {
-            let page = pos / PAGE_BYTES;
             let in_page = (pos % PAGE_BYTES) as usize;
-            let take = (data.len() - off).min(PAGE_BYTES as usize - in_page);
-            self.page_mut(page)[in_page..in_page + take].copy_from_slice(&data[off..off + take]);
+            let take = (data.len() - off).min(PAGE_SIZE - in_page);
+            let i = self.lookup_or_alloc(pos / PAGE_BYTES);
+            self.slabs[i as usize][in_page..in_page + take].copy_from_slice(&data[off..off + take]);
             off += take;
             pos += take as u64;
         }
@@ -121,9 +278,9 @@ impl PersistentStore {
             let in_page = pos % PAGE_BYTES;
             let take = (end - pos).min(PAGE_BYTES - in_page);
             if in_page == 0 && take == PAGE_BYTES {
-                self.pages.remove(&page);
-            } else if let Some(p) = self.pages.get_mut(&page) {
-                p[in_page as usize..(in_page + take) as usize].fill(0);
+                self.release_page(page);
+            } else if let Some(&i) = self.index.get(page) {
+                self.slabs[i as usize][in_page as usize..(in_page + take) as usize].fill(0);
             }
             pos += take;
         }
@@ -131,7 +288,7 @@ impl PersistentStore {
 
     /// Number of resident (non-zero-candidate) pages, for memory diagnostics.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.index.len()
     }
 }
 
@@ -164,6 +321,15 @@ mod tests {
     }
 
     #[test]
+    fn cross_page_word() {
+        let mut s = PersistentStore::new();
+        let addr = PAddr(PAGE_BYTES - 4);
+        s.write_u64(addr, 0x0102_0304_0506_0708);
+        assert_eq!(s.read_u64(addr), 0x0102_0304_0506_0708);
+        assert_eq!(s.resident_pages(), 2);
+    }
+
+    #[test]
     fn torn_write_keeps_word_prefix() {
         let mut s = PersistentStore::new();
         let data: Vec<u8> = (0..32).collect();
@@ -176,7 +342,7 @@ mod tests {
     #[test]
     fn zero_range_reclaims() {
         let mut s = PersistentStore::new();
-        s.write_bytes(PAddr(0), &[0xAA; 2 * PAGE_BYTES as usize]);
+        s.write_bytes(PAddr(0), &[0xAA; 2 * PAGE_SIZE]);
         assert_eq!(s.resident_pages(), 2);
         s.zero_range(PAddr(0), PAGE_BYTES);
         assert_eq!(s.resident_pages(), 1);
@@ -185,5 +351,28 @@ mod tests {
         s.zero_range(PAddr(PAGE_BYTES + 8), 8);
         assert_eq!(s.read_u8(PAddr(PAGE_BYTES + 8)), 0);
         assert_eq!(s.read_u8(PAddr(PAGE_BYTES + 16)), 0xAA);
+    }
+
+    #[test]
+    fn freed_frames_are_recycled_zeroed() {
+        let mut s = PersistentStore::new();
+        s.write_bytes(PAddr(0), &[0xFF; PAGE_SIZE]);
+        s.zero_range(PAddr(0), PAGE_BYTES);
+        // A new page elsewhere should reuse the freed frame and read as zero.
+        s.write_u8(PAddr(7 * PAGE_BYTES), 1);
+        assert_eq!(s.read_u8(PAddr(7 * PAGE_BYTES)), 1);
+        assert_eq!(s.read_u8(PAddr(7 * PAGE_BYTES + 1)), 0);
+        assert_eq!(s.read_u64(PAddr(7 * PAGE_BYTES + 64)), 0);
+    }
+
+    #[test]
+    fn last_page_cache_survives_removal() {
+        let mut s = PersistentStore::new();
+        s.write_u8(PAddr(5), 9);
+        assert_eq!(s.read_u8(PAddr(5)), 9); // primes the cache on page 0
+        s.zero_range(PAddr(0), PAGE_BYTES); // removes the cached page
+        assert_eq!(s.read_u8(PAddr(5)), 0);
+        s.write_u8(PAddr(5), 3);
+        assert_eq!(s.read_u8(PAddr(5)), 3);
     }
 }

@@ -9,6 +9,26 @@
 /// The CRC-32C polynomial (reflected).
 const POLY: u32 = 0x82F6_3B78;
 
+/// Per-byte lookup table (slice-by-one), built at compile time. Every slice
+/// seal/verify hashes 112 bytes; the table turns the 8-iteration bit loop
+/// per byte into a single lookup.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+            k += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
 /// Computes CRC-32C over `data`.
 ///
 /// # Example
@@ -22,11 +42,7 @@ const POLY: u32 = 0x82F6_3B78;
 pub fn crc32c(data: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &byte in data {
-        crc ^= u32::from(byte);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (POLY & mask);
-        }
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
     }
     !crc
 }

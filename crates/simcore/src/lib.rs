@@ -32,6 +32,7 @@ pub mod config;
 pub mod crc;
 pub mod det;
 pub mod ids;
+pub mod linemap;
 pub mod rng;
 pub mod sanitize;
 pub mod stats;
@@ -42,6 +43,7 @@ pub use addr::{Line, PAddr, CACHE_LINE_BYTES, WORD_BYTES};
 pub use config::SimConfig;
 pub use det::{DetHashMap, DetHashSet};
 pub use ids::{CoreId, TxId};
+pub use linemap::LineMap;
 pub use rng::SimRng;
 pub use sanitize::{SanitizerHandle, SanitizerHooks};
 pub use time::{ns_to_cycles, Cycle, CLOCK_GHZ};

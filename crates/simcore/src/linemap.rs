@@ -1,0 +1,314 @@
+//! A deterministic open-addressing hash table keyed by line/slot numbers.
+//!
+//! The controller SRAM structures ([`MappingTable`] and the eviction buffer
+//! in `hoop`) sit on the per-access hot path: every LLC miss probes them and
+//! every slice flush inserts into them. `std`'s `HashMap` (even with the
+//! fixed-seed hasher of [`det`](crate::det)) pays SipHash-replacement
+//! dispatch, control-byte groups and branchy fallbacks that dwarf the
+//! two-instruction hash a u64 key needs. [`LineMap`] is the purpose-built
+//! alternative:
+//!
+//! * **power-of-two capacity** with multiply-shift hashing (Fibonacci
+//!   constant), so the probe start is `(key * K) >> shift` — no division;
+//! * **linear probing** — one cache line of keys covers eight probes;
+//! * **tombstone-free backshift deletion** — removals compact the probe
+//!   window in place, so long-lived tables never degrade the way
+//!   tombstone schemes do;
+//! * **deterministic iteration** in slot order, a pure function of the
+//!   insert/remove sequence (the bit-for-bit reproducibility contract).
+//!
+//! Keys are `u64` line or slot numbers; the all-ones value is reserved as
+//! the empty sentinel (no simulated address space reaches 2^64 − 1 lines).
+//!
+//! [`MappingTable`]: ../../hoop/mapping/struct.MappingTable.html
+
+/// Reserved key marking an empty slot.
+const EMPTY: u64 = u64::MAX;
+
+/// Fibonacci multiplier for multiply-shift hashing.
+const HASH_K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A deterministic open-addressing map from `u64` keys to copyable values.
+///
+/// # Example
+///
+/// ```
+/// use simcore::linemap::LineMap;
+/// let mut m: LineMap<u32> = LineMap::with_capacity(16, 0);
+/// m.insert(5, 42);
+/// assert_eq!(m.get(5), Some(&42));
+/// assert_eq!(m.remove(5), Some(42));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineMap<V> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    /// `slots - 1` (slot count is a power of two).
+    mask: usize,
+    /// `64 - log2(slots)`, the multiply-shift right shift.
+    shift: u32,
+    len: usize,
+    /// Value used to fill fresh slots (slot contents are undefined until
+    /// the matching key is set; the fill only exists so `vals` stays
+    /// initialized without a `V: Default` bound).
+    fill: V,
+}
+
+impl<V: Copy> LineMap<V> {
+    /// Creates a map sized for `capacity` entries (grows beyond it if
+    /// needed). `fill` initializes unoccupied value slots; it is never
+    /// observable through the API.
+    pub fn with_capacity(capacity: usize, fill: V) -> Self {
+        // Aim for <= 2/3 load at the stated capacity.
+        let slots = (capacity.max(4).saturating_mul(3) / 2)
+            .next_power_of_two()
+            .max(8);
+        LineMap {
+            keys: vec![EMPTY; slots],
+            vals: vec![fill; slots],
+            mask: slots - 1,
+            shift: 64 - slots.trailing_zeros(),
+            len: 0,
+            fill,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Home slot of `key`.
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(HASH_K) >> self.shift) as usize
+    }
+
+    /// Probes for `key`, returning its slot index.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        debug_assert_ne!(key, EMPTY, "key reserved as empty sentinel");
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(i);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Looks up `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key).map(|i| &self.vals[i])
+    }
+
+    /// Looks up `key` mutably.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.find(key).map(|i| &mut self.vals[i])
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Inserts or overwrites `key`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        debug_assert_ne!(key, EMPTY, "key reserved as empty sentinel");
+        // Keep load at or below 7/8 so probe chains stay short.
+        if (self.len + 1) * 8 > (self.mask + 1) * 7 {
+            self.grow();
+        }
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(std::mem::replace(&mut self.vals[i], value));
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = value;
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes `key`, compacting the probe window (backshift deletion — no
+    /// tombstones are ever left behind).
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let mut i = self.find(key)?;
+        let old = self.vals[i];
+        self.len -= 1;
+        let mask = self.mask;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let k = self.keys[j];
+            if k == EMPTY {
+                break;
+            }
+            // The entry at `j` may slide into the hole at `i` only if its
+            // home slot is cyclically at or before `i` (otherwise moving it
+            // would break its own probe chain).
+            let h = self.home(k);
+            if (j.wrapping_sub(h) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.keys[i] = k;
+                self.vals[i] = self.vals[j];
+                i = j;
+            }
+        }
+        self.keys[i] = EMPTY;
+        Some(old)
+    }
+
+    /// Drops every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+
+    /// Iterates `(key, &value)` pairs in slot order — deterministic for a
+    /// given insert/remove sequence.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, v)| (k, v))
+    }
+
+    /// Doubles the slot count and rehashes.
+    fn grow(&mut self) {
+        let new_slots = (self.mask + 1) * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![self.fill; new_slots]);
+        self.mask = new_slots - 1;
+        self.shift = 64 - new_slots.trailing_zeros();
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k == EMPTY {
+                continue;
+            }
+            let mut i = self.home(k);
+            while self.keys[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.keys[i] = k;
+            self.vals[i] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: LineMap<u64> = LineMap::with_capacity(8, 0);
+        for i in 0..100u64 {
+            assert_eq!(m.insert(i, i * 10), None);
+        }
+        assert_eq!(m.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(m.get(i), Some(&(i * 10)));
+        }
+        for i in (0..100u64).step_by(2) {
+            assert_eq!(m.remove(i), Some(i * 10));
+        }
+        assert_eq!(m.len(), 50);
+        for i in 0..100u64 {
+            assert_eq!(m.contains(i), i % 2 == 1, "key {i}");
+        }
+    }
+
+    #[test]
+    fn overwrite_returns_previous() {
+        let mut m: LineMap<u8> = LineMap::with_capacity(4, 0);
+        assert_eq!(m.insert(7, 1), None);
+        assert_eq!(m.insert(7, 2), Some(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(7), Some(&2));
+    }
+
+    #[test]
+    fn backshift_keeps_colliding_keys_reachable() {
+        // Force collisions by filling a small table, then delete from the
+        // middle of probe chains and verify everything else stays reachable.
+        let mut m: LineMap<u64> = LineMap::with_capacity(4, 0);
+        let keys: Vec<u64> = (0..64).collect();
+        for &k in &keys {
+            m.insert(k, k);
+        }
+        for &k in keys.iter().step_by(3) {
+            assert_eq!(m.remove(k), Some(k));
+        }
+        for &k in &keys {
+            let expect = (k % 3 != 0).then_some(k);
+            assert_eq!(m.get(k).copied(), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn iteration_is_deterministic_and_complete() {
+        let build = || {
+            let mut m: LineMap<u32> = LineMap::with_capacity(16, 0);
+            for i in 0..500u64 {
+                m.insert(i.wrapping_mul(0x9E37_79B9), i as u32);
+            }
+            for i in (0..500u64).step_by(7) {
+                m.remove(i.wrapping_mul(0x9E37_79B9));
+            }
+            m.iter().map(|(k, &v)| (k, v)).collect::<Vec<_>>()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert_eq!(a.len(), 500 - 500usize.div_ceil(7));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_working() {
+        let mut m: LineMap<u8> = LineMap::with_capacity(8, 0);
+        m.insert(1, 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(1), None);
+        m.insert(2, 2);
+        assert_eq!(m.get(2), Some(&2));
+    }
+
+    #[test]
+    fn grows_past_stated_capacity() {
+        let mut m: LineMap<u64> = LineMap::with_capacity(4, 0);
+        for i in 0..10_000u64 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(m.get(9_999), Some(&9_999));
+    }
+
+    #[test]
+    fn remove_absent_is_none() {
+        let mut m: LineMap<u8> = LineMap::with_capacity(4, 0);
+        m.insert(3, 3);
+        assert_eq!(m.remove(4), None);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint [PATH...]
+//! cargo run -p xtask -- bench [-- ARGS...]
 //! ```
 //!
 //! `lint` runs the determinism/safety lint of `pmcheck::lint` over the
@@ -10,6 +11,12 @@
 //! and `target/` are excluded) and exits nonzero on any finding. Explicitly
 //! annotated `// lint:allow(<rule>)` exceptions are listed so the audit
 //! trail stays visible in CI logs.
+//!
+//! `bench` measures the simulator's own host time: it builds and runs the
+//! `bench_host` binary in release mode (host timing of a debug build would
+//! be meaningless) from the workspace root, passing any extra arguments
+//! through — e.g. `cargo run -p xtask -- bench -- --quick --check` is the CI
+//! regression gate against `results/bench_host_quick.json`.
 
 #![forbid(unsafe_code)]
 
@@ -66,12 +73,40 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_bench(args: &[String]) -> ExitCode {
+    // Host timing must run optimized code; delegate to the release build of
+    // `bench_host` rather than timing whatever profile xtask itself uses.
+    let passthrough = args.iter().filter(|a| a.as_str() != "--");
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(workspace_root())
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "hoop-bench",
+            "--bin",
+            "bench_host",
+            "--",
+        ])
+        .args(passthrough)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(s) => ExitCode::from(s.code().unwrap_or(1).clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!("xtask bench: failed to spawn cargo: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("bench") => run_bench(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [PATH...]");
+            eprintln!("usage: cargo run -p xtask -- {{lint [PATH...] | bench [-- ARGS...]}}");
             ExitCode::from(2)
         }
     }
