@@ -143,7 +143,10 @@ fn cache_hierarchy(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 587) & 0xFFF;
-            black_box(hier.access(CoreId(0), Line(i), i.is_multiple_of(4), false).latency)
+            black_box(
+                hier.access(CoreId(0), Line(i), i.is_multiple_of(4), false)
+                    .latency,
+            )
         })
     });
 }

@@ -108,6 +108,8 @@ impl PersistenceEngine for LadEngine {
         if persistent {
             // The controller queue already holds (or will hold at commit)
             // the authoritative image; refresh it and swallow the eviction.
+            // lint:order-frozen: each entry is refreshed independently —
+            // no cross-entry state, so visit order cannot leak into results.
             for entry in self.active.values_mut() {
                 if let Some(img) = entry.get_mut(&line.0) {
                     *img = to_line_image(line_data);
@@ -128,9 +130,11 @@ impl PersistenceEngine for LadEngine {
             .map(|l| Line(*l).base())
             .unwrap_or(PAddr(0));
         let done = self.base.write_burst(first, bytes, now, TrafficClass::Data);
-        for l in lines.keys() {
-            // The ordered home burst makes every queued line durable.
-            self.base.san.data_persisted(tx, Line(*l), done);
+        if self.base.san.is_active() {
+            for l in lines.keys() {
+                // The ordered home burst makes every queued line durable.
+                self.base.san.data_persisted(tx, Line(*l), done);
+            }
         }
         // Commit completes when the controller handshake acknowledges the
         // burst — the transaction's durable point.

@@ -161,6 +161,8 @@ impl PersistenceEngine for OptUndoEngine {
         if persistent {
             // Steal: the in-place update may reach home before commit; the
             // undo log makes it safe.
+            // lint:order-frozen: independent per-entry refresh — no
+            // cross-entry state, so visit order cannot leak into results.
             for entry in self.active.values_mut() {
                 if let Some(t) = entry.lines.get_mut(&line.0) {
                     t.image = to_line_image(line_data);
@@ -186,6 +188,8 @@ impl PersistenceEngine for OptUndoEngine {
         }
         let first = entry
             .lines
+            // lint:order-frozen: representative burst start address only;
+            // deterministic under the frozen DetHashMap order.
             .keys()
             .next()
             .map(|l| Line(*l).base())

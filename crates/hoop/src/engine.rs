@@ -531,7 +531,7 @@ impl PersistenceEngine for HoopEngine {
             let t = self.base.device.timing();
             let service = (dr as f64 * simcore::CLOCK_GHZ / t.bandwidth_gbps
                 + dw as f64 * simcore::CLOCK_GHZ / t.write_bandwidth_gbps)
-                as Cycle;
+                as Cycle; // lint:allow(sim-state-float): config-constant bandwidth math, host-identical.
             self.bg_interference += service / 2;
             self.next_gc = now + self.gc_period;
         } else if pressure {

@@ -191,6 +191,8 @@ impl HoopEngine {
         } else {
             touches * CACHE_LINE_BYTES
         };
+        // lint:order-frozen: representative burst start address only;
+        // deterministic under the frozen DetHashMap order.
         if let Some(first) = lines.keys().next() {
             t = self.base.burst_spread(
                 Line(*first).base(),

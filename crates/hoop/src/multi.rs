@@ -543,6 +543,8 @@ impl PersistenceEngine for MultiHoopEngine {
                 // Every participant's slices were durable when its prepare
                 // record was acknowledged; the coordinator's commit record
                 // is the transaction's durable point (§III-I).
+                // lint:order-frozen: all notifications carry the same
+                // timestamp; delivery order is immaterial.
                 for l in self.cores[ci].touched_lines.iter() {
                     self.base.san.data_persisted(tx, Line(*l), prepare_done);
                 }

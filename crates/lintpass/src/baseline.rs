@@ -1,0 +1,249 @@
+//! Committed-baseline support: CI fails only on *new* findings.
+//!
+//! The baseline is a plain, diff-friendly text file (one entry per line,
+//! `rule<TAB>path<TAB>snippet`) committed at the workspace root as
+//! `lint.baseline`. Matching is by multiset over `(rule, path, snippet)` —
+//! line numbers are deliberately excluded so unrelated edits shifting a
+//! finding up or down do not invalidate the baseline, while any change to
+//! the offending line itself does.
+//!
+//! The gate is two-sided, so the baseline can never rot:
+//! * a finding **not** in the baseline is *new* → CI fails;
+//! * a baseline entry with no matching finding is *fixed* → CI fails too,
+//!   asking for a baseline refresh (`--write-baseline`) in the same PR.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::report::{BaselineSummary, Finding, LintReport};
+
+/// Header line identifying the baseline format.
+const HEADER: &str = "# lintpass baseline v1";
+
+/// One baseline entry (a historically accepted finding).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Rule identifier.
+    pub rule: String,
+    /// Repo-relative file path.
+    pub path: String,
+    /// Trimmed offending source line.
+    pub snippet: String,
+}
+
+/// A parsed baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Accepted findings (multiset semantics).
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the text format. Unknown or malformed lines are an error —
+    /// a corrupted baseline must not silently accept findings.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == HEADER => {}
+            other => {
+                return Err(format!(
+                    "baseline header mismatch: expected {HEADER:?}, got {other:?}"
+                ))
+            }
+        }
+        for (i, line) in lines.enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(snippet)) => entries.push(BaselineEntry {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    snippet: snippet.to_string(),
+                }),
+                _ => return Err(format!("baseline line {} malformed: {line:?}", i + 2)),
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Loads a baseline file from disk; `Ok(None)` when the file is absent.
+    pub fn load(path: &Path) -> io::Result<Option<Result<Baseline, String>>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Some(Baseline::parse(&text))),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Serializes `report`'s findings as a fresh baseline file.
+    pub fn render(report: &LintReport) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str("# Accepted findings: rule<TAB>path<TAB>snippet. Refresh with\n");
+        out.push_str("#   cargo run -p xtask -- lint --write-baseline\n");
+        let mut entries: Vec<BaselineEntry> = report
+            .findings
+            .iter()
+            .map(|f| BaselineEntry {
+                rule: f.rule.to_string(),
+                path: f.path.clone(),
+                snippet: f.snippet.clone(),
+            })
+            .collect();
+        entries.sort();
+        for e in entries {
+            out.push_str(&format!("{}\t{}\t{}\n", e.rule, e.path, e.snippet));
+        }
+        out
+    }
+}
+
+/// Result of gating a report against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct GateOutcome {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub new: Vec<Finding>,
+    /// Findings suppressed by a baseline entry.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries with no matching finding — stale, also fail the
+    /// gate (the baseline must be refreshed in the same change).
+    pub fixed: Vec<BaselineEntry>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes (no new findings, no stale entries).
+    pub fn passes(&self) -> bool {
+        self.new.is_empty() && self.fixed.is_empty()
+    }
+
+    /// The accounting block for the JSON export.
+    pub fn summary(&self, baseline_entries: usize) -> BaselineSummary {
+        BaselineSummary {
+            entries: baseline_entries,
+            matched: self.baselined.len(),
+            new: self.new.len(),
+            fixed: self.fixed.len(),
+        }
+    }
+}
+
+/// Gates `report` against `baseline` with multiset matching on
+/// `(rule, path, snippet)`.
+pub fn gate(report: &LintReport, baseline: &Baseline) -> GateOutcome {
+    let mut budget: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+    for e in &baseline.entries {
+        *budget
+            .entry((e.rule.as_str(), e.path.as_str(), e.snippet.as_str()))
+            .or_insert(0) += 1;
+    }
+    let mut out = GateOutcome::default();
+    for f in &report.findings {
+        let key = (f.rule, f.path.as_str(), f.snippet.as_str());
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                out.baselined.push(f.clone());
+            }
+            _ => out.new.push(f.clone()),
+        }
+    }
+    for (key, n) in budget {
+        for _ in 0..n {
+            out.fixed.push(BaselineEntry {
+                rule: key.0.to_string(),
+                path: key.1.to_string(),
+                snippet: key.2.to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            rule,
+            snippet: snippet.to_string(),
+        }
+    }
+
+    fn report(findings: Vec<Finding>) -> LintReport {
+        LintReport {
+            findings,
+            allows: vec![],
+            files_scanned: 1,
+        }
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let r = report(vec![
+            f("det-hash", "a.rs", "let m = HashMap::new();"),
+            f("wall-clock", "b.rs", "Instant::now()"),
+        ]);
+        let text = Baseline::render(&r);
+        let b = Baseline::parse(&text).expect("parse");
+        assert_eq!(b.entries.len(), 2);
+        assert!(gate(&r, &b).passes());
+    }
+
+    #[test]
+    fn new_finding_fails_gate() {
+        let b = Baseline::parse(&Baseline::render(&report(vec![]))).unwrap();
+        let out = gate(&report(vec![f("det-hash", "a.rs", "x")]), &b);
+        assert!(!out.passes());
+        assert_eq!(out.new.len(), 1);
+        assert!(out.fixed.is_empty());
+    }
+
+    #[test]
+    fn fixed_entry_fails_gate_as_stale() {
+        let b =
+            Baseline::parse(&Baseline::render(&report(vec![f("det-hash", "a.rs", "x")]))).unwrap();
+        let out = gate(&report(vec![]), &b);
+        assert!(!out.passes());
+        assert_eq!(out.fixed.len(), 1);
+        assert!(out.new.is_empty());
+    }
+
+    #[test]
+    fn multiset_counts_matter() {
+        let b =
+            Baseline::parse(&Baseline::render(&report(vec![f("det-hash", "a.rs", "x")]))).unwrap();
+        // Two identical findings, one baselined slot: one is new.
+        let out = gate(
+            &report(vec![f("det-hash", "a.rs", "x"), f("det-hash", "a.rs", "x")]),
+            &b,
+        );
+        assert_eq!(out.baselined.len(), 1);
+        assert_eq!(out.new.len(), 1);
+    }
+
+    #[test]
+    fn line_numbers_do_not_invalidate() {
+        let b =
+            Baseline::parse(&Baseline::render(&report(vec![f("det-hash", "a.rs", "x")]))).unwrap();
+        let mut moved = f("det-hash", "a.rs", "x");
+        moved.line = 99;
+        assert!(gate(&report(vec![moved]), &b).passes());
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected() {
+        assert!(Baseline::parse("").is_err());
+        assert!(Baseline::parse("# lintpass baseline v1\nonly-one-field\n").is_err());
+        assert!(Baseline::parse("# wrong header\n").is_err());
+    }
+}

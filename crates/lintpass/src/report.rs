@@ -1,0 +1,237 @@
+//! Finding/report types and the schema-versioned JSON export.
+//!
+//! The JSON document written to `results/lint.json` is versioned under
+//! `"schema": "hoop-lint/1"` and fully deterministic: findings are reported
+//! in file-walk order (sorted paths) with repo-relative paths, and the
+//! per-rule count map enumerates every known rule (zeros included) so
+//! downstream tooling never has to special-case missing keys.
+
+use crate::rules::{rule_counts, RULE_IDS};
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in (repo-relative when scanned via `lint_paths`).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Rule identifier (`det-hash`, `persist-order`, ...).
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.snippet
+        )
+    }
+}
+
+/// An explicitly allowed (annotated) exception.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// File containing the annotation.
+    pub path: String,
+    /// 1-based line of the suppressed finding.
+    pub line: usize,
+    /// Rule that was suppressed.
+    pub rule: &'static str,
+}
+
+/// Result of scanning a set of files.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Violations (empty for a clean tree).
+    pub findings: Vec<Finding>,
+    /// Annotated exceptions that suppressed a finding.
+    pub allows: Vec<Allow>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the scan found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: LintReport) {
+        self.findings.extend(other.findings);
+        self.allows.extend(other.allows);
+        self.files_scanned += other.files_scanned;
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a report (plus optional baseline accounting) as the
+/// `hoop-lint/1` JSON document.
+pub fn to_json(report: &LintReport, baseline: Option<&BaselineSummary>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"hoop-lint/1\",\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str("  \"counts\": {");
+    let counts = rule_counts(report);
+    for (k, rule) in RULE_IDS.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    \"{}\": {}",
+            rule,
+            counts.get(rule).copied().unwrap_or(0)
+        ));
+    }
+    s.push_str("\n  },\n");
+    s.push_str("  \"findings\": [");
+    for (k, f) in report.findings.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"snippet\": \"{}\"}}",
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            f.rule,
+            json_escape(&f.snippet)
+        ));
+    }
+    s.push_str(if report.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    s.push_str("  \"allows\": [");
+    for (k, a) in report.allows.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\"}}",
+            json_escape(&a.path),
+            a.line,
+            a.rule
+        ));
+    }
+    s.push_str(if report.allows.is_empty() {
+        "]"
+    } else {
+        "\n  ]"
+    });
+    if let Some(b) = baseline {
+        s.push_str(&format!(
+            ",\n  \"baseline\": {{\"entries\": {}, \"matched\": {}, \"new\": {}, \"fixed\": {}}}",
+            b.entries, b.matched, b.new, b.fixed
+        ));
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Baseline accounting embedded in the JSON export.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaselineSummary {
+    /// Entries in the committed baseline.
+    pub entries: usize,
+    /// Findings matched (suppressed) by the baseline.
+    pub matched: usize,
+    /// Findings NOT in the baseline (these fail CI).
+    pub new: usize,
+    /// Baseline entries with no matching finding (stale — require refresh).
+    pub fixed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            path: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "det-hash",
+            snippet: "let m = HashMap::new();".into(),
+        }
+    }
+
+    #[test]
+    fn display_includes_position_and_rule() {
+        let msg = finding().to_string();
+        assert!(msg.contains("crates/x/src/a.rs:3:9"));
+        assert!(msg.contains("det-hash"));
+    }
+
+    #[test]
+    fn json_has_schema_counts_and_findings() {
+        let report = LintReport {
+            findings: vec![finding()],
+            allows: vec![Allow {
+                path: "b.rs".into(),
+                line: 1,
+                rule: "wall-clock",
+            }],
+            files_scanned: 2,
+        };
+        let j = to_json(&report, None);
+        assert!(j.contains("\"schema\": \"hoop-lint/1\""));
+        assert!(j.contains("\"det-hash\": 1"));
+        assert!(j.contains("\"persist-order\": 0"));
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("HashMap::new()"));
+        assert!(j.contains("\"wall-clock\""));
+    }
+
+    #[test]
+    fn json_escapes_special_chars() {
+        let report = LintReport {
+            findings: vec![Finding {
+                snippet: "a \"quoted\"\tsnippet\\".into(),
+                ..finding()
+            }],
+            allows: vec![],
+            files_scanned: 1,
+        };
+        let j = to_json(&report, None);
+        assert!(j.contains("a \\\"quoted\\\"\\tsnippet\\\\"));
+    }
+
+    #[test]
+    fn json_baseline_block() {
+        let report = LintReport::default();
+        let j = to_json(
+            &report,
+            Some(&BaselineSummary {
+                entries: 4,
+                matched: 3,
+                new: 0,
+                fixed: 1,
+            }),
+        );
+        assert!(
+            j.contains("\"baseline\": {\"entries\": 4, \"matched\": 3, \"new\": 0, \"fixed\": 1}")
+        );
+    }
+}

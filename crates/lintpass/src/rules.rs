@@ -1,0 +1,569 @@
+//! Token-level rule engine.
+//!
+//! Rules run over the significant-token view of a file (whitespace and
+//! comments filtered out, raw lines kept for snippets and annotations), so
+//! a hazard split across lines is still found and the same text inside a
+//! string or comment never is. Two rule families:
+//!
+//! **Determinism/safety rules** (workspace-wide) — the token re-implementation
+//! of the original regex scanner:
+//!
+//! | rule | rejects |
+//! |------|---------|
+//! | `det-hash` | `HashMap::new` / `HashSet::new` / `::with_capacity` (per-instance `RandomState` seeding — use `simcore::det`) |
+//! | `wall-clock` | `Instant::now()` / `SystemTime` (host time leaking into results) |
+//! | `thread-rng` | `thread_rng` / `rand::random` (OS-seeded randomness) |
+//! | `par-iter` | `par_iter()` / `into_par_iter()` / `par_bridge()` (unordered parallel collection) |
+//! | `unsafe-safety` | `unsafe` without a nearby `// SAFETY:` comment |
+//! | `forbid-unsafe` | a crate root (`src/lib.rs`) missing `#![forbid(unsafe_code)]` |
+//!
+//! **Semantic rules** (path-scoped to the simulation crates) — the static
+//! complement of the runtime persistency sanitizer:
+//!
+//! | rule | scope | rejects |
+//! |------|-------|---------|
+//! | `persist-order` | `crates/engines`, `crates/hoop` | a `.commit_record(..)` call with no earlier payload-persist call (`data_persisted`, `write_burst`, `burst_spread`, `write_home_line`, `fence`, `persist*`, `flush*`) in the same function body — the §III-G "payload before commit record" ordering, checked at the source level |
+//! | `order-sensitive-iteration` | + `crates/memhier`, `crates/nvm` | `.iter()`/`.keys()`/`.values()`/`.drain()` on a receiver declared `DetHashMap`/`DetHashSet` in the same file, unless annotated `lint:order-frozen` — hash-order iteration feeding simulated state is frozen by the determinism contract (DESIGN.md §8) |
+//! | `sim-state-float` | + `crates/simcore` | casting a float-tainted expression to an integer/`Cycle` type — floating point feeding simulated counters |
+//! | `lossy-cycle-cast` | + `crates/simcore` | `as` truncation of a cycle/clock-named counter to a sub-64-bit integer |
+//!
+//! The ordering model behind `persist-order` is intentionally a *token-order
+//! dominance approximation*: an event earlier in the function body is treated
+//! as dominating later ones. That is exact for the straight-line commit paths
+//! the engines use and errs toward silence (not noise) on branches; the
+//! runtime sanitizer remains the precise dynamic check.
+//!
+//! Escapes: `// lint:allow(<rule>)` on the same or preceding line suppresses
+//! any rule and is recorded as an audited exception;
+//! `// lint:order-frozen` is the dedicated marker for
+//! `order-sensitive-iteration` sites whose iteration order is part of the
+//! frozen determinism contract.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::report::{Allow, Finding, LintReport};
+
+/// Every rule the analyzer knows, in the order counts are reported.
+pub const RULE_IDS: &[&str] = &[
+    "det-hash",
+    "wall-clock",
+    "thread-rng",
+    "par-iter",
+    "unsafe-safety",
+    "forbid-unsafe",
+    "persist-order",
+    "order-sensitive-iteration",
+    "sim-state-float",
+    "lossy-cycle-cast",
+];
+
+/// The marker that suppresses a finding on the same or the next line.
+const ALLOW_PREFIX: &str = "lint:allow(";
+/// Dedicated escape for `order-sensitive-iteration`: documents that the
+/// iteration order at this site is frozen by the determinism contract.
+const ORDER_FROZEN: &str = "lint:order-frozen";
+
+/// Path scope of `persist-order`.
+const PERSIST_SCOPE: &[&str] = &["crates/engines/src/", "crates/hoop/src/"];
+/// Path scope of `order-sensitive-iteration`.
+const ITER_SCOPE: &[&str] = &[
+    "crates/engines/src/",
+    "crates/hoop/src/",
+    "crates/memhier/src/",
+    "crates/nvm/src/",
+];
+/// Path scope of `sim-state-float` and `lossy-cycle-cast`.
+const NUMERIC_SCOPE: &[&str] = &[
+    "crates/engines/src/",
+    "crates/hoop/src/",
+    "crates/memhier/src/",
+    "crates/nvm/src/",
+    "crates/simcore/src/",
+];
+
+/// Calls that count as persisting payload before a commit record.
+const PERSIST_EVIDENCE: &[&str] = &[
+    "data_persisted",
+    "write_burst",
+    "burst_spread",
+    "write_home_line",
+    "fence",
+];
+
+/// Iteration methods whose order escapes into simulated state.
+const ORDERED_ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "keys", "values", "values_mut", "drain"];
+
+/// Integer-ish cast targets for `sim-state-float`.
+const INT_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "Cycle",
+];
+
+/// Sub-64-bit cast targets for `lossy-cycle-cast`.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier names treated as cycle/clock counters by `lossy-cycle-cast`.
+fn is_counter_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("cycle")
+        || lower.contains("clock")
+        || matches!(
+            lower.as_str(),
+            "now" | "done" | "complete" | "deadline" | "latency" | "elapsed"
+        )
+}
+
+/// The per-file analysis context rules run against.
+struct FileCtx<'s> {
+    path: String,
+    source: &'s str,
+    /// Raw source lines (for snippets and annotation lookup).
+    raw_lines: Vec<&'s str>,
+    /// Significant (code) tokens only.
+    sig: Vec<Token>,
+    /// `(rule, line)` pairs already reported — one finding per rule per line.
+    seen: BTreeSet<(&'static str, u32)>,
+    findings: Vec<Finding>,
+    allows: Vec<Allow>,
+}
+
+impl<'s> FileCtx<'s> {
+    fn new(path: &str, source: &'s str) -> Self {
+        let sig = tokenize(source)
+            .into_iter()
+            .filter(|t| t.kind.is_code())
+            .collect();
+        FileCtx {
+            path: path.replace('\\', "/"),
+            source,
+            raw_lines: source.lines().collect(),
+            sig,
+            seen: BTreeSet::new(),
+            findings: Vec::new(),
+            allows: Vec::new(),
+        }
+    }
+
+    fn text(&self, i: usize) -> &'s str {
+        self.sig[i].text(self.source)
+    }
+
+    fn is(&self, i: usize, s: &str) -> bool {
+        i < self.sig.len() && self.text(i) == s
+    }
+
+    fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.sig.get(i).map(|t| t.kind)
+    }
+
+    fn in_scope(&self, scope: &[&str]) -> bool {
+        scope.iter().any(|s| self.path.contains(s))
+    }
+
+    /// Whether `line` (1-based) carries an allow marker for `rule`: on the
+    /// same raw line, or anywhere in the contiguous run of `//` comment
+    /// lines immediately above it (so a multi-line annotation comment works
+    /// as naturally as a trailing one). `extra` is an additional accepted
+    /// marker (e.g. `lint:order-frozen`).
+    fn allowed(&self, line: u32, rule: &str, extra: Option<&str>) -> bool {
+        let marker = format!("{ALLOW_PREFIX}{rule})");
+        let has = |l: usize| -> bool {
+            self.raw_lines
+                .get(l)
+                .is_some_and(|raw| raw.contains(&marker) || extra.is_some_and(|m| raw.contains(m)))
+        };
+        let idx = line as usize - 1;
+        if has(idx) {
+            return true;
+        }
+        // Walk the comment block directly above (bounded to keep marker
+        // influence local).
+        let mut k = idx;
+        let mut budget = 8;
+        while k > 0 && budget > 0 {
+            k -= 1;
+            budget -= 1;
+            let raw = self.raw_lines.get(k).map_or("", |l| l.trim_start());
+            if !raw.starts_with("//") {
+                break;
+            }
+            if has(k) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reports a finding for `rule` at token `i`, honoring allow markers and
+    /// the one-finding-per-rule-per-line dedup.
+    fn report(&mut self, rule: &'static str, i: usize, extra_marker: Option<&str>) {
+        let tok = self.sig[i];
+        if !self.seen.insert((rule, tok.line)) {
+            return;
+        }
+        if self.allowed(tok.line, rule, extra_marker) {
+            self.allows.push(Allow {
+                path: self.path.clone(),
+                line: tok.line as usize,
+                rule,
+            });
+        } else {
+            let snippet = self
+                .raw_lines
+                .get(tok.line as usize - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default();
+            self.findings.push(Finding {
+                path: self.path.clone(),
+                line: tok.line as usize,
+                col: tok.col as usize,
+                rule,
+                snippet,
+            });
+        }
+    }
+
+    fn into_report(self) -> LintReport {
+        LintReport {
+            findings: self.findings,
+            allows: self.allows,
+            files_scanned: 1,
+        }
+    }
+}
+
+/// Analyzes one file's `source`, reporting against `path` (used both for
+/// messages and for path-scoped rules).
+pub fn analyze(path: &str, source: &str) -> LintReport {
+    let mut ctx = FileCtx::new(path, source);
+    rule_det_hash(&mut ctx);
+    rule_wall_clock(&mut ctx);
+    rule_thread_rng(&mut ctx);
+    rule_par_iter(&mut ctx);
+    rule_unsafe_safety(&mut ctx);
+    rule_forbid_unsafe(&mut ctx);
+    if ctx.in_scope(PERSIST_SCOPE) {
+        rule_persist_order(&mut ctx);
+    }
+    if ctx.in_scope(ITER_SCOPE) {
+        rule_order_sensitive_iteration(&mut ctx);
+    }
+    if ctx.in_scope(NUMERIC_SCOPE) {
+        rule_sim_state_float(&mut ctx);
+        rule_lossy_cycle_cast(&mut ctx);
+    }
+    ctx.into_report()
+}
+
+fn rule_det_hash(ctx: &mut FileCtx<'_>) {
+    for i in 0..ctx.sig.len() {
+        let t = ctx.text(i);
+        if (t == "HashMap" || t == "HashSet")
+            && ctx.is(i + 1, ":")
+            && ctx.is(i + 2, ":")
+            && (ctx.is(i + 3, "new") || ctx.is(i + 3, "with_capacity"))
+            && ctx.is(i + 4, "(")
+        {
+            ctx.report("det-hash", i, None);
+        }
+    }
+}
+
+fn rule_wall_clock(ctx: &mut FileCtx<'_>) {
+    for i in 0..ctx.sig.len() {
+        let t = ctx.text(i);
+        if t == "SystemTime" && ctx.kind(i) == Some(TokenKind::Ident) {
+            ctx.report("wall-clock", i, None);
+        }
+        if t == "Instant"
+            && ctx.is(i + 1, ":")
+            && ctx.is(i + 2, ":")
+            && ctx.is(i + 3, "now")
+            && ctx.is(i + 4, "(")
+        {
+            ctx.report("wall-clock", i, None);
+        }
+    }
+}
+
+fn rule_thread_rng(ctx: &mut FileCtx<'_>) {
+    for i in 0..ctx.sig.len() {
+        let t = ctx.text(i);
+        if t == "thread_rng" && ctx.kind(i) == Some(TokenKind::Ident) {
+            ctx.report("thread-rng", i, None);
+        }
+        if t == "rand" && ctx.is(i + 1, ":") && ctx.is(i + 2, ":") && ctx.is(i + 3, "random") {
+            ctx.report("thread-rng", i, None);
+        }
+    }
+}
+
+fn rule_par_iter(ctx: &mut FileCtx<'_>) {
+    for i in 0..ctx.sig.len() {
+        let t = ctx.text(i);
+        if matches!(t, "par_iter" | "into_par_iter" | "par_bridge")
+            && ctx.kind(i) == Some(TokenKind::Ident)
+            && ctx.is(i + 1, "(")
+        {
+            ctx.report("par-iter", i, None);
+        }
+    }
+}
+
+fn rule_unsafe_safety(ctx: &mut FileCtx<'_>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.text(i) != "unsafe" || ctx.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let line = ctx.sig[i].line as usize; // 1-based
+        let documented = (line.saturating_sub(3)..line)
+            .any(|k| ctx.raw_lines.get(k).is_some_and(|l| l.contains("SAFETY:")));
+        if !documented {
+            ctx.report("unsafe-safety", i, None);
+        }
+    }
+}
+
+fn rule_forbid_unsafe(ctx: &mut FileCtx<'_>) {
+    if !ctx.path.ends_with("src/lib.rs") {
+        return;
+    }
+    let has_attr = (0..ctx.sig.len()).any(|i| {
+        ctx.is(i, "forbid")
+            && ctx.is(i + 1, "(")
+            && ctx.is(i + 2, "unsafe_code")
+            && ctx.is(i + 3, ")")
+    });
+    if !has_attr {
+        // Synthetic finding at the top of the file (no specific token).
+        if ctx.seen.insert(("forbid-unsafe", 1)) && !ctx.allowed(1, "forbid-unsafe", None) {
+            ctx.findings.push(Finding {
+                path: ctx.path.clone(),
+                line: 1,
+                col: 1,
+                rule: "forbid-unsafe",
+                snippet: "crate root missing #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+}
+
+/// Finds each `fn` body as a significant-token index range `(start, end)`
+/// (exclusive of the braces themselves).
+fn fn_bodies(ctx: &FileCtx<'_>) -> Vec<(usize, usize)> {
+    let mut bodies = Vec::new();
+    let n = ctx.sig.len();
+    let mut i = 0;
+    while i < n {
+        if ctx.text(i) == "fn" && ctx.kind(i + 1) == Some(TokenKind::Ident) {
+            // Scan the signature for the opening brace at bracket depth 0.
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let mut open = None;
+            while j < n {
+                match ctx.text(j) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break, // bodyless (trait method)
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let mut braces = 1i32;
+                let mut k = open + 1;
+                while k < n && braces > 0 {
+                    match ctx.text(k) {
+                        "{" => braces += 1,
+                        "}" => braces -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                bodies.push((open + 1, k.saturating_sub(1)));
+                i = open + 1; // nested fns will be found inside
+                continue;
+            }
+        }
+        i += 1;
+    }
+    bodies
+}
+
+fn is_persist_evidence(name: &str) -> bool {
+    PERSIST_EVIDENCE.contains(&name) || name.starts_with("persist") || name.starts_with("flush")
+}
+
+fn rule_persist_order(ctx: &mut FileCtx<'_>) {
+    let bodies = fn_bodies(ctx);
+    let mut hits = Vec::new();
+    for (start, end) in bodies {
+        let mut persist_seen = false;
+        for i in start..end.min(ctx.sig.len()) {
+            if ctx.kind(i) != Some(TokenKind::Ident) || !ctx.is(i + 1, "(") {
+                continue;
+            }
+            let name = ctx.text(i);
+            if is_persist_evidence(name) {
+                persist_seen = true;
+            } else if name == "commit_record" && i > 0 && ctx.is(i - 1, ".") && !persist_seen {
+                hits.push(i);
+            }
+        }
+    }
+    for i in hits {
+        ctx.report("persist-order", i, None);
+    }
+}
+
+/// Collects names declared with a `DetHashMap`/`DetHashSet` type annotation
+/// anywhere in the file (struct fields and annotated `let`s).
+fn det_container_names(ctx: &FileCtx<'_>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..ctx.sig.len() {
+        let t = ctx.text(i);
+        if t != "DetHashMap" && t != "DetHashSet" {
+            continue;
+        }
+        // Walk left over `segment::` path prefixes.
+        let mut j = i;
+        while j >= 3
+            && ctx.is(j - 1, ":")
+            && ctx.is(j - 2, ":")
+            && ctx.kind(j - 3) == Some(TokenKind::Ident)
+        {
+            j -= 3;
+        }
+        // Expect `name :` immediately before the (possibly qualified) type.
+        if j >= 2
+            && ctx.is(j - 1, ":")
+            && !ctx.is(j - 2, ":")
+            && ctx.kind(j - 2) == Some(TokenKind::Ident)
+        {
+            names.insert(ctx.text(j - 2).to_string());
+        }
+    }
+    names
+}
+
+fn rule_order_sensitive_iteration(ctx: &mut FileCtx<'_>) {
+    let typed = det_container_names(ctx);
+    if typed.is_empty() {
+        return;
+    }
+    let mut hits = Vec::new();
+    for i in 2..ctx.sig.len() {
+        let m = ctx.text(i);
+        if !ORDERED_ITER_METHODS.contains(&m) || !ctx.is(i + 1, "(") || !ctx.is(i - 1, ".") {
+            continue;
+        }
+        if ctx.kind(i - 2) == Some(TokenKind::Ident) && typed.contains(ctx.text(i - 2)) {
+            hits.push(i);
+        }
+    }
+    for i in hits {
+        ctx.report("order-sensitive-iteration", i, Some(ORDER_FROZEN));
+    }
+}
+
+/// Walks backward from the token before `as`, staying inside the operand
+/// expression, looking for float evidence (a float literal or an `f32`/`f64`
+/// token). Stops at statement/argument boundaries.
+fn operand_has_float(ctx: &FileCtx<'_>, as_idx: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = as_idx;
+    let mut budget = 64;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let t = ctx.text(j);
+        match t {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                if depth == 0 {
+                    return false;
+                }
+                depth -= 1;
+            }
+            ";" | "{" | "}" | "," | "=" if depth == 0 => return false,
+            _ => {}
+        }
+        if ctx.kind(j) == Some(TokenKind::Float) || t == "f32" || t == "f64" {
+            return true;
+        }
+    }
+    false
+}
+
+fn rule_sim_state_float(ctx: &mut FileCtx<'_>) {
+    let mut hits = Vec::new();
+    for i in 1..ctx.sig.len() {
+        if ctx.text(i) != "as" || ctx.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let Some(target) = ctx.sig.get(i + 1).map(|t| t.text(ctx.source)) else {
+            continue;
+        };
+        if INT_TARGETS.contains(&target) && operand_has_float(ctx, i) {
+            hits.push(i);
+        }
+    }
+    for i in hits {
+        ctx.report("sim-state-float", i, None);
+    }
+}
+
+fn rule_lossy_cycle_cast(ctx: &mut FileCtx<'_>) {
+    let mut hits = Vec::new();
+    for i in 1..ctx.sig.len() {
+        if ctx.text(i) != "as" || ctx.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let Some(target) = ctx.sig.get(i + 1).map(|t| t.text(ctx.source)) else {
+            continue;
+        };
+        if !NARROW_TARGETS.contains(&target) {
+            continue;
+        }
+        // Collect the field-access chain directly before `as`
+        // (`now`, `self.clock`, `out.complete`, `ev.0`).
+        let mut j = i;
+        let mut counter = false;
+        while j > 0 {
+            j -= 1;
+            match ctx.kind(j) {
+                Some(TokenKind::Ident) => {
+                    if is_counter_name(ctx.text(j)) {
+                        counter = true;
+                    }
+                }
+                Some(TokenKind::Int) => {} // tuple index like `.0`
+                _ => break,
+            }
+            if j == 0 || !ctx.is(j - 1, ".") {
+                break;
+            }
+            j -= 1; // skip the `.`
+        }
+        if counter {
+            hits.push(i);
+        }
+    }
+    for i in hits {
+        ctx.report("lossy-cycle-cast", i, None);
+    }
+}
+
+/// Per-rule finding counts for a report (all known rules, zero included).
+pub fn rule_counts(report: &LintReport) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = RULE_IDS.iter().map(|&r| (r, 0)).collect();
+    for f in &report.findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    counts
+}

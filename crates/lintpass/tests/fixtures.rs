@@ -1,0 +1,372 @@
+//! Fixture suite: for every rule, a known-bad snippet where the rule must
+//! fire **exactly once** at the expected line:col — plus the known-good twin
+//! that must stay silent. This pins the analyzer's precision (span accuracy)
+//! and recall (the cases the old regex scanner missed).
+
+use lintpass::{lint_source, Finding, LintReport};
+
+/// Asserts `src` yields exactly one finding of `rule` at `line`:`col`.
+fn fires_once(path: &str, src: &str, rule: &str, line: usize, col: usize) -> Finding {
+    let r = lint_source(path, src);
+    let hits: Vec<&Finding> = r.findings.iter().filter(|f| f.rule == rule).collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "rule {rule} should fire exactly once on:\n{src}\nall findings: {:?}",
+        r.findings
+    );
+    assert_eq!(
+        (hits[0].line, hits[0].col),
+        (line, col),
+        "span mismatch for {rule} on:\n{src}"
+    );
+    hits[0].clone()
+}
+
+fn clean(path: &str, src: &str) -> LintReport {
+    let r = lint_source(path, src);
+    assert!(
+        r.is_clean(),
+        "expected clean, got: {:?}\nsource:\n{src}",
+        r.findings
+    );
+    r
+}
+
+// ---------------------------------------------------------------- det-hash
+
+#[test]
+fn det_hash_fires_on_std_map() {
+    fires_once(
+        "x.rs",
+        "fn f() {\n    let m = HashMap::new();\n}\n",
+        "det-hash",
+        2,
+        13,
+    );
+}
+
+#[test]
+fn det_hash_fires_through_line_break() {
+    // The regex scanner matched per line and missed this split call.
+    let src = "fn f() {\n    let m = HashMap::\n        new();\n}\n";
+    fires_once("x.rs", src, "det-hash", 2, 13);
+}
+
+#[test]
+fn det_hash_ignores_strings_comments_and_prefixed_idents() {
+    clean(
+        "x.rs",
+        "// HashMap::new()\nfn f() { let s = \"HashMap::new()\"; let m = FxHashMap::new(); let d = DetHashMap::default(); }\n",
+    );
+}
+
+#[test]
+fn det_hash_ignores_raw_string_fixture() {
+    // Raw strings with hashes were a blind spot for quote-counting scanners.
+    clean("x.rs", "fn f() -> &'static str { r#\"HashMap::new()\"# }\n");
+}
+
+// -------------------------------------------------------------- wall-clock
+
+#[test]
+fn wall_clock_fires_on_instant_now() {
+    fires_once(
+        "x.rs",
+        "fn f() { let t = Instant::now(); }\n",
+        "wall-clock",
+        1,
+        18,
+    );
+}
+
+#[test]
+fn wall_clock_fires_on_system_time_in_multiline_expr() {
+    let src = "fn f() {\n    let t =\n        SystemTime\n            ::now();\n}\n";
+    fires_once("x.rs", src, "wall-clock", 3, 9);
+}
+
+// -------------------------------------------------------------- thread-rng
+
+#[test]
+fn thread_rng_fires() {
+    fires_once(
+        "x.rs",
+        "fn f() { let r = thread_rng(); }\n",
+        "thread-rng",
+        1,
+        18,
+    );
+}
+
+#[test]
+fn rand_random_fires() {
+    fires_once(
+        "x.rs",
+        "fn f() -> u64 { rand::random() }\n",
+        "thread-rng",
+        1,
+        17,
+    );
+}
+
+// ---------------------------------------------------------------- par-iter
+
+#[test]
+fn par_iter_fires() {
+    fires_once(
+        "x.rs",
+        "fn f(v: &[u64]) { v.par_iter().for_each(|_| ()); }\n",
+        "par-iter",
+        1,
+        21,
+    );
+}
+
+#[test]
+fn par_iter_in_comment_is_ignored() {
+    clean("x.rs", "/* v.par_iter() */ fn f() {}\n");
+}
+
+// ----------------------------------------------------------- unsafe-safety
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    fires_once(
+        "x.rs",
+        "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n",
+        "unsafe-safety",
+        1,
+        10,
+    );
+}
+
+#[test]
+fn unsafe_with_safety_comment_is_clean() {
+    clean(
+        "x.rs",
+        "// SAFETY: checked above\nfn f() { unsafe { dangerous() } }\n",
+    );
+}
+
+#[test]
+fn unsafe_in_string_is_clean() {
+    clean("x.rs", "fn f() -> &'static str { \"unsafe\" }\n");
+}
+
+// ----------------------------------------------------------- forbid-unsafe
+
+#[test]
+fn crate_root_without_forbid_fires() {
+    fires_once(
+        "crates/x/src/lib.rs",
+        "pub fn f() {}\n",
+        "forbid-unsafe",
+        1,
+        1,
+    );
+}
+
+#[test]
+fn crate_root_with_forbid_is_clean_and_non_roots_exempt() {
+    clean(
+        "crates/x/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    );
+    clean("crates/x/src/other.rs", "pub fn f() {}\n");
+}
+
+// ----------------------------------------------------------- persist-order
+
+/// A deliberately broken mini-engine: the commit record is announced before
+/// any payload byte was persisted — the exact §III-G ordering violation the
+/// runtime sanitizer catches dynamically, caught here at the source level.
+const BROKEN_MINI_ENGINE: &str = r#"
+impl PersistenceEngine for BrokenEngine {
+    fn tx_end(&mut self, _core: CoreId, tx: TxId, now: Cycle) -> CommitOutcome {
+        let lines = self.active.remove(&tx).expect("commit of unknown tx");
+        // BUG: durable commit point announced first...
+        self.base.san.commit_record(tx, now);
+        // ...payload only persisted afterwards.
+        for (l, img) in lines {
+            self.base.write_home_line(Line(l), &img, now, TrafficClass::Data);
+            self.base.san.data_persisted(tx, Line(l), now);
+        }
+        CommitOutcome { latency: 0, clean_lines: Vec::new() }
+    }
+}
+"#;
+
+#[test]
+fn persist_order_fires_on_broken_mini_engine() {
+    let f = fires_once(
+        "crates/engines/src/broken.rs",
+        BROKEN_MINI_ENGINE,
+        "persist-order",
+        6,
+        23,
+    );
+    assert!(f.snippet.contains("commit_record"));
+}
+
+#[test]
+fn persist_order_accepts_payload_before_commit() {
+    // The fixed twin: persist the payload, then announce the commit record.
+    let src = r#"
+impl PersistenceEngine for FixedEngine {
+    fn tx_end(&mut self, _core: CoreId, tx: TxId, now: Cycle) -> CommitOutcome {
+        let lines = self.active.remove(&tx).expect("commit of unknown tx");
+        for (l, img) in lines {
+            self.base.write_home_line(Line(l), &img, now, TrafficClass::Data);
+            self.base.san.data_persisted(tx, Line(l), now);
+        }
+        self.base.san.commit_record(tx, now);
+        CommitOutcome { latency: 0, clean_lines: Vec::new() }
+    }
+}
+"#;
+    clean("crates/engines/src/fixed.rs", src);
+}
+
+#[test]
+fn persist_order_accepts_write_burst_as_evidence() {
+    let src = "fn tx_end(&mut self) {\n    let done = self.base.write_burst(slot, bytes, now, TrafficClass::Log);\n    self.base.san.commit_record(tx, done);\n}\n";
+    clean("crates/engines/src/log.rs", src);
+}
+
+#[test]
+fn persist_order_accepts_flush_prefixed_calls_as_evidence() {
+    let src = "fn tx_end(&mut self) {\n    let stall = self.flush_slice(ci, remainder, now, true);\n    self.base.san.commit_record(tx, now + stall);\n}\n";
+    clean("crates/hoop/src/mini.rs", src);
+}
+
+#[test]
+fn persist_order_is_scoped_to_engine_crates() {
+    // The same broken body outside crates/engines or crates/hoop is exempt
+    // (e.g. the sanitizer's own tests exercise violations on purpose).
+    clean("tests/sanitizer_detects.rs", BROKEN_MINI_ENGINE);
+}
+
+#[test]
+fn persist_order_checks_each_function_independently() {
+    // Evidence in an *earlier* function must not excuse a later one.
+    let src = r#"
+fn good(&mut self) {
+    self.base.write_burst(slot, bytes, now, TrafficClass::Log);
+    self.base.san.commit_record(tx, done);
+}
+fn bad(&mut self) {
+    self.base.san.commit_record(tx, done);
+}
+"#;
+    fires_once("crates/engines/src/two.rs", src, "persist-order", 7, 19);
+}
+
+// ---------------------------------------- order-sensitive-iteration
+
+#[test]
+fn order_sensitive_iteration_fires_on_det_map_drain() {
+    let src = "struct E {\n    newest: DetHashMap<u64, u64>,\n}\nimpl E {\n    fn gc(&mut self) {\n        for (w, v) in self.newest.drain() {\n            touch(w, v);\n        }\n    }\n}\n";
+    fires_once(
+        "crates/engines/src/e.rs",
+        src,
+        "order-sensitive-iteration",
+        6,
+        35,
+    );
+}
+
+#[test]
+fn order_sensitive_iteration_fires_on_annotated_local() {
+    let src = "fn f() {\n    let lines: DetHashMap<u64, [u8; 64]> = DetHashMap::default();\n    let first = lines.keys().next();\n}\n";
+    fires_once(
+        "crates/hoop/src/g.rs",
+        src,
+        "order-sensitive-iteration",
+        3,
+        23,
+    );
+}
+
+#[test]
+fn order_frozen_marker_suppresses_and_is_recorded() {
+    let src = "struct E { newest: DetHashMap<u64, u64> }\nimpl E {\n    fn gc(&mut self) {\n        // lint:order-frozen — order fixed by DESIGN.md §8\n        for (w, v) in self.newest.drain() {}\n    }\n}\n";
+    let r = lint_source("crates/engines/src/e.rs", src);
+    assert!(r.is_clean(), "findings: {:?}", r.findings);
+    assert_eq!(r.allows.len(), 1);
+    assert_eq!(r.allows[0].rule, "order-sensitive-iteration");
+}
+
+#[test]
+fn vec_iteration_is_not_flagged() {
+    let src = "struct E { log: Vec<u64> }\nimpl E {\n    fn f(&self) { for x in self.log.iter() {} }\n}\n";
+    clean("crates/engines/src/v.rs", src);
+}
+
+#[test]
+fn order_sensitive_iteration_is_scoped_to_sim_crates() {
+    let src = "struct E { m: DetHashMap<u64, u64> }\nimpl E { fn f(&self) { let _ = self.m.keys().count(); } }\n";
+    clean("crates/bench/src/x.rs", src);
+}
+
+// ---------------------------------------------------------- sim-state-float
+
+#[test]
+fn sim_state_float_fires_on_float_to_cycle_cast() {
+    let src = "fn f(now: Cycle) -> Cycle {\n    now + (COST as f64 * FRACTION) as Cycle\n}\n";
+    fires_once("crates/engines/src/o.rs", src, "sim-state-float", 2, 36);
+}
+
+#[test]
+fn sim_state_float_ignores_reporting_casts() {
+    // int -> float for metrics is fine; so is float math kept in floats.
+    let src = "fn ratio(a: u64, b: u64) -> f64 { a as f64 / b as f64 }\n";
+    clean("crates/engines/src/m.rs", src);
+}
+
+#[test]
+fn sim_state_float_respects_argument_boundaries() {
+    // The f64 in the *previous argument* must not taint this cast.
+    let src = "fn f() { g(a as f64, b as u32); }\n";
+    clean("crates/engines/src/a.rs", src);
+}
+
+// --------------------------------------------------------- lossy-cycle-cast
+
+#[test]
+fn lossy_cycle_cast_fires_on_narrowed_counter() {
+    let src = "fn f(now: Cycle) -> u32 {\n    now as u32\n}\n";
+    fires_once("crates/engines/src/c.rs", src, "lossy-cycle-cast", 2, 9);
+}
+
+#[test]
+fn lossy_cycle_cast_fires_on_field_chain() {
+    let src = "fn f(out: Access) -> u32 { out.complete as u32 }\n";
+    fires_once("crates/hoop/src/c.rs", src, "lossy-cycle-cast", 1, 41);
+}
+
+#[test]
+fn lossy_cycle_cast_ignores_non_counters_and_widening() {
+    clean(
+        "crates/engines/src/c.rs",
+        "fn f(i: usize, now: Cycle) { let a = i as u32; let b = now as u64; let c = now as u128; }\n",
+    );
+}
+
+// ------------------------------------------------------------------ allows
+
+#[test]
+fn allow_marker_suppresses_any_rule_and_is_recorded() {
+    let src = "// lint:allow(wall-clock)\nfn f() { let t = Instant::now(); }\n";
+    let r = lint_source("x.rs", src);
+    assert!(r.is_clean());
+    assert_eq!(r.allows.len(), 1);
+    assert_eq!(r.allows[0].rule, "wall-clock");
+    assert_eq!(r.allows[0].line, 2);
+}
+
+#[test]
+fn allow_of_a_different_rule_does_not_suppress() {
+    let src = "// lint:allow(det-hash)\nfn f() { let t = Instant::now(); }\n";
+    assert_eq!(lint_source("x.rs", src).findings.len(), 1);
+}

@@ -1,0 +1,212 @@
+//! Lexer round-trip and differential tests.
+//!
+//! Two layers of evidence that the lexer is lossless and its spans are
+//! trustworthy:
+//!
+//! 1. **Workspace differential**: every `.rs` file in the repository is
+//!    tokenized and re-joined from spans; the concatenation must reproduce
+//!    the file byte-for-byte, spans must tile the file with no gaps or
+//!    overlaps, and line numbers must be consistent with the newlines
+//!    actually seen. The masked (comment/string-blanked) view must preserve
+//!    byte length and newline layout — the property the old regex scanner's
+//!    line numbers depended on.
+//! 2. **Property tests**: random compositions of adversarial fragments
+//!    (raw strings, nested comments, lifetimes, byte chars, half-terminated
+//!    literals) must round-trip and never panic or stall the lexer.
+
+use std::path::{Path, PathBuf};
+
+use lintpass::collect_files;
+use lintpass::lexer::{mask_noncode, tokenize, TokenKind};
+use proptest::prelude::*;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn assert_lossless(name: &str, src: &str) {
+    let toks = tokenize(src);
+    // Spans tile the input exactly.
+    let mut expect_start = 0usize;
+    for t in &toks {
+        assert_eq!(
+            t.start, expect_start,
+            "{name}: gap/overlap at byte {expect_start}"
+        );
+        assert!(t.end > t.start, "{name}: empty token at {}", t.start);
+        expect_start = t.end;
+    }
+    assert_eq!(expect_start, src.len(), "{name}: trailing bytes unlexed");
+    // Re-joined text is the file.
+    let joined: String = toks.iter().map(|t| t.text(src)).collect();
+    assert_eq!(joined, src, "{name}: round-trip mismatch");
+    // Line numbers agree with the newlines before each token.
+    for t in &toks {
+        let newlines = src[..t.start].matches('\n').count() as u32;
+        assert_eq!(
+            t.line,
+            newlines + 1,
+            "{name}: line mismatch at byte {}",
+            t.start
+        );
+    }
+}
+
+#[test]
+fn every_workspace_file_roundtrips() {
+    let root = workspace_root();
+    let roots: Vec<PathBuf> = ["crates", "src", "tests", "examples"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
+    let files = collect_files(&roots).expect("walk workspace");
+    assert!(files.len() > 50, "suspiciously few files: {}", files.len());
+    for f in &files {
+        let src = std::fs::read_to_string(f).expect("read source");
+        assert_lossless(&f.display().to_string(), &src);
+    }
+}
+
+#[test]
+fn every_workspace_file_masks_layout_preserving() {
+    let root = workspace_root();
+    let roots: Vec<PathBuf> = ["crates", "src", "tests", "examples"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
+    for f in collect_files(&roots).expect("walk workspace") {
+        let src = std::fs::read_to_string(&f).expect("read source");
+        let masked = mask_noncode(&src);
+        assert_eq!(masked.len(), src.len(), "{}: length changed", f.display());
+        let src_newlines: Vec<usize> = src
+            .bytes()
+            .enumerate()
+            .filter(|&(_, b)| b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        let masked_newlines: Vec<usize> = masked
+            .bytes()
+            .enumerate()
+            .filter(|&(_, b)| b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            src_newlines,
+            masked_newlines,
+            "{}: newline layout moved",
+            f.display()
+        );
+    }
+}
+
+#[test]
+fn workspace_comment_and_string_share_is_sane() {
+    // Differential sanity against gross misclassification: across the whole
+    // workspace, code tokens must dominate, and every kind must appear.
+    let root = workspace_root();
+    let mut code = 0u64;
+    let mut noncode = 0u64;
+    let mut saw_rawstr = false;
+    let mut saw_lifetime = false;
+    let mut saw_float = false;
+    for f in collect_files(&[root.join("crates")]).expect("walk") {
+        let src = std::fs::read_to_string(&f).expect("read");
+        for t in tokenize(&src) {
+            match t.kind {
+                TokenKind::Whitespace => {}
+                TokenKind::LineComment | TokenKind::BlockComment => noncode += 1,
+                k => {
+                    code += 1;
+                    saw_rawstr |= k == TokenKind::RawStr;
+                    saw_lifetime |= k == TokenKind::Lifetime;
+                    saw_float |= k == TokenKind::Float;
+                }
+            }
+        }
+    }
+    assert!(code > 10 * noncode, "code {code} vs comments {noncode}");
+    assert!(saw_rawstr && saw_lifetime && saw_float);
+}
+
+/// Adversarial fragments the generator composes: every lexer mode boundary,
+/// including torn (unterminated) literals as *terminal* fragments.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { }",
+    "ident_a",
+    "r#match",
+    "'a",
+    "'x'",
+    "'\\n'",
+    "b'z'",
+    "\"str with // comment\"",
+    "\"esc \\\" quote\"",
+    "r\"raw\"",
+    "r#\"raw # hash\"#",
+    "br##\"double\"##",
+    "b\"bytes\"",
+    "// line comment",
+    "/* block */",
+    "/* nested /* deep */ end */",
+    "1.0",
+    "1..2",
+    "x.0",
+    "0xFF_u32",
+    "2e9",
+    "3f64",
+    "1.",
+    "::",
+    ".",
+    "#![attr]",
+    "<'a, T>",
+    "\n",
+    " ",
+    "\t",
+    "{",
+    "}",
+];
+
+/// Fragments that may swallow the rest of the input (unterminated modes);
+/// only valid as the final fragment.
+const TERMINAL_FRAGMENTS: &[&str] = &["\"open", "r#\"open", "/* open", "b'", "'\\"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_fragment_compositions_roundtrip(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..12),
+        tail in 0usize..(TERMINAL_FRAGMENTS.len() + 1),
+    ) {
+        let mut src = String::new();
+        for &p in &picks {
+            src.push_str(FRAGMENTS[p]);
+            src.push(' ');
+        }
+        if tail < TERMINAL_FRAGMENTS.len() {
+            src.push_str(TERMINAL_FRAGMENTS[tail]);
+        }
+        let toks = tokenize(&src);
+        let joined: String = toks.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(&joined, &src);
+        let mut at = 0usize;
+        for t in &toks {
+            prop_assert_eq!(t.start, at);
+            prop_assert!(t.end > t.start);
+            at = t.end;
+        }
+        prop_assert_eq!(at, src.len());
+        // Masking must never change layout either.
+        let masked = mask_noncode(&src);
+        prop_assert_eq!(masked.len(), src.len());
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_lexer(
+        bytes in proptest::collection::vec(0u8..128, 0..64),
+    ) {
+        // Arbitrary ASCII soup: the lexer must terminate and stay lossless.
+        let src: String = bytes.iter().map(|&b| b as char).collect();
+        let joined: String = tokenize(&src).iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(joined, src);
+    }
+}

@@ -99,7 +99,10 @@ pub struct NvmDevice {
 impl NvmDevice {
     /// Creates a device from timing and energy configuration.
     pub fn new(timing: NvmTimingConfig, energy: NvmEnergyConfig) -> Self {
+        // lint:allow(sim-state-float): one-time fixed-point conversion of
+        // bandwidth config; .round() makes it exact across hosts.
         let read_fp = (simcore::CLOCK_GHZ / timing.bandwidth_gbps * 1024.0).round() as u64;
+        // lint:allow(sim-state-float): as above.
         let write_fp = (simcore::CLOCK_GHZ / timing.write_bandwidth_gbps * 1024.0).round() as u64;
         NvmDevice {
             timing,
@@ -195,6 +198,9 @@ impl NvmDevice {
         // transfers the base is capped at one scheduling quantum (4 KB of
         // service), otherwise a multi-megabyte GC scan would wait on itself.
         let quantum = self.channel_service(4096, op);
+        // lint:allow(sim-state-float): the M/M/1 queueing estimate is a
+        // deliberate float model over integer inputs — deterministic per
+        // IEEE-754, identical on every host.
         let queue = (service.min(quantum) as f64 * rho / (1.0 - rho)) as Cycle;
         let start = now + queue;
         let complete = start + service + device_latency;

@@ -129,6 +129,7 @@ impl EnduranceMap {
 
     /// The hottest line's write count (0 if empty).
     pub fn max_writes(&self) -> u64 {
+        // lint:order-frozen: commutative max — order-independent.
         self.counts.values().copied().max().unwrap_or(0)
     }
 

@@ -9,11 +9,13 @@
 //! uncommitted versions, mapping entries may not dangle into reclaimed OOP
 //! blocks, recovery may replay only the committed prefix.
 //!
-//! The lint ([`lint`]) is a registry-dependency-free source scanner that
-//! bans nondeterministic APIs (`RandomState` containers, wall-clock time,
-//! OS-seeded RNGs, unordered parallel iteration) from the simulation crates,
-//! with an annotated `// lint:allow(<rule>)` escape hatch. Run it via
-//! `cargo run -p xtask -- lint`.
+//! The lint ([`lint`]) is a source-compatible facade over the token-level
+//! analyzer in the `lintpass` crate: it bans nondeterministic APIs
+//! (`RandomState` containers, wall-clock time, OS-seeded RNGs, unordered
+//! parallel iteration) and statically checks the paper's persist-ordering
+//! discipline (`persist-order`) plus determinism-sensitive iteration and
+//! numeric hygiene, with an annotated `// lint:allow(<rule>)` escape hatch.
+//! Run it via `cargo run -p xtask -- lint`.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

@@ -108,6 +108,8 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
+        // lint:allow(sim-state-float): reporting-side percentile rank;
+        // .ceil() on exact small integers, never fed back into simulation.
         let target = (self.count as f64 * p / 100.0).ceil() as u64;
         let mut seen = 0;
         for (i, &b) in self.buckets.iter().enumerate() {

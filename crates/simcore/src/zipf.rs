@@ -89,6 +89,9 @@ impl Zipfian {
             return 1;
         }
         let spread = (self.eta * u - self.eta + 1.0).max(f64::MIN_POSITIVE);
+        // lint:allow(sim-state-float): the Zipf inverse-CDF is inherently
+        // float math; it is a pure function of the seeded SimRng draw, so
+        // results are deterministic and host-identical.
         let idx = (self.n as f64 * spread.powf(self.alpha)) as u64;
         idx.min(self.n - 1)
     }

@@ -2,15 +2,25 @@
 //! dependencies, hermetic by construction).
 //!
 //! ```text
-//! cargo run -p xtask -- lint [PATH...]
+//! cargo run -p xtask -- lint [PATH...] [--baseline FILE] [--write-baseline]
+//!                            [--json FILE | --no-json]
 //! cargo run -p xtask -- bench [-- ARGS...]
 //! ```
 //!
-//! `lint` runs the determinism/safety lint of `pmcheck::lint` over the
+//! `lint` runs the token-level analyzer of the `lintpass` crate over the
 //! workspace sources (`crates/`, `src/`, `tests/`, `examples/`; `vendor/`
-//! and `target/` are excluded) and exits nonzero on any finding. Explicitly
-//! annotated `// lint:allow(<rule>)` exceptions are listed so the audit
-//! trail stays visible in CI logs.
+//! and `target/` are excluded): the determinism/safety rules plus the
+//! semantic `persist-order`, `order-sensitive-iteration`, `sim-state-float`
+//! and `lossy-cycle-cast` checks. Findings are gated against the committed
+//! baseline (`lint.baseline` at the workspace root) so CI fails only on
+//! *new* findings — and also on *stale* baseline entries, which demand a
+//! refresh via `--write-baseline` in the same change. A schema-versioned
+//! JSON report is written to `results/lint.json` unless `--no-json`.
+//!
+//! Exit codes: `0` clean (or fully baselined), `1` findings (new findings,
+//! stale baseline entries, or a corrupt baseline), `2` scan/IO/usage error.
+//! Explicitly annotated `// lint:allow(<rule>)` exceptions are listed so
+//! the audit trail stays visible in CI logs.
 //!
 //! `bench` measures the simulator's own host time: it builds and runs the
 //! `bench_host` binary in release mode (host timing of a debug build would
@@ -23,6 +33,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use lintpass::{gate, rules, Baseline, LintReport};
+
 fn workspace_root() -> PathBuf {
     // crates/xtask -> crates -> workspace root
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -31,17 +43,67 @@ fn workspace_root() -> PathBuf {
         .expect("workspace root")
 }
 
-fn run_lint(args: &[String]) -> ExitCode {
-    let roots: Vec<PathBuf> = if args.is_empty() {
-        let root = workspace_root();
-        ["crates", "src", "tests", "examples"]
+struct LintOpts {
+    roots: Vec<PathBuf>,
+    baseline: PathBuf,
+    write_baseline: bool,
+    json: Option<PathBuf>,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
+    let root = workspace_root();
+    let mut opts = LintOpts {
+        roots: Vec::new(),
+        baseline: root.join("lint.baseline"),
+        write_baseline: false,
+        json: Some(root.join("results/lint.json")),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a path")?;
+                opts.baseline = PathBuf::from(v);
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--json" => {
+                let v = it.next().ok_or("--json requires a path")?;
+                opts.json = Some(PathBuf::from(v));
+            }
+            "--no-json" => opts.json = None,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => opts.roots.push(PathBuf::from(path)),
+        }
+    }
+    if opts.roots.is_empty() {
+        opts.roots = ["crates", "src", "tests", "examples"]
             .iter()
             .map(|d| root.join(d))
-            .collect()
-    } else {
-        args.iter().map(PathBuf::from).collect()
+            .collect();
+    }
+    Ok(opts)
+}
+
+/// Prints the per-rule finding count table (zeros included, so the full
+/// rule inventory is visible in every CI log).
+fn print_rule_counts(report: &LintReport) {
+    let counts = rules::rule_counts(report);
+    println!("rule counts:");
+    for rule in rules::RULE_IDS {
+        println!("  {:26} {}", rule, counts.get(rule).copied().unwrap_or(0));
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let opts = match parse_lint_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
     };
-    let report = match pmcheck::lint::lint_paths(&roots) {
+    let root = workspace_root();
+    let report = match lintpass::lint_paths_rel(&opts.roots, Some(&root)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: scan failed: {e}");
@@ -51,22 +113,110 @@ fn run_lint(args: &[String]) -> ExitCode {
     for a in &report.allows {
         println!("allowed  {}:{} [{}]", a.path, a.line, a.rule);
     }
-    if report.is_clean() {
+
+    if opts.write_baseline {
+        if let Err(e) = std::fs::write(&opts.baseline, Baseline::render(&report)) {
+            eprintln!(
+                "xtask lint: cannot write baseline {}: {e}",
+                opts.baseline.display()
+            );
+            return ExitCode::from(2);
+        }
         println!(
-            "xtask lint: clean — {} files scanned, {} annotated exception(s)",
+            "xtask lint: wrote baseline {} ({} entr{})",
+            opts.baseline.display(),
+            report.findings.len(),
+            if report.findings.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+    }
+
+    // Load + gate against the baseline (if present). A corrupt baseline is a
+    // lint failure, not an IO error: it must not silently accept findings.
+    let baseline = match Baseline::load(&opts.baseline) {
+        Ok(Some(Ok(b))) => Some(b),
+        Ok(Some(Err(e))) => {
+            eprintln!(
+                "error: baseline {} is corrupt: {e}",
+                opts.baseline.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        Ok(None) => None,
+        Err(e) => {
+            eprintln!(
+                "xtask lint: cannot read baseline {}: {e}",
+                opts.baseline.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = baseline.as_ref().map(|b| gate(&report, b));
+    let summary = outcome
+        .as_ref()
+        .map(|o| o.summary(baseline.as_ref().map_or(0, |b| b.entries.len())));
+
+    if let Some(json_path) = &opts.json {
+        let doc = lintpass::report::to_json(&report, summary.as_ref());
+        let write = json_path
+            .parent()
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| std::fs::write(json_path, doc));
+        if let Err(e) = write {
+            eprintln!(
+                "xtask lint: cannot write report {}: {e}",
+                json_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    print_rule_counts(&report);
+
+    let failing: Vec<&lintpass::Finding> = match &outcome {
+        Some(o) => o.new.iter().collect(),
+        None => report.findings.iter().collect(),
+    };
+    let stale = outcome.as_ref().map_or(0, |o| o.fixed.len());
+    for f in &failing {
+        eprintln!("error: {f}");
+    }
+    if let Some(o) = &outcome {
+        for b in &o.baselined {
+            println!("baselined {}", b);
+        }
+        for e in &o.fixed {
+            eprintln!(
+                "error: baseline entry fixed (stale): [{}] {} — {}",
+                e.rule, e.path, e.snippet
+            );
+        }
+    }
+
+    if failing.is_empty() && stale == 0 {
+        println!(
+            "xtask lint: clean — {} files scanned, {} annotated exception(s), {} baselined",
             report.files_scanned,
-            report.allows.len()
+            report.allows.len(),
+            outcome.as_ref().map_or(0, |o| o.baselined.len()),
         );
         ExitCode::SUCCESS
     } else {
-        for f in &report.findings {
-            eprintln!("error: {f}");
+        if stale > 0 {
+            eprintln!(
+                "xtask lint: {stale} stale baseline entr{} — refresh with \
+                 `cargo run -p xtask -- lint --write-baseline` in the same change",
+                if stale == 1 { "y" } else { "ies" }
+            );
         }
         eprintln!(
-            "xtask lint: {} finding(s) in {} files — use simcore::det containers, \
+            "xtask lint: {} new finding(s) in {} files — use simcore::det containers, \
              simulated time, and SimRng; annotate intentional exceptions with \
              `// lint:allow(<rule>)`",
-            report.findings.len(),
+            failing.len(),
             report.files_scanned
         );
         ExitCode::FAILURE
@@ -106,7 +256,11 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- {{lint [PATH...] | bench [-- ARGS...]}}");
+            eprintln!(
+                "usage: cargo run -p xtask -- \
+                 {{lint [PATH...] [--baseline FILE] [--write-baseline] [--json FILE | --no-json] \
+                 | bench [-- ARGS...]}}"
+            );
             ExitCode::from(2)
         }
     }
