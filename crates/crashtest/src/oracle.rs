@@ -1,0 +1,260 @@
+//! The atomic-durability oracle.
+//!
+//! Given the set of transactions whose commit records were durable at the
+//! crash point, the oracle computes the exact value every footprint word
+//! must hold in the recovered image and classifies any deviation:
+//!
+//! * [`ViolationKind::MissingCommittedEffect`] — the word holds a value
+//!   from *before* the newest committed write to it (a committed effect was
+//!   lost: atomicity's "all" half is broken).
+//! * [`ViolationKind::UncommittedEffectVisible`] — the word holds a value
+//!   written only by an uncommitted transaction (atomicity's "nothing"
+//!   half is broken).
+//! * [`ViolationKind::Mismatch`] — the word holds a value never written by
+//!   any plan and different from its initial value (corruption).
+//!
+//! Classification is possible because workload values are globally unique
+//! (see [`crate::workload`]): the recovered value uniquely names the write
+//! that produced it.
+
+use nvm::PersistentStore;
+use simcore::{DetHashMap, DetHashSet, PAddr};
+
+use crate::workload::CrashWorkload;
+
+/// How strict the durability check is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OracleMode {
+    /// Full atomic durability: exactly the committed prefix is visible.
+    Atomic,
+    /// For engines that promise no atomicity (the `Ideal` baseline): only
+    /// flag values that were never written at all — any prefix of each
+    /// word's program-order write history (or its initial value) is
+    /// acceptable.
+    BestEffort,
+}
+
+impl OracleMode {
+    /// The mode an engine's durability contract calls for. Only the `Ideal`
+    /// baseline (write-back, no persistence protocol) promises nothing.
+    pub fn for_engine(name: &str) -> OracleMode {
+        if name == "Ideal" {
+            OracleMode::BestEffort
+        } else {
+            OracleMode::Atomic
+        }
+    }
+}
+
+/// The kind of atomicity violation found at a word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A committed transaction's effect is absent from the recovered image.
+    MissingCommittedEffect,
+    /// An uncommitted transaction's effect survived into the recovered
+    /// image.
+    UncommittedEffectVisible,
+    /// The recovered value matches no write in the plan (corruption).
+    Mismatch,
+}
+
+impl ViolationKind {
+    /// Stable lowercase name (used in JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::MissingCommittedEffect => "missing_committed_effect",
+            ViolationKind::UncommittedEffectVisible => "uncommitted_effect_visible",
+            ViolationKind::Mismatch => "mismatch",
+        }
+    }
+}
+
+/// One oracle violation at a footprint word.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Footprint word index.
+    pub word: u64,
+    /// Value the oracle expected.
+    pub expected: u64,
+    /// Value actually recovered.
+    pub got: u64,
+    /// Human-readable context (which check flagged it).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at word {}: expected {:#x}, got {:#x} ({})",
+            self.kind.name(),
+            self.word,
+            self.expected,
+            self.got,
+            self.detail
+        )
+    }
+}
+
+/// The value every footprint word must hold once exactly the transactions in
+/// `committed` (plan indices, in commit order) have taken effect.
+pub fn expected_image(wl: &CrashWorkload, committed: &[usize]) -> DetHashMap<u64, u64> {
+    let mut img: DetHashMap<u64, u64> = DetHashMap::default();
+    for w in 0..wl.total_words {
+        img.insert(w, CrashWorkload::initial_value(w));
+    }
+    for &i in committed {
+        for &(w, v) in &wl.plans[i].writes {
+            img.insert(w, v);
+        }
+    }
+    img
+}
+
+/// Checks the recovered durable image of the workload footprint against the
+/// committed prefix. `base` is the footprint's base address (word `w` lives
+/// at `base + 8*w`). Returns all violations, in word order.
+pub fn check_image(
+    wl: &CrashWorkload,
+    base: PAddr,
+    durable: &PersistentStore,
+    committed: &[usize],
+    mode: OracleMode,
+) -> Vec<Violation> {
+    let expected = expected_image(wl, committed);
+    let committed_set: DetHashSet<usize> = committed.iter().copied().collect();
+
+    // Who wrote each value, for attribution.
+    let mut writer_of: DetHashMap<u64, usize> = DetHashMap::default();
+    // Every value a word legitimately held at some point in program order
+    // (initial value plus each write), for best-effort mode and for telling
+    // "stale committed value" apart from corruption.
+    let mut history: DetHashMap<u64, Vec<u64>> = DetHashMap::default();
+    for w in 0..wl.total_words {
+        history.insert(w, vec![CrashWorkload::initial_value(w)]);
+    }
+    for (i, p) in wl.plans.iter().enumerate() {
+        for &(w, v) in &p.writes {
+            writer_of.insert(v, i);
+            history.get_mut(&w).expect("word in footprint").push(v);
+        }
+    }
+
+    let mut out = Vec::new();
+    for w in 0..wl.total_words {
+        let got = durable.read_u64(base.offset(w * 8));
+        let want = expected[&w];
+        if got == want {
+            continue;
+        }
+        match mode {
+            OracleMode::Atomic => {
+                let kind = match writer_of.get(&got) {
+                    Some(i) if !committed_set.contains(i) => {
+                        ViolationKind::UncommittedEffectVisible
+                    }
+                    Some(_) => ViolationKind::MissingCommittedEffect,
+                    None if got == CrashWorkload::initial_value(w) => {
+                        ViolationKind::MissingCommittedEffect
+                    }
+                    None => ViolationKind::Mismatch,
+                };
+                let detail = match kind {
+                    ViolationKind::UncommittedEffectVisible => {
+                        format!("value written by uncommitted tx {}", writer_of[&got])
+                    }
+                    ViolationKind::MissingCommittedEffect => match writer_of.get(&got) {
+                        Some(i) => format!("stale value from earlier committed tx {i}"),
+                        None => "initial value survived over a committed write".to_string(),
+                    },
+                    ViolationKind::Mismatch => "value matches no write in the plan".to_string(),
+                };
+                out.push(Violation {
+                    kind,
+                    word: w,
+                    expected: want,
+                    got,
+                    detail,
+                });
+            }
+            OracleMode::BestEffort => {
+                if !history[&w].contains(&got) {
+                    out.push(Violation {
+                        kind: ViolationKind::Mismatch,
+                        word: w,
+                        expected: want,
+                        got,
+                        detail: "value never written to this word".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::CrashSpec;
+
+    fn footprint_store(wl: &CrashWorkload, base: PAddr, committed: &[usize]) -> PersistentStore {
+        let mut st = PersistentStore::new();
+        for (w, v) in expected_image(wl, committed) {
+            st.write_u64(base.offset(w * 8), v);
+        }
+        st
+    }
+
+    #[test]
+    fn clean_prefix_passes() {
+        let wl = CrashWorkload::generate(CrashSpec::quick(11), 2);
+        let base = PAddr(0x10000);
+        let st = footprint_store(&wl, base, &[0, 1, 2]);
+        assert!(check_image(&wl, base, &st, &[0, 1, 2], OracleMode::Atomic).is_empty());
+    }
+
+    #[test]
+    fn lost_committed_write_is_flagged_missing() {
+        let wl = CrashWorkload::generate(CrashSpec::quick(11), 2);
+        let base = PAddr(0x10000);
+        let mut st = footprint_store(&wl, base, &[0]);
+        // Roll tx 0's first write back to the initial value.
+        let (w, _) = wl.plans[0].writes[0];
+        st.write_u64(base.offset(w * 8), CrashWorkload::initial_value(w));
+        let v = check_image(&wl, base, &st, &[0], OracleMode::Atomic);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::MissingCommittedEffect);
+    }
+
+    #[test]
+    fn uncommitted_leak_is_flagged_visible() {
+        let wl = CrashWorkload::generate(CrashSpec::quick(11), 2);
+        let base = PAddr(0x10000);
+        let mut st = footprint_store(&wl, base, &[]);
+        // Leak tx 3's first write with nothing committed.
+        let (w, v) = wl.plans[3].writes[0];
+        st.write_u64(base.offset(w * 8), v);
+        let viols = check_image(&wl, base, &st, &[], OracleMode::Atomic);
+        assert_eq!(viols.len(), 1);
+        assert_eq!(viols[0].kind, ViolationKind::UncommittedEffectVisible);
+        // Best-effort mode accepts the same image: the value is a real
+        // program-order value for that word.
+        assert!(check_image(&wl, base, &st, &[], OracleMode::BestEffort).is_empty());
+    }
+
+    #[test]
+    fn garbage_is_flagged_mismatch_in_both_modes() {
+        let wl = CrashWorkload::generate(CrashSpec::quick(11), 2);
+        let base = PAddr(0x10000);
+        let mut st = footprint_store(&wl, base, &[]);
+        st.write_u64(base, 0xDEAD_BEEF);
+        for mode in [OracleMode::Atomic, OracleMode::BestEffort] {
+            let v = check_image(&wl, base, &st, &[], mode);
+            assert_eq!(v.len(), 1, "{mode:?}");
+            assert_eq!(v[0].kind, ViolationKind::Mismatch);
+        }
+    }
+}

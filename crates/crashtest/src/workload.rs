@@ -1,0 +1,162 @@
+//! The deterministic transaction plan the crash harness drives.
+//!
+//! The harness needs full knowledge of every write a transaction performs so
+//! the oracle can reconstruct the exact byte image NVM must hold for any
+//! committed prefix. A [`CrashWorkload`] is therefore generated up front
+//! from a seed: a fixed sequence of transactions, each pinned to a worker
+//! core and writing a few words inside that core's private word partition
+//! (disjoint partitions keep cache-coherence out of the picture; overlap
+//! *within* a partition across transactions exercises newest-wins
+//! recovery). Every value written anywhere in the plan is unique and
+//! distinct from every initial value, so a recovered word's value uniquely
+//! identifies which write (or non-write) produced it.
+
+use simcore::{CoreId, SimRng};
+
+/// Shape parameters of a generated crash workload.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashSpec {
+    /// Seed for the transaction plan.
+    pub seed: u64,
+    /// Number of transactions.
+    pub txs: usize,
+    /// Maximum words written per transaction (at least 1 each).
+    pub max_writes_per_tx: usize,
+    /// Size of each worker core's private word partition.
+    pub words_per_core: u64,
+    /// Issue a full `System::drain` after every this-many transactions so
+    /// GC / checkpoint / migration events interleave with commits.
+    pub drain_every: usize,
+}
+
+impl CrashSpec {
+    /// Small enough that exhausting every crash point of every engine stays
+    /// fast in debug builds (CI's required crash matrix).
+    pub fn quick(seed: u64) -> Self {
+        CrashSpec {
+            seed,
+            txs: 16,
+            max_writes_per_tx: 3,
+            words_per_core: 8,
+            drain_every: 6,
+        }
+    }
+
+    /// Full-scale plan for seeded-random sampling (release builds).
+    pub fn full(seed: u64) -> Self {
+        CrashSpec {
+            seed,
+            txs: 320,
+            max_writes_per_tx: 8,
+            words_per_core: 48,
+            drain_every: 24,
+        }
+    }
+}
+
+/// One planned transaction: its core and `(word index, value)` writes.
+#[derive(Clone, Debug)]
+pub struct TxPlan {
+    /// Core the transaction runs on.
+    pub core: CoreId,
+    /// Writes in program order (`word` indexes the global footprint).
+    pub writes: Vec<(u64, u64)>,
+}
+
+/// A fully materialized transaction plan over a word footprint.
+#[derive(Clone, Debug)]
+pub struct CrashWorkload {
+    /// Generation parameters.
+    pub spec: CrashSpec,
+    /// The transactions, in issue order.
+    pub plans: Vec<TxPlan>,
+    /// Worker cores used (plans rotate over `0..workers`).
+    pub workers: usize,
+    /// Total footprint size in words (`workers * words_per_core`).
+    pub total_words: u64,
+}
+
+impl CrashWorkload {
+    /// Generates the plan for `workers` cores deterministically from
+    /// `spec.seed`.
+    pub fn generate(spec: CrashSpec, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut rng = SimRng::seed(spec.seed ^ 0xC0A5_7E57);
+        let plans = (0..spec.txs)
+            .map(|i| {
+                let core = (i % workers) as u8;
+                let base_word = u64::from(core) * spec.words_per_core;
+                let n = rng.range_inclusive(1, spec.max_writes_per_tx as u64) as usize;
+                let writes = (0..n)
+                    .map(|j| {
+                        let w = base_word + rng.below(spec.words_per_core);
+                        (w, Self::value_of(i, j))
+                    })
+                    .collect();
+                TxPlan {
+                    core: CoreId(core),
+                    writes,
+                }
+            })
+            .collect();
+        CrashWorkload {
+            spec,
+            plans,
+            workers,
+            total_words: workers as u64 * spec.words_per_core,
+        }
+    }
+
+    /// Initial durable value of footprint word `w` (tagged so it can never
+    /// collide with a transactional value).
+    pub fn initial_value(w: u64) -> u64 {
+        0x1111_0000_0000_0000 | w
+    }
+
+    /// The unique value written by write `j` of transaction `i`.
+    pub fn value_of(i: usize, j: usize) -> u64 {
+        0x5EED_0000_0000_0000 | ((i as u64) << 16) | j as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::det::DetHashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CrashWorkload::generate(CrashSpec::quick(7), 2);
+        let b = CrashWorkload::generate(CrashSpec::quick(7), 2);
+        assert_eq!(a.plans.len(), b.plans.len());
+        for (x, y) in a.plans.iter().zip(&b.plans) {
+            assert_eq!(x.core, y.core);
+            assert_eq!(x.writes, y.writes);
+        }
+    }
+
+    #[test]
+    fn values_are_globally_unique_and_distinct_from_initials() {
+        let wl = CrashWorkload::generate(CrashSpec::full(3), 2);
+        let mut seen: DetHashSet<u64> = DetHashSet::default();
+        for w in 0..wl.total_words {
+            assert!(seen.insert(CrashWorkload::initial_value(w)));
+        }
+        for p in &wl.plans {
+            for &(_, v) in &p.writes {
+                assert!(seen.insert(v), "duplicate value {v:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn writes_stay_inside_core_partitions() {
+        let wl = CrashWorkload::generate(CrashSpec::quick(1), 2);
+        for p in &wl.plans {
+            let lo = u64::from(p.core.0) * wl.spec.words_per_core;
+            for &(w, _) in &p.writes {
+                assert!(w >= lo && w < lo + wl.spec.words_per_core);
+            }
+        }
+    }
+}

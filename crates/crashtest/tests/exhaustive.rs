@@ -1,0 +1,56 @@
+//! Every registry engine must survive a crash at every durable-event index
+//! of a small workload — the same matrix CI runs as a required job — and a
+//! second crash injected anywhere into recovery.
+
+use crashtest::drivers::{run_exhaustive, run_nested};
+use crashtest::harness::Harness;
+use crashtest::workload::{CrashSpec, CrashWorkload};
+use workloads::driver::ENGINES;
+
+#[test]
+fn every_engine_survives_every_crash_point() {
+    for engine in ENGINES {
+        let harness = Harness::named(engine);
+        let wl = CrashWorkload::generate(
+            CrashSpec::quick(1),
+            harness.config().worker_threads as usize,
+        );
+        let summary = run_exhaustive(&harness, &wl);
+        assert!(
+            summary.workload_events > 0,
+            "{engine}: workload produced no durable events"
+        );
+        assert!(
+            summary.passed(),
+            "{engine}: {} crash points failed, first: {:?}",
+            summary.failures.len(),
+            summary.failures.first()
+        );
+    }
+}
+
+#[test]
+fn multi_controller_hoop_survives_every_crash_point() {
+    for engine in ["HOOP-MC2", "HOOP-MC4"] {
+        let harness = Harness::named(engine);
+        let wl = CrashWorkload::generate(
+            CrashSpec::quick(1),
+            harness.config().worker_threads as usize,
+        );
+        let summary = run_exhaustive(&harness, &wl);
+        assert!(summary.passed(), "{engine}: {:?}", summary.failures.first());
+    }
+}
+
+#[test]
+fn every_engine_survives_nested_crashes() {
+    for engine in ENGINES {
+        let harness = Harness::named(engine);
+        let wl = CrashWorkload::generate(
+            CrashSpec::quick(2),
+            harness.config().worker_threads as usize,
+        );
+        let summary = run_nested(&harness, &wl, 2);
+        assert!(summary.passed(), "{engine}: {:?}", summary.failures.first());
+    }
+}

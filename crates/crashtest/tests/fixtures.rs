@@ -1,0 +1,67 @@
+//! Negative controls: the harness must convict both broken fixture engines
+//! with the right attribution and shrink each to its minimal crash index.
+
+use crashtest::drivers::run_exhaustive;
+use crashtest::fixtures::{CommitFirstEngine, EagerGcEngine};
+use crashtest::workload::{CrashSpec, CrashWorkload};
+
+#[test]
+fn commit_first_engine_is_convicted_of_missing_effects() {
+    let harness = CommitFirstEngine::harness();
+    let wl = CrashWorkload::generate(
+        CrashSpec::quick(5),
+        harness.config().worker_threads as usize,
+    );
+    let summary = run_exhaustive(&harness, &wl);
+    assert!(!summary.passed(), "broken fixture must fail");
+    let first = &summary.failures[0];
+    assert!(first.shrunk);
+    // Event 0 is the first transaction's commit record; the crash at event
+    // 1 drops its first payload record — the minimal possible witness.
+    assert_eq!(first.cutoff, 1, "shrink must find the minimal crash index");
+    assert!(
+        first.violation.contains("missing_committed_effect"),
+        "wrong attribution: {}",
+        first.violation
+    );
+}
+
+#[test]
+fn eager_gc_engine_is_convicted_of_leaking_uncommitted_data() {
+    let harness = EagerGcEngine::harness();
+    let wl = CrashWorkload::generate(
+        CrashSpec::quick(5),
+        harness.config().worker_threads as usize,
+    );
+    let summary = run_exhaustive(&harness, &wl);
+    assert!(!summary.passed(), "broken fixture must fail");
+    let first = &summary.failures[0];
+    assert!(first.shrunk);
+    // Event 0 is the eager home migration of the first store; the crash at
+    // event 1 leaves it visible with no commit record anywhere.
+    assert_eq!(first.cutoff, 1, "shrink must find the minimal crash index");
+    assert!(
+        first.violation.contains("uncommitted_effect_visible"),
+        "wrong attribution: {}",
+        first.violation
+    );
+}
+
+#[test]
+fn fixtures_pass_without_fault_injection() {
+    // Both bugs are invisible to crash-free testing — that is the point of
+    // the fixtures: only fault injection can tell them from sound engines.
+    for harness in [CommitFirstEngine::harness(), EagerGcEngine::harness()] {
+        let wl = CrashWorkload::generate(
+            CrashSpec::quick(5),
+            harness.config().worker_threads as usize,
+        );
+        let dry = harness.count_events(&wl);
+        assert!(
+            dry.passed(),
+            "{}: crash-free run must satisfy the oracle, got {:?}",
+            dry.engine,
+            dry.violations
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Parallel recovery must be a pure performance knob: for any engine, any
+//! workload seed, and any crash point, `recover(threads)` must produce a
+//! byte-identical durable image and identical work counters for every
+//! thread count. Only `modeled_ms` may differ — parallelism is *supposed*
+//! to change the modeled wall-clock.
+
+use crashtest::harness::Harness;
+use crashtest::workload::{CrashSpec, CrashWorkload};
+use proptest::prelude::*;
+use workloads::driver::ENGINES;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn recovery_is_thread_invariant(seed in 0u64..1024, frac in 0u64..100) {
+        for engine in ENGINES {
+            let harness = Harness::named(engine);
+            let wl = CrashWorkload::generate(
+                CrashSpec::quick(seed),
+                harness.config().worker_threads as usize,
+            );
+            // Pick the crash point as a fraction of this engine's event
+            // count so every region of the protocol gets exercised.
+            let total = harness.count_events(&wl).events_at_crash;
+            let cutoff = (total * frac) / 100;
+
+            let one = harness.run(&wl, cutoff, None, 1);
+            prop_assert!(one.passed(), "{engine}: {:?}", one.violations.first());
+            for threads in [2usize, 8] {
+                let many = harness.run(&wl, cutoff, None, threads);
+                prop_assert_eq!(
+                    many.image_digest, one.image_digest,
+                    "{} at cutoff {}: durable image differs with {} threads",
+                    engine, cutoff, threads
+                );
+                prop_assert_eq!(many.report.bytes_scanned, one.report.bytes_scanned);
+                prop_assert_eq!(many.report.bytes_written, one.report.bytes_written);
+                prop_assert_eq!(many.report.txs_replayed, one.report.txs_replayed);
+                prop_assert_eq!(many.report.threads, threads);
+            }
+        }
+    }
+}

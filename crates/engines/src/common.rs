@@ -11,6 +11,7 @@
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
+use simcore::crashpoint::{CrashValve, PersistEvent};
 use simcore::sanitize::SanitizerHandle;
 use simcore::{Cycle, PAddr, TxId};
 
@@ -29,6 +30,11 @@ pub struct ControllerBase {
     /// their durability events — persists, home writes, commit records —
     /// through this handle).
     pub san: SanitizerHandle,
+    /// Crash-point valve (detached by default). Engines tick it once per
+    /// persist-ordering event, immediately before the durable mutation the
+    /// event stands for; a tripped valve closes the store, so the mutation
+    /// is dropped and the byte image freezes at the injected crash point.
+    pub crash: CrashValve,
     next_tx: u64,
 }
 
@@ -40,8 +46,15 @@ impl ControllerBase {
             store: PersistentStore::new(),
             stats: EngineStats::default(),
             san: SanitizerHandle::none(),
+            crash: CrashValve::detached(),
             next_tx: 1,
         }
+    }
+
+    /// Attaches a crash valve to the controller and its durable store.
+    pub fn attach_crash_valve(&mut self, valve: CrashValve) {
+        self.store.attach_valve(valve.clone());
+        self.crash = valve;
     }
 
     /// Allocates the next transaction id.
@@ -75,6 +88,7 @@ impl ControllerBase {
         debug_assert_eq!(data.len(), CACHE_LINE_BYTES as usize);
         self.device
             .access(now, line.base(), CACHE_LINE_BYTES, Op::Write, class);
+        self.crash.event(PersistEvent::Home, None);
         self.store.write_bytes(line.base(), data);
         self.san.home_write(line, now);
     }

@@ -8,11 +8,12 @@
 //! commit. HOOP beats it by persisting at *word* granularity with packing
 //! (§IV-B: "LAD ... persists updated data at cache-line granularity").
 
-use simcore::det::DetHashMap;
+use simcore::det::{DetHashMap, DetHashSet};
 
 use nvm::{NvmDevice, PersistentStore, TrafficClass};
 use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
+use simcore::crashpoint::PersistEvent;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
 use crate::common::{read_line_image, to_line_image, ControllerBase, LineImage};
@@ -27,12 +28,28 @@ use crate::traits::{
 /// same protocol for multi-controller HOOP).
 const COMMIT_PROTOCOL_CYCLES: Cycle = 40;
 
+/// Depth (in cache lines) of the controller's ADR-domain commit queue:
+/// accepted updates sit in the battery-backed queue until their home writes
+/// retire, so power loss never tears an accepted transaction.
+const LAD_QUEUE_DEPTH: usize = 64;
+
+/// One accepted line waiting in (or recently drained from) the ADR queue.
+#[derive(Clone, Debug)]
+struct QueuedLine {
+    tx: u64,
+    line: u64,
+    image: LineImage,
+}
+
 /// The logless atomic durability engine.
 #[derive(Debug)]
 pub struct LadEngine {
     base: ControllerBase,
     /// Volatile controller queues: per-transaction line images.
     active: DetHashMap<TxId, DetHashMap<u64, LineImage>>,
+    /// Durable (ADR/battery domain): accepted lines, oldest first, capped
+    /// at [`LAD_QUEUE_DEPTH`].
+    queue: Vec<QueuedLine>,
 }
 
 impl LadEngine {
@@ -41,6 +58,7 @@ impl LadEngine {
         LadEngine {
             base: ControllerBase::new(cfg),
             active: DetHashMap::default(),
+            queue: Vec::new(),
         }
     }
 }
@@ -79,7 +97,7 @@ impl PersistenceEngine for LadEngine {
     ) -> Cycle {
         // Split borrows: the queue is mutated while the home store is only
         // read for base images.
-        let LadEngine { base, active } = self;
+        let LadEngine { base, active, .. } = self;
         let entry = active.get_mut(&tx).expect("store outside tx");
         let mut off = 0usize;
         for line in lines_covering(addr, data.len() as u64) {
@@ -137,11 +155,29 @@ impl PersistenceEngine for LadEngine {
             }
         }
         // Commit completes when the controller handshake acknowledges the
-        // burst — the transaction's durable point.
+        // burst — the transaction's durable point. Acceptance moves the
+        // write set into the ADR-domain queue; the home writes below drain
+        // that queue in the same protected step, so no persist event
+        // separates them from the acceptance.
+        let accepted = self.base.crash.event(PersistEvent::Commit, Some(tx));
         self.base
             .san
             .commit_record(tx, done + COMMIT_PROTOCOL_CYCLES);
         let mut clean_lines = Vec::with_capacity(lines.len());
+        if accepted {
+            for (l, img) in &lines {
+                self.queue.push(QueuedLine {
+                    tx: tx.0,
+                    line: *l,
+                    image: *img,
+                });
+            }
+            let excess = self.queue.len().saturating_sub(LAD_QUEUE_DEPTH);
+            if excess > 0 {
+                // Oldest entries have long retired to home; drop them.
+                self.queue.drain(..excess);
+            }
+        }
         for (l, img) in lines {
             clean_lines.push(Line(l));
             self.base.store.write_bytes(Line(l).base(), &img);
@@ -166,11 +202,34 @@ impl PersistenceEngine for LadEngine {
     }
 
     fn recover(&mut self, threads: usize) -> RecoveryReport {
-        // Commits are synchronous in-place writes; the home image is always
-        // consistent. Nothing to replay.
+        // Accepted transactions drain to home synchronously, but the ADR
+        // queue is the durability witness for writes in flight at power
+        // loss: recovery re-applies the surviving queue (idempotent — every
+        // entry is an accepted image, replayed oldest-first). Replayed
+        // without draining so a crash injected mid-recovery leaves the
+        // queue for the next pass.
+        let bytes_scanned = self.queue.len() as u64 * (CACHE_LINE_BYTES + 8);
+        let mut bytes_written = 0;
+        let mut txs: DetHashSet<u64> = DetHashSet::default();
+        for q in &self.queue {
+            self.base.crash.event(PersistEvent::Recovery, None);
+            self.base.store.write_bytes(Line(q.line).base(), &q.image);
+            bytes_written += CACHE_LINE_BYTES;
+            txs.insert(q.tx);
+        }
+        let txs_replayed = txs.len() as u64;
+        if self.base.crash.event(PersistEvent::Reclaim, None) {
+            self.queue.clear();
+        }
+        let bw = self.base.device.timing().bandwidth_gbps;
+        let modeled_ms =
+            (bytes_scanned + bytes_written) as f64 / (bw * 1.0e6) / threads.max(1) as f64;
         RecoveryReport {
+            modeled_ms,
+            bytes_scanned,
+            bytes_written,
+            txs_replayed,
             threads,
-            ..RecoveryReport::default()
         }
     }
 
@@ -192,6 +251,10 @@ impl PersistenceEngine for LadEngine {
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
         self.base.san = handle;
+    }
+
+    fn attach_crash_valve(&mut self, valve: simcore::crashpoint::CrashValve) {
+        self.base.attach_crash_valve(valve);
     }
 
     fn reset_counters(&mut self) {

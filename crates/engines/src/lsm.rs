@@ -12,6 +12,7 @@ use simcore::det::DetHashMap;
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES, WORD_BYTES};
 use simcore::config::SimConfig;
+use simcore::crashpoint::PersistEvent;
 use simcore::time::ms_to_cycles;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
@@ -51,6 +52,12 @@ pub struct LsmEngine {
     log_head: u64,
     /// Durable: committed log records awaiting GC.
     log: Vec<LogRecord>,
+    /// Records below this index belong to transactions whose log-tail
+    /// commit marker is durable; anything beyond is a torn append a crash
+    /// may leave behind, and recovery discards it.
+    committed_len: usize,
+    /// Committed transactions currently represented in `log`.
+    committed_txs_in_log: u64,
     /// Volatile DRAM index: home line -> newest log sequence number.
     index: SkipList,
     /// Volatile: newest committed value per word address.
@@ -75,6 +82,8 @@ impl LsmEngine {
             log_region,
             log_head: 0,
             log: Vec::new(),
+            committed_len: 0,
+            committed_txs_in_log: 0,
             index: SkipList::new(),
             newest: DetHashMap::default(),
             active: DetHashMap::default(),
@@ -86,7 +95,11 @@ impl LsmEngine {
 
     fn gc(&mut self, now: Cycle) {
         if self.newest.is_empty() {
-            self.log.clear();
+            if !self.log.is_empty() && self.base.crash.event(PersistEvent::Reclaim, None) {
+                self.log.clear();
+                self.committed_len = 0;
+                self.committed_txs_in_log = 0;
+            }
             return;
         }
         // Scan the log once, then write each touched line home exactly once
@@ -131,9 +144,17 @@ impl LsmEngine {
         );
         let _ = t;
         for (l, img) in lines {
+            self.base.crash.event(PersistEvent::Gc, None);
             self.base.store.write_bytes(Line(l).base(), &img);
         }
-        self.log.clear();
+        // Log truncation is one durable pointer update, ordered strictly
+        // after the migration writes — a crash in between leaves the log
+        // intact and recovery simply replays it (idempotent re-writes).
+        if self.base.crash.event(PersistEvent::Reclaim, None) {
+            self.log.clear();
+            self.committed_len = 0;
+            self.committed_txs_in_log = 0;
+        }
         self.index.clear();
         self.base.stats.gc_runs.inc();
         self.base.stats.gc_bytes_in.add(self.bytes_since_gc);
@@ -297,17 +318,29 @@ impl PersistenceEngine for LsmEngine {
                 self.base.san.data_persisted(tx, Line(*l), done);
             }
         }
-        // The same burst ends with the transaction marker — the durable
-        // commit point.
-        self.base.san.commit_record(tx, done);
+        let mut batch: Vec<(u64, u64)> = Vec::with_capacity(per_line.len());
         for (l, ws) in per_line {
             clean_lines.push(Line(l));
-            self.index.insert(l, self.log.len() as u64);
-            self.log.push(LogRecord {
-                line: Line(l),
-                words: ws,
-            });
+            if self.base.crash.event(PersistEvent::Payload, None) {
+                batch.push((l, self.log.len() as u64));
+                self.log.push(LogRecord {
+                    line: Line(l),
+                    words: ws,
+                });
+            }
         }
+        // One sorted sweep instead of per-line index walks (the log-seq
+        // values above were assigned in the frozen per-line order, so the
+        // resulting index is unchanged).
+        batch.sort_unstable_by_key(|&(l, _)| l);
+        self.index.insert_sorted_batch(&batch);
+        // The same burst ends with the transaction marker — the durable
+        // commit point (strictly after every payload record of the burst).
+        if self.base.crash.event(PersistEvent::Commit, Some(tx)) {
+            self.committed_len = self.log.len();
+            self.committed_txs_in_log += 1;
+        }
+        self.base.san.commit_record(tx, done);
         for (w, v) in words {
             self.newest.insert(w, v);
         }
@@ -342,21 +375,30 @@ impl PersistenceEngine for LsmEngine {
     }
 
     fn recover(&mut self, threads: usize) -> RecoveryReport {
+        let committed = self.committed_len.min(self.log.len());
         let bytes_scanned: u64 = self
             .log
             .iter()
             .map(|r| ENTRY_HEADER_BYTES + r.words.len() as u64 * WORD_BYTES)
             .sum();
         let mut bytes_written = 0u64;
-        let mut txs = 0u64;
-        for rec in std::mem::take(&mut self.log) {
-            for (w, v) in rec.words {
+        // Replay the committed prefix (any torn suffix beyond the commit
+        // watermark is discarded). The log is replayed without draining so
+        // a crash injected mid-recovery leaves it for the next pass.
+        for rec in &self.log[..committed] {
+            self.base.crash.event(PersistEvent::Recovery, None);
+            for (w, v) in &rec.words {
                 self.base
                     .store
-                    .write_u64(rec.line.base().offset(u64::from(w) * 8), v);
+                    .write_u64(rec.line.base().offset(u64::from(*w) * 8), *v);
                 bytes_written += WORD_BYTES;
             }
-            txs += 1;
+        }
+        let txs_replayed = self.committed_txs_in_log;
+        if self.base.crash.event(PersistEvent::Reclaim, None) {
+            self.log.clear();
+            self.committed_len = 0;
+            self.committed_txs_in_log = 0;
         }
         let bw = self.base.device.timing().bandwidth_gbps;
         let modeled_ms =
@@ -365,7 +407,7 @@ impl PersistenceEngine for LsmEngine {
             modeled_ms,
             bytes_scanned,
             bytes_written,
-            txs_replayed: txs,
+            txs_replayed,
             threads,
         }
     }
@@ -392,6 +434,10 @@ impl PersistenceEngine for LsmEngine {
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
         self.base.san = handle;
+    }
+
+    fn attach_crash_valve(&mut self, valve: simcore::crashpoint::CrashValve) {
+        self.base.attach_crash_valve(valve);
     }
 
     fn reset_counters(&mut self) {

@@ -8,6 +8,7 @@
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
+use simcore::crashpoint::{CrashValve, PersistEvent};
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
 use crate::traits::{
@@ -21,6 +22,7 @@ pub struct NativeEngine {
     device: NvmDevice,
     store: PersistentStore,
     stats: EngineStats,
+    crash: CrashValve,
     next_tx: u64,
 }
 
@@ -31,6 +33,7 @@ impl NativeEngine {
             device: NvmDevice::new(cfg.nvm, cfg.energy),
             store: PersistentStore::new(),
             stats: EngineStats::default(),
+            crash: CrashValve::detached(),
             next_tx: 1,
         }
     }
@@ -97,6 +100,7 @@ impl PersistenceEngine for NativeEngine {
             Op::Write,
             TrafficClass::Data,
         );
+        self.crash.event(PersistEvent::Home, None);
         self.store.write_bytes(line.base(), line_data);
     }
 
@@ -137,6 +141,11 @@ impl PersistenceEngine for NativeEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.device.enable_endurance_tracking();
+    }
+
+    fn attach_crash_valve(&mut self, valve: CrashValve) {
+        self.store.attach_valve(valve.clone());
+        self.crash = valve;
     }
 
     fn reset_counters(&mut self) {

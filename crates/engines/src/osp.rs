@@ -8,11 +8,12 @@
 //! consolidation copies data to keep pages dense (§IV-B lists both as OSP's
 //! costs).
 
-use simcore::det::DetHashMap;
+use simcore::det::{DetHashMap, DetHashSet};
 
 use nvm::{NvmDevice, PersistentStore, TrafficClass};
 use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
+use simcore::crashpoint::PersistEvent;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
 use crate::common::{read_line_image, to_line_image, ControllerBase, LineImage};
@@ -42,6 +43,15 @@ struct TxLine {
     persisted_at: Cycle,
 }
 
+/// Durable image of one shadow line (what a post-crash scan of the shadow
+/// region plus its per-line ownership metadata would reconstruct).
+#[derive(Clone, Debug)]
+struct ShadowRecord {
+    tx: u64,
+    line: u64,
+    image: LineImage,
+}
+
 /// The SSP-style cache-line shadow paging engine.
 #[derive(Debug)]
 pub struct OspEngine {
@@ -49,6 +59,12 @@ pub struct OspEngine {
     shadow_region: PAddr,
     /// Volatile: open transactions' shadow lines.
     active: DetHashMap<TxId, DetHashMap<u64, TxLine>>,
+    /// Durable: shadow-region line contents, in persist order. Pruned of
+    /// committed entries at consolidation time.
+    shadow_log: Vec<ShadowRecord>,
+    /// Durable: transactions whose committed-bit flip persisted, in commit
+    /// order. Cleared together with the pruned shadow records.
+    commit_log: Vec<u64>,
     lines_since_consolidation: u64,
 }
 
@@ -61,6 +77,8 @@ impl OspEngine {
             base: ControllerBase::new(cfg),
             shadow_region,
             active: DetHashMap::default(),
+            shadow_log: Vec::new(),
+            commit_log: Vec::new(),
             lines_since_consolidation: 0,
         }
     }
@@ -128,7 +146,16 @@ impl PersistenceEngine for OspEngine {
                 .base
                 .write_burst(shadow, CACHE_LINE_BYTES, now, TrafficClass::Data);
             let entry = self.active.get_mut(&tx).expect("store outside tx");
-            entry.get_mut(&l).expect("just inserted").persisted_at = done;
+            let t = entry.get_mut(&l).expect("just inserted");
+            t.persisted_at = done;
+            let image = t.image;
+            if self.base.crash.event(PersistEvent::Payload, None) {
+                self.shadow_log.push(ShadowRecord {
+                    tx: tx.0,
+                    line: l,
+                    image,
+                });
+            }
         }
         0
     }
@@ -145,19 +172,27 @@ impl PersistenceEngine for OspEngine {
             // refresh the tracked image with the authoritative data and
             // re-persist the delta.
             let shadow = self.shadow_addr(line);
-            let mut refreshed = false;
+            let mut refreshed_txs: Vec<u64> = Vec::new();
             // lint:order-frozen: independent per-entry image refresh —
             // visit order cannot leak into simulated state.
-            for entry in self.active.values_mut() {
+            for (id, entry) in self.active.iter_mut() {
                 if let Some(t) = entry.get_mut(&line.0) {
                     t.image = to_line_image(line_data);
-                    refreshed = true;
+                    refreshed_txs.push(id.0);
                 }
             }
-            if refreshed {
+            if !refreshed_txs.is_empty() {
                 let done = self
                     .base
                     .write_burst(shadow, CACHE_LINE_BYTES, now, TrafficClass::Data);
+                // One shadow-region re-persist covers every tracking tx.
+                if self.base.crash.event(PersistEvent::Payload, None) {
+                    for rec in self.shadow_log.iter_mut() {
+                        if rec.line == line.0 && refreshed_txs.contains(&rec.tx) {
+                            rec.image = to_line_image(line_data);
+                        }
+                    }
+                }
                 // lint:order-frozen: max() over one shared `done` per entry,
                 // order-independent.
                 for entry in self.active.values_mut() {
@@ -188,13 +223,31 @@ impl PersistenceEngine for OspEngine {
                 self.base.san.data_persisted(tx, Line(*l), done);
             }
         }
+        // The commit waits above model the final shadow flushes: refresh
+        // this transaction's durable shadow records to the flushed images
+        // (one persist-ordering event per write-set line).
+        for (l, t) in &lines {
+            if self.base.crash.event(PersistEvent::Payload, None) {
+                self.shadow_log.retain(|r| !(r.tx == tx.0 && r.line == *l));
+                self.shadow_log.push(ShadowRecord {
+                    tx: tx.0,
+                    line: *l,
+                    image: t.image,
+                });
+            }
+        }
         done = self.base.write_burst(
             self.shadow_region,
             n * COMMIT_META_BYTES,
             done,
             TrafficClass::Metadata,
         );
-        // The committed-bit metadata write is the durable commit point.
+        // The committed-bit metadata write is the durable commit point. The
+        // home-view flip below is the same mutation seen through the home
+        // addresses, so no persist event separates them.
+        if self.base.crash.event(PersistEvent::Commit, Some(tx)) {
+            self.commit_log.push(tx.0);
+        }
         self.base.san.commit_record(tx, done);
         // lint:allow(sim-state-float): fractional scaling of one constant
         // cost — exact in f64, identical on every host.
@@ -210,7 +263,9 @@ impl PersistenceEngine for OspEngine {
         }
 
         // Periodic page consolidation copies shadow lines to keep pages
-        // dense.
+        // dense; it also retires the shadow copies of committed
+        // transactions (their home images are authoritative), keeping the
+        // durable shadow log bounded.
         self.lines_since_consolidation += n;
         if self.lines_since_consolidation >= CONSOLIDATION_EVERY_LINES {
             self.lines_since_consolidation = 0;
@@ -220,6 +275,11 @@ impl PersistenceEngine for OspEngine {
                 done,
                 TrafficClass::Gc,
             );
+            if self.base.crash.event(PersistEvent::Reclaim, None) {
+                let committed: DetHashSet<u64> = self.commit_log.iter().copied().collect();
+                self.shadow_log.retain(|r| !committed.contains(&r.tx));
+                self.commit_log.clear();
+            }
             latency += costs::OSP_CONSOLIDATION_OVERHEAD;
         }
 
@@ -245,9 +305,36 @@ impl PersistenceEngine for OspEngine {
     }
 
     fn recover(&mut self, threads: usize) -> RecoveryReport {
+        let committed: DetHashSet<u64> = self.commit_log.iter().copied().collect();
+        let bytes_scanned = self.shadow_log.len() as u64 * (CACHE_LINE_BYTES + COMMIT_META_BYTES);
+        let mut bytes_written = 0;
+        // Re-apply committed shadow copies whose home flip may not have
+        // reached every address (idempotent: replay order is persist order,
+        // so the newest committed image wins). Replayed without draining so
+        // a crash injected mid-recovery leaves the log for the next pass.
+        for rec in &self.shadow_log {
+            if committed.contains(&rec.tx) {
+                self.base.crash.event(PersistEvent::Recovery, None);
+                self.base
+                    .store
+                    .write_bytes(Line(rec.line).base(), &rec.image);
+                bytes_written += CACHE_LINE_BYTES;
+            }
+        }
+        let txs_replayed = committed.len() as u64;
+        if self.base.crash.event(PersistEvent::Reclaim, None) {
+            self.shadow_log.clear();
+            self.commit_log.clear();
+        }
+        let bw = self.base.device.timing().bandwidth_gbps;
+        let modeled_ms =
+            (bytes_scanned + bytes_written) as f64 / (bw * 1.0e6) / threads.max(1) as f64;
         RecoveryReport {
+            modeled_ms,
+            bytes_scanned,
+            bytes_written,
+            txs_replayed,
             threads,
-            ..RecoveryReport::default()
         }
     }
 
@@ -269,6 +356,10 @@ impl PersistenceEngine for OspEngine {
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
         self.base.san = handle;
+    }
+
+    fn attach_crash_valve(&mut self, valve: simcore::crashpoint::CrashValve) {
+        self.base.attach_crash_valve(valve);
     }
 
     fn reset_counters(&mut self) {

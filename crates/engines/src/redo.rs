@@ -13,6 +13,8 @@ use simcore::det::DetHashMap;
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
+use simcore::crashpoint::PersistEvent;
+use simcore::det::DetHashSet;
 use simcore::time::ms_to_cycles;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
@@ -36,6 +38,7 @@ const CHECKPOINT_PERIOD_MS: f64 = 10.0;
 
 #[derive(Clone, Debug)]
 struct RedoRecord {
+    tx: TxId,
     line: Line,
     image: LineImage,
 }
@@ -48,6 +51,10 @@ pub struct OptRedoEngine {
     log_head: u64,
     /// Durable: committed, not-yet-checkpointed records in commit order.
     log: Vec<RedoRecord>,
+    /// Records below this index belong to transactions whose commit point
+    /// (the completed data+metadata burst) is durable; anything beyond is a
+    /// torn append a crash may leave behind, and recovery discards it.
+    committed_len: usize,
     /// Volatile: write sets of open transactions.
     active: DetHashMap<TxId, DetHashMap<u64, LineImage>>,
     /// Volatile: newest committed image per line awaiting checkpoint.
@@ -67,6 +74,7 @@ impl OptRedoEngine {
             log_region,
             log_head: 0,
             log: Vec::new(),
+            committed_len: 0,
             active: DetHashMap::default(),
             pending: DetHashMap::default(),
             next_checkpoint: period,
@@ -76,7 +84,10 @@ impl OptRedoEngine {
 
     fn checkpoint(&mut self, now: Cycle) {
         if self.pending.is_empty() {
-            self.log.clear();
+            if !self.log.is_empty() && self.base.crash.event(PersistEvent::Reclaim, None) {
+                self.log.clear();
+                self.committed_len = 0;
+            }
             return;
         }
         let lines = std::mem::take(&mut self.pending);
@@ -92,10 +103,17 @@ impl OptRedoEngine {
             TrafficClass::Checkpoint,
         );
         for (l, img) in lines {
+            self.base.crash.event(PersistEvent::Gc, None);
             self.base.store.write_bytes(Line(l).base(), &img);
         }
-        // Truncate the log: everything checkpointed is now home.
-        self.log.clear();
+        // Truncate the log: everything checkpointed is now home. The
+        // truncation is one durable pointer update, ordered strictly after
+        // the checkpoint writes — a crash in between leaves the log intact
+        // and recovery simply replays it (idempotent re-writes).
+        if self.base.crash.event(PersistEvent::Reclaim, None) {
+            self.log.clear();
+            self.committed_len = 0;
+        }
         self.base.stats.gc_runs.inc();
     }
 }
@@ -201,14 +219,20 @@ impl PersistenceEngine for OptRedoEngine {
         for (l, img) in lines {
             clean_lines.push(Line(l));
             self.base.san.data_persisted(tx, Line(l), now);
-            self.log.push(RedoRecord {
-                line: Line(l),
-                image: img,
-            });
+            if self.base.crash.event(PersistEvent::Payload, None) {
+                self.log.push(RedoRecord {
+                    tx,
+                    line: Line(l),
+                    image: img,
+                });
+            }
             self.pending.insert(l, img);
         }
         // The burst carries data + metadata; its completion is the durable
         // commit point (redo data is persistent strictly before then).
+        if self.base.crash.event(PersistEvent::Commit, Some(tx)) {
+            self.committed_len = self.log.len();
+        }
         self.base.san.commit_record(tx, done);
         let latency = done.saturating_sub(now);
         self.base.stats.commit_stall_cycles.add(latency);
@@ -237,13 +261,23 @@ impl PersistenceEngine for OptRedoEngine {
     }
 
     fn recover(&mut self, threads: usize) -> RecoveryReport {
+        let committed = self.committed_len.min(self.log.len());
         let bytes_scanned = self.log.len() as u64 * REDO_RECORD_BYTES;
         let mut bytes_written = 0;
-        let mut txs = 0;
-        for rec in self.log.drain(..) {
+        let mut txs: DetHashSet<u64> = DetHashSet::default();
+        for rec in &self.log[..committed] {
+            self.base.crash.event(PersistEvent::Recovery, None);
             self.base.store.write_bytes(rec.line.base(), &rec.image);
             bytes_written += CACHE_LINE_BYTES;
-            txs += 1;
+            txs.insert(rec.tx.0);
+        }
+        let txs = txs.len() as u64;
+        // Truncate the replayed log (and drop any torn suffix beyond the
+        // committed watermark). Ordered after the replay writes: a nested
+        // crash in between keeps the log for the next recovery pass.
+        if self.base.crash.event(PersistEvent::Reclaim, None) {
+            self.log.clear();
+            self.committed_len = 0;
         }
         let bw = self.base.device.timing().bandwidth_gbps;
         let modeled_ms =
@@ -275,6 +309,10 @@ impl PersistenceEngine for OptRedoEngine {
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
         self.base.san = handle;
+    }
+
+    fn attach_crash_valve(&mut self, valve: simcore::crashpoint::CrashValve) {
+        self.base.attach_crash_valve(valve);
     }
 
     fn reset_counters(&mut self) {

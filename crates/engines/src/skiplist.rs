@@ -212,6 +212,106 @@ impl SkipList {
         None
     }
 
+    /// Inserts a batch of `(key, value)` pairs sorted by strictly ascending
+    /// key, in one left-to-right sweep.
+    ///
+    /// Instead of restarting every predecessor walk from the head (B full
+    /// `O(log N)` walks for a B-key batch), the walk keeps a finger: each
+    /// key resumes from the predecessor frontier the previous key left
+    /// behind, costing `O(log d)` for a distance-`d` hop. Commit batches
+    /// are sorted and clustered, so this collapses most of the per-insert
+    /// walk. The resulting list structure is identical to sequential
+    /// [`insert`](SkipList::insert) calls (node heights depend only on the
+    /// key), and updates of existing keys short-circuit through the key
+    /// index exactly the same way.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that keys are strictly ascending.
+    pub fn insert_sorted_batch(&mut self, batch: &[(u64, u64)]) {
+        let mut preds = [NIL; MAX_LEVEL];
+        let mut last_key = None;
+        for &(key, value) in batch {
+            debug_assert_ne!(key, u64::MAX, "u64::MAX is reserved");
+            debug_assert!(last_key.is_none_or(|k| k < key), "batch must ascend");
+            last_key = Some(key);
+            if let Some(&existing) = self.by_key.get(key) {
+                self.nodes[existing as usize].value = value;
+                continue;
+            }
+            // Finger search: refine from the top level down. Each level
+            // starts from whichever valid predecessor is further right —
+            // the frontier left by the previous key, or the position the
+            // level above descended to (a node at level l+1 also links at
+            // level l).
+            let mut carry = NIL;
+            for lvl in (0..self.level).rev() {
+                let mut cur = match (preds[lvl], carry) {
+                    (NIL, c) => c,
+                    (p, NIL) => p,
+                    (p, c) => {
+                        if self.node(c).key > self.node(p).key {
+                            c
+                        } else {
+                            p
+                        }
+                    }
+                };
+                let mut next = if cur == NIL {
+                    self.head[lvl]
+                } else {
+                    self.node(cur).next[lvl]
+                };
+                while next != NIL && self.node(next).key < key {
+                    cur = next;
+                    next = self.node(cur).next[lvl];
+                }
+                preds[lvl] = cur;
+                carry = cur;
+            }
+            let height = height_for(key);
+            if height > self.level {
+                self.level = height;
+            }
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.nodes[i as usize] = Node {
+                        key,
+                        value,
+                        next: [NIL; MAX_LEVEL],
+                        height: height as u8,
+                    };
+                    i
+                }
+                None => {
+                    self.nodes.push(Node {
+                        key,
+                        value,
+                        next: [NIL; MAX_LEVEL],
+                        height: height as u8,
+                    });
+                    (self.nodes.len() - 1) as u32
+                }
+            };
+            for (lvl, pred_slot) in preds.iter_mut().enumerate().take(height) {
+                let pred = *pred_slot;
+                if pred == NIL {
+                    self.nodes[idx as usize].next[lvl] = self.head[lvl];
+                    self.head[lvl] = idx;
+                } else {
+                    let succ = self.node(pred).next[lvl];
+                    self.nodes[idx as usize].next[lvl] = succ;
+                    self.nodes[pred as usize].next[lvl] = idx;
+                }
+                // The new node is the rightmost key < any later batch key:
+                // advance the frontier onto it.
+                *pred_slot = idx;
+            }
+            self.by_key.insert(key, idx);
+            self.len += 1;
+        }
+    }
+
     /// Removes `key`, returning its value if present.
     pub fn remove(&mut self, key: u64) -> Option<u64> {
         self.by_key.remove(key)?;

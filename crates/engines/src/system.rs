@@ -95,6 +95,14 @@ impl System {
         self.engine.attach_sanitizer(handle);
     }
 
+    /// Attaches a crash-point valve to the engine for fault injection. Only
+    /// the engine (and its durable store) are gated — the volatile CPU view
+    /// keeps tracking program execution, exactly as DRAM contents would
+    /// until the power actually fails.
+    pub fn attach_crash_valve(&mut self, valve: simcore::crashpoint::CrashValve) {
+        self.engine.attach_crash_valve(valve);
+    }
+
     /// Starts recording the transactional event stream (see
     /// [`trace::Trace`](crate::trace::Trace)). Any previous recording is
     /// discarded.

@@ -9,6 +9,7 @@
 
 use nvm::{NvmDevice, PersistentStore};
 use simcore::addr::Line;
+use simcore::crashpoint::CrashValve;
 use simcore::sanitize::SanitizerHandle;
 use simcore::stats::Counter;
 use simcore::{CoreId, Cycle, PAddr, TxId};
@@ -224,6 +225,15 @@ pub trait PersistenceEngine: Send {
     /// sanitizer simply sees no engine-side events.
     fn attach_sanitizer(&mut self, handle: SanitizerHandle) {
         let _ = handle;
+    }
+
+    /// Attaches a crash-point valve for fault injection. Engines that
+    /// support deterministic crash testing store the valve (usually in
+    /// their `ControllerBase`, also forwarding it to their durable store)
+    /// and tick it on every persist-ordering event; the default drops the
+    /// valve, so crash injection simply sees no events.
+    fn attach_crash_valve(&mut self, valve: CrashValve) {
+        let _ = valve;
     }
 
     /// Resets statistics and device counters (e.g. after warmup).

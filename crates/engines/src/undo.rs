@@ -13,6 +13,8 @@ use simcore::det::DetHashMap;
 use nvm::{NvmDevice, PersistentStore, TrafficClass};
 use simcore::addr::{lines_covering, Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
+use simcore::crashpoint::PersistEvent;
+use simcore::det::DetHashSet;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
 use crate::common::{read_line_image, to_line_image, ControllerBase, LineImage};
@@ -133,7 +135,9 @@ impl PersistenceEngine for OptUndoEngine {
             let done = self
                 .base
                 .write_burst(slot, UNDO_RECORD_BYTES, now, TrafficClass::Log);
-            self.log.push(rec);
+            if self.base.crash.event(PersistEvent::Payload, None) {
+                self.log.push(rec);
+            }
             let entry = self.active.get_mut(&tx).expect("store outside tx");
             entry.log_done = entry.log_done.max(done);
         }
@@ -199,16 +203,13 @@ impl PersistenceEngine for OptUndoEngine {
             .write_burst(first, to_write, start, TrafficClass::Data);
         for (l, t) in entry.lines {
             if !t.evicted {
+                self.base.crash.event(PersistEvent::Payload, None);
                 self.base.store.write_bytes(Line(l).base(), &t.image);
             }
             // All write-set data (ordered burst now, or an earlier steal
             // write-back) is durably home by `done`.
             self.base.san.data_persisted(tx, Line(l), done);
         }
-        // Truncate this transaction's records; the durable truncation
-        // marker is bumped asynchronously (ATOM's log management runs in
-        // the controller off the critical path).
-        self.log.retain(|r| r.tx != tx);
         let marker_done = self.base.write_burst(
             self.log_region,
             COMMIT_MARKER_BYTES,
@@ -216,7 +217,13 @@ impl PersistenceEngine for OptUndoEngine {
             TrafficClass::Metadata,
         );
         // The truncation marker is the durable commit point: it follows the
-        // log and the ordered data writes.
+        // log and the ordered data writes. Truncate this transaction's
+        // records only if the marker became durable — otherwise recovery
+        // must still roll the transaction back (ATOM's log management runs
+        // in the controller off the critical path).
+        if self.base.crash.event(PersistEvent::Commit, Some(tx)) {
+            self.log.retain(|r| r.tx != tx);
+        }
         self.base.san.commit_record(tx, marker_done);
         let latency = done.saturating_sub(now);
         self.base.stats.commit_stall_cycles.add(latency);
@@ -240,10 +247,19 @@ impl PersistenceEngine for OptUndoEngine {
     fn recover(&mut self, threads: usize) -> RecoveryReport {
         let bytes_scanned = self.log.len() as u64 * UNDO_RECORD_BYTES;
         let mut bytes_written = 0;
-        // Roll back uncommitted transactions in reverse append order.
-        for rec in self.log.drain(..).rev() {
+        let mut rolled_back: DetHashSet<u64> = DetHashSet::default();
+        // Roll back uncommitted transactions in reverse append order. The
+        // log is replayed without draining: a crash injected mid-recovery
+        // must leave the records in place so the next recovery pass can
+        // redo the (idempotent) rollback.
+        for rec in self.log.iter().rev() {
+            self.base.crash.event(PersistEvent::Recovery, None);
             self.base.store.write_bytes(rec.line.base(), &rec.old);
             bytes_written += CACHE_LINE_BYTES;
+            rolled_back.insert(rec.tx.0);
+        }
+        if self.base.crash.event(PersistEvent::Reclaim, None) {
+            self.log.clear();
         }
         let bw = self.base.device.timing().bandwidth_gbps;
         let modeled_ms =
@@ -252,7 +268,7 @@ impl PersistenceEngine for OptUndoEngine {
             modeled_ms,
             bytes_scanned,
             bytes_written,
-            txs_replayed: 0,
+            txs_replayed: rolled_back.len() as u64,
             threads,
         }
     }
@@ -275,6 +291,10 @@ impl PersistenceEngine for OptUndoEngine {
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
         self.base.san = handle;
+    }
+
+    fn attach_crash_valve(&mut self, valve: simcore::crashpoint::CrashValve) {
+        self.base.attach_crash_valve(valve);
     }
 
     fn reset_counters(&mut self) {

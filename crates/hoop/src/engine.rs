@@ -23,6 +23,7 @@ use engines::traits::{
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES, WORD_BYTES};
 use simcore::config::{HoopConfig, SimConfig};
+use simcore::crashpoint::PersistEvent;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
 use crate::evict_buffer::EvictionBuffer;
@@ -249,6 +250,14 @@ impl HoopEngine {
         } else {
             (8 * slice.words.len() as u64 + 64 + 15) & !15
         };
+        // One slice persist = one crash point. A tail slice atomically
+        // carries payload and commit flag (its CRC seals both), so it ticks
+        // as a commit event; crashing *at* it drops the whole slice.
+        if commit {
+            self.base.crash.event(PersistEvent::Commit, Some(txid));
+        } else {
+            self.base.crash.event(PersistEvent::Payload, None);
+        }
         self.base.store.write_bytes(addr, &slice.encode());
         let done = self
             .base
@@ -300,6 +309,9 @@ impl HoopEngine {
         let slot = self.addr_slot.expect("just ensured");
         let addr = self.region.slot_addr(slot);
         let encoded = encode_records(&self.addr_entries, SliceFlag::Addr);
+        // Asynchronous index append — an accelerator for GC/recovery scans,
+        // not the commit point (that is the tail slice's flag).
+        self.base.crash.event(PersistEvent::Meta, None);
         self.base.store.write_bytes(addr, &encoded);
         let done = self.base.write_burst(
             addr,
@@ -462,6 +474,9 @@ impl PersistenceEngine for HoopEngine {
             let mut raw = [0u8; SLICE_BYTES as usize];
             self.base.store.read_bytes(addr, &mut raw);
             set_commit_tail(&mut raw, true);
+            // The tail-flag metadata write is the durable commit point for
+            // this path.
+            self.base.crash.event(PersistEvent::Commit, Some(tx));
             self.base.store.write_bytes(addr, &raw);
             let issue = self.cores[ci].outstanding.max(now);
             done = self
@@ -602,6 +617,10 @@ impl PersistenceEngine for HoopEngine {
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
         self.base.san = handle;
+    }
+
+    fn attach_crash_valve(&mut self, valve: simcore::crashpoint::CrashValve) {
+        self.base.attach_crash_valve(valve);
     }
 
     fn reset_counters(&mut self) {

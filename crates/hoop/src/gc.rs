@@ -14,6 +14,7 @@ use simcore::det::{DetHashMap, DetHashSet};
 
 use nvm::{PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES};
+use simcore::crashpoint::PersistEvent;
 use simcore::Cycle;
 
 use crate::engine::HoopEngine;
@@ -204,6 +205,7 @@ impl HoopEngine {
             );
         }
         for (l, img) in &lines {
+            self.base.crash.event(PersistEvent::Gc, None);
             self.base.store.write_bytes(Line(*l).base(), img);
             // Migrated lines enter the eviction buffer so racing LLC misses
             // never read a stale home copy (§III-C).
@@ -222,6 +224,7 @@ impl HoopEngine {
                 entries: Vec::new(),
             }
             .encode();
+            self.base.crash.event(PersistEvent::Meta, None);
             self.base
                 .store
                 .write_bytes(self.region.slot_addr(*slot), &empty);
@@ -229,12 +232,31 @@ impl HoopEngine {
                 .base
                 .write_burst(self.region.slot_addr(*slot), 16, t, TrafficClass::Metadata);
         }
-        for rec in &records {
+        // Clear the commit-tail bits of migrated chains. The durable clears
+        // run in *ascending* tx order: a crash part-way through then leaves
+        // exactly the newest commit records on media, and replaying those
+        // reproduces the already-migrated home image (clearing newest-first
+        // would instead leave stale old-tx evidence that recovery would
+        // replay over newer home values). The timed bursts below keep the
+        // original record order so detached traffic is identical; the flag
+        // checks are order-independent because records never share a tail
+        // slot.
+        let mut ascending: Vec<&CommitRecord> = records.iter().collect();
+        ascending.sort_by_key(|r| r.tx);
+        let mut had_bit: DetHashSet<u32> = DetHashSet::default();
+        for rec in ascending {
             let addr = self.region.slot_addr(rec.last_slot);
             let mut raw = read_slice_raw(&self.base.store, &self.region, rec.last_slot);
             if crate::slice::flag_of(&raw) & COMMIT_TAIL_BIT != 0 {
+                had_bit.insert(rec.last_slot);
                 crate::slice::set_commit_tail(&mut raw, false);
+                self.base.crash.event(PersistEvent::Meta, None);
                 self.base.store.write_bytes(addr, &raw);
+            }
+        }
+        for rec in &records {
+            if had_bit.contains(&rec.last_slot) {
+                let addr = self.region.slot_addr(rec.last_slot);
                 t = self.base.write_burst(addr, 16, t, TrafficClass::Metadata);
             }
         }
@@ -253,13 +275,20 @@ impl HoopEngine {
         for i in 0..self.region.block_count() {
             let b = self.region.block(i);
             if b.allocated() > 0 && b.uncommitted() == 0 {
-                self.region.reclaim_block(i);
-                // Every mapping entry into this block must be gone by now.
-                self.base.san.block_reclaim(i as u32, t);
-                let header = self.region.header_word(i);
-                self.base
-                    .store
-                    .write_u64(self.region.block(i).base(), header);
+                // The header write is the reclaim's durable point; if it is
+                // dropped by an injected crash the block simply stays
+                // allocated (its slices are already tombstoned) and the
+                // next pass reclaims it.
+                if self.base.crash.event(PersistEvent::Reclaim, None) {
+                    self.region.reclaim_block(i);
+                    // Every mapping entry into this block must be gone by
+                    // now.
+                    self.base.san.block_reclaim(i as u32, t);
+                    let header = self.region.header_word(i);
+                    self.base
+                        .store
+                        .write_u64(self.region.block(i).base(), header);
+                }
                 t = self.base.write_burst(
                     self.region.block(i).base(),
                     8,

@@ -32,6 +32,7 @@ use engines::traits::{
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES, WORD_BYTES};
 use simcore::config::SimConfig;
+use simcore::crashpoint::PersistEvent;
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
 use crate::gc::{read_slice_raw, walk_chain};
@@ -172,6 +173,7 @@ impl MultiHoopEngine {
         };
         let addr = self.ctrls[ctrl].region.slot_addr(slot.slot);
         let flush = crate::slice::flush_bytes(slice.words.len());
+        self.base.crash.event(PersistEvent::Payload, None);
         self.base.store.write_bytes(addr, &slice.encode());
         let done = self.base.write_burst(addr, flush, now, TrafficClass::Log);
         for w in &slice.words {
@@ -235,6 +237,15 @@ impl MultiHoopEngine {
         };
         let addr = self.ctrls[ctrl].region.slot_addr(slot);
         let encoded = AddrSlice { entries: snapshot }.encode_with_flag(kind);
+        if is_prepare {
+            // A prepare record is ordering metadata; only the coordinator's
+            // Addr record below is a transaction's durable commit point.
+            self.base.crash.event(PersistEvent::Meta, None);
+        } else {
+            self.base
+                .crash
+                .event(PersistEvent::Commit, Some(TxId(u64::from(rec.tx))));
+        }
         self.base.store.write_bytes(addr, &encoded);
         self.base
             .write_burst(addr, 16, issue, TrafficClass::Metadata)
@@ -320,6 +331,7 @@ impl MultiHoopEngine {
             img[off..off + 8].copy_from_slice(&value.to_le_bytes());
         }
         for (l, img) in &lines {
+            self.base.crash.event(PersistEvent::Gc, None);
             self.base.store.write_bytes(Line(*l).base(), img);
             let ci = self.controller_of(Line(*l));
             self.ctrls[ci].mapping.remove(Line(*l));
@@ -334,24 +346,30 @@ impl MultiHoopEngine {
             .gc_bytes_out
             .add(lines.len() as u64 * CACHE_LINE_BYTES);
 
-        // Tombstone consumed records, then reclaim clean blocks.
-        for (ci, slots) in record_slots.iter().enumerate() {
-            for slot in slots {
-                let empty = AddrSlice {
-                    entries: Vec::new(),
+        // Tombstone consumed records, then reclaim clean blocks. A single
+        // reclaim event guards the whole cleanup: if an injected crash
+        // drops it the records (and prepared chains) stay on media, and the
+        // next pass migrates them again — idempotent because migration
+        // rewrites the same newest-wins images.
+        if self.base.crash.event(PersistEvent::Reclaim, None) {
+            for (ci, slots) in record_slots.iter().enumerate() {
+                for slot in slots {
+                    let empty = AddrSlice {
+                        entries: Vec::new(),
+                    }
+                    .encode();
+                    let addr = self.ctrls[ci].region.slot_addr(*slot);
+                    self.base.store.write_bytes(addr, &empty);
                 }
-                .encode();
-                let addr = self.ctrls[ci].region.slot_addr(*slot);
-                self.base.store.write_bytes(addr, &empty);
-            }
-            self.ctrls[ci].prepare_entries.clear();
-            self.ctrls[ci].prepare_slot = None;
-            self.ctrls[ci].commit_entries.clear();
-            self.ctrls[ci].commit_slot = None;
-            for b in 0..self.ctrls[ci].region.block_count() {
-                let block = self.ctrls[ci].region.block(b);
-                if block.allocated() > 0 && block.uncommitted() == 0 {
-                    self.ctrls[ci].region.reclaim_block(b);
+                self.ctrls[ci].prepare_entries.clear();
+                self.ctrls[ci].prepare_slot = None;
+                self.ctrls[ci].commit_entries.clear();
+                self.ctrls[ci].commit_slot = None;
+                for b in 0..self.ctrls[ci].region.block_count() {
+                    let block = self.ctrls[ci].region.block(b);
+                    if block.allocated() > 0 && block.uncommitted() == 0 {
+                        self.ctrls[ci].region.reclaim_block(b);
+                    }
                 }
             }
         }
@@ -612,10 +630,16 @@ impl PersistenceEngine for MultiHoopEngine {
         let prepared_total: usize = prepared.iter().map(Vec::len).sum();
         let _ = prepared_total;
         self.base.san.mapping_cleared(0);
-        self.base.san.region_cleared(0);
         for ctrl in &mut self.ctrls {
-            ctrl.region.reclaim_all();
             ctrl.mapping.clear();
+        }
+        // Gated like the single-controller path: dropping the final
+        // reclamation leaves the records for the next recovery pass.
+        if self.base.crash.event(PersistEvent::Reclaim, None) {
+            self.base.san.region_cleared(0);
+            for ctrl in &mut self.ctrls {
+                ctrl.region.reclaim_all();
+            }
         }
         RecoveryReport {
             modeled_ms: model_recovery_ms(
@@ -653,6 +677,10 @@ impl PersistenceEngine for MultiHoopEngine {
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {
         self.base.san = handle;
+    }
+
+    fn attach_crash_valve(&mut self, valve: simcore::crashpoint::CrashValve) {
+        self.base.attach_crash_valve(valve);
     }
 
     fn reset_counters(&mut self) {

@@ -19,6 +19,7 @@ use simcore::det::DetHashMap;
 use engines::traits::RecoveryReport;
 use nvm::{Op, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES, WORD_BYTES};
+use simcore::crashpoint::PersistEvent;
 
 use crate::engine::HoopEngine;
 use crate::gc::{scan_commit_records, walk_chain};
@@ -141,6 +142,7 @@ impl HoopEngine {
             img[off..off + 8].copy_from_slice(&value.to_le_bytes());
         }
         for (l, img) in &lines {
+            self.base.crash.event(PersistEvent::Recovery, None);
             self.base.store.write_bytes(Line(*l).base(), img);
         }
 
@@ -160,8 +162,13 @@ impl HoopEngine {
         self.mapping.clear();
         self.evict_buf.clear();
         self.clear_open_addr_slice();
-        self.base.san.region_cleared(0);
-        self.region.reclaim_all();
+        // Region reclamation is the durable point of cleanup; if an injected
+        // crash drops it, the commit records stay on media and the next
+        // recovery pass replays them again (idempotently).
+        if self.base.crash.event(PersistEvent::Reclaim, None) {
+            self.base.san.region_cleared(0);
+            self.region.reclaim_all();
+        }
 
         let modeled_ms = model_recovery_ms(
             scan_bytes,

@@ -21,6 +21,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use simcore::crashpoint::CrashValve;
 use simcore::linemap::LineMap;
 use simcore::PAddr;
 
@@ -48,6 +49,10 @@ pub struct PersistentStore {
     /// Last (page number << IDX_BITS | slab index) touched, to
     /// short-circuit the probe.
     last: AtomicU64,
+    /// Crash-point kill-switch: once the attached valve closes, every write
+    /// is dropped, freezing the byte image at the injected crash point.
+    /// Detached (the default) it is a single always-open branch.
+    valve: CrashValve,
 }
 
 impl Default for PersistentStore {
@@ -57,6 +62,7 @@ impl Default for PersistentStore {
             index: LineMap::with_capacity(64, 0),
             free: Vec::new(),
             last: AtomicU64::new(NO_CACHE),
+            valve: CrashValve::detached(),
         }
     }
 }
@@ -68,6 +74,10 @@ impl Clone for PersistentStore {
             index: self.index.clone(),
             free: self.free.clone(),
             last: AtomicU64::new(self.last.load(Ordering::Relaxed)),
+            // Clones are snapshots (e.g. the volatile image rebuilt from the
+            // durable one after recovery) — they must stay writable even
+            // while the durable original is frozen at a crash point.
+            valve: CrashValve::detached(),
         }
     }
 }
@@ -76,6 +86,11 @@ impl PersistentStore {
     /// Creates an empty (all-zero) store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a crash valve: while it is closed, writes are dropped.
+    pub fn attach_valve(&mut self, valve: CrashValve) {
+        self.valve = valve;
     }
 
     /// Reads the cached (page, slab index) pair, if any.
@@ -162,6 +177,9 @@ impl PersistentStore {
     /// Writes one byte. Prefer the word/byte-slice APIs; this exists for
     /// codec internals.
     pub fn write_u8(&mut self, addr: PAddr, value: u8) {
+        if !self.valve.is_open() {
+            return;
+        }
         let i = self.lookup_or_alloc(addr.0 / PAGE_BYTES);
         self.slabs[i as usize][(addr.0 % PAGE_BYTES) as usize] = value;
     }
@@ -189,6 +207,9 @@ impl PersistentStore {
     /// persist unit.
     #[inline]
     pub fn write_u64(&mut self, addr: PAddr, value: u64) {
+        if !self.valve.is_open() {
+            return;
+        }
         let in_page = (addr.0 % PAGE_BYTES) as usize;
         if in_page <= PAGE_SIZE - 8 {
             let i = self.lookup_or_alloc(addr.0 / PAGE_BYTES);
@@ -236,7 +257,7 @@ impl PersistentStore {
 
     /// Durably writes `data` starting at `addr`.
     pub fn write_bytes(&mut self, addr: PAddr, data: &[u8]) {
-        if data.is_empty() {
+        if data.is_empty() || !self.valve.is_open() {
             return;
         }
         let in_page = (addr.0 % PAGE_BYTES) as usize;
@@ -270,6 +291,9 @@ impl PersistentStore {
 
     /// Fills `[addr, addr+len)` with zeros (used when reclaiming regions).
     pub fn zero_range(&mut self, addr: PAddr, len: u64) {
+        if !self.valve.is_open() {
+            return;
+        }
         // Drop whole pages when possible; zero partial edges.
         let mut pos = addr.0;
         let end = addr.0 + len;
@@ -289,6 +313,32 @@ impl PersistentStore {
     /// Number of resident (non-zero-candidate) pages, for memory diagnostics.
     pub fn resident_pages(&self) -> usize {
         self.index.len()
+    }
+
+    /// FNV-1a digest of the byte *contents*, independent of allocation
+    /// history: a resident-but-all-zero page hashes identically to an
+    /// absent one, and pages are folded in ascending address order. Two
+    /// stores holding the same bytes always digest equal — the comparison
+    /// primitive of the crash-test thread-invariance checks.
+    pub fn content_digest(&self) -> u64 {
+        let mut pages: Vec<(u64, u32)> = self.index.iter().map(|(p, &i)| (p, i)).collect();
+        pages.sort_unstable_by_key(|&(p, _)| p);
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for (page, idx) in pages {
+            let slab = &self.slabs[idx as usize];
+            if slab.iter().all(|&b| b == 0) {
+                continue;
+            }
+            for b in page.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            for &b in slab.iter() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        h
     }
 }
 
@@ -354,6 +404,25 @@ mod tests {
     }
 
     #[test]
+    fn content_digest_ignores_allocation_history() {
+        let mut a = PersistentStore::new();
+        let mut b = PersistentStore::new();
+        a.write_u64(PAddr(8), 7);
+        // b touches an extra page that ends up all-zero again.
+        b.write_u64(PAddr(5 * PAGE_BYTES), 1);
+        b.zero_range(PAddr(5 * PAGE_BYTES), 8);
+        b.write_u64(PAddr(8), 7);
+        assert_eq!(a.content_digest(), b.content_digest());
+        b.write_u64(PAddr(16), 9);
+        assert_ne!(a.content_digest(), b.content_digest());
+        assert_eq!(PersistentStore::new().content_digest(), {
+            let mut c = PersistentStore::new();
+            c.write_u8(PAddr(0), 0);
+            c.content_digest()
+        });
+    }
+
+    #[test]
     fn freed_frames_are_recycled_zeroed() {
         let mut s = PersistentStore::new();
         s.write_bytes(PAddr(0), &[0xFF; PAGE_SIZE]);
@@ -363,6 +432,31 @@ mod tests {
         assert_eq!(s.read_u8(PAddr(7 * PAGE_BYTES)), 1);
         assert_eq!(s.read_u8(PAddr(7 * PAGE_BYTES + 1)), 0);
         assert_eq!(s.read_u64(PAddr(7 * PAGE_BYTES + 64)), 0);
+    }
+
+    #[test]
+    fn closed_valve_drops_writes_and_clone_reopens() {
+        use simcore::crashpoint::PersistEvent;
+        let mut s = PersistentStore::new();
+        s.write_u64(PAddr(0), 1);
+        let valve = CrashValve::armed(0);
+        s.attach_valve(valve.clone());
+        assert!(!valve.event(PersistEvent::Payload, None));
+        s.write_u64(PAddr(0), 2);
+        s.write_bytes(PAddr(64), &[0xFF; 64]);
+        s.write_u8(PAddr(8), 1);
+        s.zero_range(PAddr(0), 8);
+        assert_eq!(s.read_u64(PAddr(0)), 1, "writes after the cut dropped");
+        assert_eq!(s.read_u8(PAddr(64)), 0);
+        // Snapshots strip the valve: the recovered volatile image writes.
+        let mut snap = s.clone();
+        snap.write_u64(PAddr(0), 3);
+        assert_eq!(snap.read_u64(PAddr(0)), 3);
+        assert_eq!(s.read_u64(PAddr(0)), 1);
+        // Re-opening restores durability on the original.
+        valve.open_fully();
+        s.write_u64(PAddr(0), 4);
+        assert_eq!(s.read_u64(PAddr(0)), 4);
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Deterministic crash-point scheduling for fault injection.
+//!
+//! A [`CrashValve`] sits between an engine and its durable state. Every
+//! persist-ordering event — a payload reaching NVM, a commit record landing,
+//! a GC migration step, a metadata update — ticks the valve exactly once via
+//! [`CrashValve::event`]. The valve counts events; when the count reaches a
+//! pre-armed cutoff it *closes*: the tripping event and everything after it
+//! are reported non-durable, and a closed valve additionally acts as a
+//! wholesale kill-switch for `PersistentStore` writes (the store drops every
+//! write issued while its valve is closed). Together these produce the exact
+//! byte image NVM would hold had the machine lost power at that event.
+//!
+//! The same valve records which transactions' commit records became durable
+//! before the cut, giving the crash-test oracle the ground-truth committed
+//! prefix without trusting the engine under test.
+//!
+//! Determinism contract: a detached valve (the default everywhere outside
+//! the crash harness) is a single always-taken branch — it performs no
+//! allocation, no atomics, and cannot perturb simulated time, traffic, or
+//! results. Engines tick the valve only on the host-state paths that mirror
+//! durability (`store.write_bytes`, durable `Vec` pushes), never on the
+//! timing paths (`device.access`, `write_burst`), so an attached valve
+//! changes *which writes survive*, not *when anything happens*.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::ids::TxId;
+
+/// The taxonomy of persist-ordering events a crash can land between.
+///
+/// Every durable mutation an engine performs is classified as exactly one of
+/// these; the harness crashes *before* the event whose index equals the
+/// armed cutoff (the tripping event itself does not persist).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PersistEvent {
+    /// Transaction payload reaching a durable log/slice/shadow location.
+    Payload = 0,
+    /// A commit record (or equivalent durable commit point) landing.
+    Commit = 1,
+    /// An in-place home-region write (eviction write-back, steal, native).
+    Home = 2,
+    /// One GC/checkpoint migration step (home write of a migrated line).
+    Gc = 3,
+    /// Block/log reclamation (header reset, log truncation marker).
+    Reclaim = 4,
+    /// Metadata updates: address-slice appends, tombstones, tail-bit clears.
+    Meta = 5,
+    /// A write performed by recovery itself (for nested-crash testing).
+    Recovery = 6,
+}
+
+impl PersistEvent {
+    /// Every kind, in `repr` order (indexes the per-kind counters).
+    pub const ALL: [PersistEvent; 7] = [
+        PersistEvent::Payload,
+        PersistEvent::Commit,
+        PersistEvent::Home,
+        PersistEvent::Gc,
+        PersistEvent::Reclaim,
+        PersistEvent::Meta,
+        PersistEvent::Recovery,
+    ];
+
+    /// Stable identifier used in reports and reproducer JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            PersistEvent::Payload => "payload",
+            PersistEvent::Commit => "commit",
+            PersistEvent::Home => "home",
+            PersistEvent::Gc => "gc",
+            PersistEvent::Reclaim => "reclaim",
+            PersistEvent::Meta => "meta",
+            PersistEvent::Recovery => "recovery",
+        }
+    }
+}
+
+/// Sentinel stored in `trip_kind` while the valve has not tripped.
+const NO_TRIP: u8 = u8::MAX;
+
+/// Shared state behind an armed valve (one per crash experiment).
+#[derive(Debug)]
+struct ValveState {
+    /// Next event index to hand out.
+    counter: AtomicU64,
+    /// First event index that does NOT persist.
+    cutoff: AtomicU64,
+    /// Set once the cutoff is reached; kills all later durability.
+    closed: AtomicBool,
+    /// `PersistEvent` repr of the event that tripped the valve.
+    trip_kind: AtomicU8,
+    /// Per-kind event counts (taxonomy statistics for reports).
+    kind_counts: [AtomicU64; 7],
+    /// `(tx, event index)` of every durable commit record, in event order.
+    commits: Mutex<Vec<(u64, u64)>>,
+}
+
+/// A cloneable handle to a crash-point scheduler; `Default` is detached.
+///
+/// All clones share one [`ValveState`], so the harness keeps a clone while
+/// the engine (and its `PersistentStore`) hold others.
+#[derive(Clone, Debug, Default)]
+pub struct CrashValve(Option<Arc<ValveState>>);
+
+impl CrashValve {
+    /// A detached valve: every event persists, zero overhead.
+    pub fn detached() -> Self {
+        CrashValve(None)
+    }
+
+    /// Arms a valve that closes at event index `cutoff` (events `0..cutoff`
+    /// persist; the event at `cutoff` and everything later do not). Use
+    /// `u64::MAX` for a counting dry run that never trips.
+    pub fn armed(cutoff: u64) -> Self {
+        CrashValve(Some(Arc::new(ValveState {
+            counter: AtomicU64::new(0),
+            cutoff: AtomicU64::new(cutoff),
+            closed: AtomicBool::new(false),
+            trip_kind: AtomicU8::new(NO_TRIP),
+            kind_counts: Default::default(),
+            commits: Mutex::new(Vec::new()),
+        })))
+    }
+
+    /// Whether a scheduler is attached at all.
+    #[inline(always)]
+    pub fn is_attached(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Ticks one persist-ordering event; returns whether it persists.
+    ///
+    /// `tx` is the committing transaction for [`PersistEvent::Commit`]
+    /// events (ignored otherwise). Detached valves always return `true`.
+    #[inline(always)]
+    pub fn event(&self, kind: PersistEvent, tx: Option<TxId>) -> bool {
+        match &self.0 {
+            None => true,
+            Some(state) => Self::dispatch(state, kind, tx),
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn dispatch(state: &ValveState, kind: PersistEvent, tx: Option<TxId>) -> bool {
+        let idx = state.counter.fetch_add(1, Ordering::SeqCst);
+        state.kind_counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+        if state.closed.load(Ordering::SeqCst) {
+            return false;
+        }
+        if idx >= state.cutoff.load(Ordering::SeqCst) {
+            state.closed.store(true, Ordering::SeqCst);
+            state.trip_kind.store(kind as u8, Ordering::SeqCst);
+            return false;
+        }
+        if kind == PersistEvent::Commit {
+            if let Some(t) = tx {
+                state
+                    .commits
+                    .lock()
+                    .expect("valve commits lock")
+                    .push((t.0, idx));
+            }
+        }
+        true
+    }
+
+    /// Whether durability is currently flowing (detached valves are open).
+    #[inline(always)]
+    pub fn is_open(&self) -> bool {
+        match &self.0 {
+            None => true,
+            Some(state) => !state.closed.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Whether an armed valve has reached its cutoff.
+    pub fn tripped(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|s| s.closed.load(Ordering::SeqCst))
+    }
+
+    /// Total events ticked so far (0 when detached).
+    pub fn total(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |s| s.counter.load(Ordering::SeqCst))
+    }
+
+    /// Per-kind event counts in [`PersistEvent::ALL`] order.
+    pub fn kind_counts(&self) -> [u64; 7] {
+        match &self.0 {
+            None => [0; 7],
+            Some(s) => {
+                let mut out = [0u64; 7];
+                for (o, c) in out.iter_mut().zip(&s.kind_counts) {
+                    *o = c.load(Ordering::Relaxed);
+                }
+                out
+            }
+        }
+    }
+
+    /// The kind of the event that tripped the valve, if any.
+    pub fn trip_kind(&self) -> Option<PersistEvent> {
+        let repr = self.0.as_ref()?.trip_kind.load(Ordering::SeqCst);
+        PersistEvent::ALL.into_iter().find(|k| *k as u8 == repr)
+    }
+
+    /// `(tx, event index)` of every commit record durable before the cut.
+    pub fn committed(&self) -> Vec<(u64, u64)> {
+        self.0.as_ref().map_or_else(Vec::new, |s| {
+            s.commits.lock().expect("valve commits lock").clone()
+        })
+    }
+
+    /// Re-opens a tripped valve with `extra` more durable events (nested
+    /// crashes: let recovery run partway, then cut again).
+    pub fn rearm(&self, extra: u64) {
+        if let Some(s) = &self.0 {
+            let now = s.counter.load(Ordering::SeqCst);
+            s.cutoff.store(now.saturating_add(extra), Ordering::SeqCst);
+            s.trip_kind.store(NO_TRIP, Ordering::SeqCst);
+            s.closed.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Re-opens the valve permanently (recovery after the final crash runs
+    /// with full durability).
+    pub fn open_fully(&self) {
+        if let Some(s) = &self.0 {
+            s.cutoff.store(u64::MAX, Ordering::SeqCst);
+            s.trip_kind.store(NO_TRIP, Ordering::SeqCst);
+            s.closed.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_is_transparent() {
+        let v = CrashValve::detached();
+        assert!(v.event(PersistEvent::Payload, None));
+        assert!(v.is_open());
+        assert!(!v.tripped());
+        assert_eq!(v.total(), 0);
+        assert!(v.committed().is_empty());
+    }
+
+    #[test]
+    fn trips_exactly_at_cutoff() {
+        let v = CrashValve::armed(2);
+        assert!(v.event(PersistEvent::Payload, None));
+        assert!(v.event(PersistEvent::Payload, None));
+        assert!(!v.tripped());
+        assert!(!v.event(PersistEvent::Commit, Some(TxId(1))));
+        assert!(v.tripped());
+        assert!(!v.is_open());
+        assert_eq!(v.trip_kind(), Some(PersistEvent::Commit));
+        // Everything after the trip is dropped too.
+        assert!(!v.event(PersistEvent::Payload, None));
+        assert!(v.committed().is_empty());
+    }
+
+    #[test]
+    fn records_durable_commits_only() {
+        let v = CrashValve::armed(3);
+        assert!(v.event(PersistEvent::Payload, None));
+        assert!(v.event(PersistEvent::Commit, Some(TxId(7))));
+        assert!(v.event(PersistEvent::Payload, None));
+        assert!(!v.event(PersistEvent::Commit, Some(TxId(8))));
+        assert_eq!(v.committed(), vec![(7, 1)]);
+    }
+
+    #[test]
+    fn dry_run_counts_without_tripping() {
+        let v = CrashValve::armed(u64::MAX);
+        for _ in 0..100 {
+            assert!(v.event(PersistEvent::Gc, None));
+        }
+        assert_eq!(v.total(), 100);
+        assert!(!v.tripped());
+        assert_eq!(v.kind_counts()[PersistEvent::Gc as usize], 100);
+    }
+
+    #[test]
+    fn rearm_reopens_for_nested_crashes() {
+        let v = CrashValve::armed(1);
+        assert!(v.event(PersistEvent::Payload, None));
+        assert!(!v.event(PersistEvent::Recovery, None));
+        assert!(v.tripped());
+        v.rearm(2);
+        assert!(v.is_open());
+        assert!(v.event(PersistEvent::Recovery, None));
+        assert!(v.event(PersistEvent::Recovery, None));
+        assert!(!v.event(PersistEvent::Recovery, None));
+        assert!(v.tripped());
+        v.open_fully();
+        assert!(v.event(PersistEvent::Recovery, None));
+        assert!(!v.tripped());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let v = CrashValve::armed(1);
+        let peer = v.clone();
+        assert!(peer.event(PersistEvent::Payload, None));
+        assert!(!peer.event(PersistEvent::Payload, None));
+        assert!(v.tripped());
+        assert_eq!(v.total(), 2);
+    }
+}

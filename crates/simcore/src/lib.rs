@@ -29,6 +29,7 @@
 pub mod addr;
 pub mod alloc;
 pub mod config;
+pub mod crashpoint;
 pub mod crc;
 pub mod det;
 pub mod ids;
@@ -41,6 +42,7 @@ pub mod zipf;
 
 pub use addr::{Line, PAddr, CACHE_LINE_BYTES, WORD_BYTES};
 pub use config::SimConfig;
+pub use crashpoint::{CrashValve, PersistEvent};
 pub use det::{DetHashMap, DetHashSet};
 pub use ids::{CoreId, TxId};
 pub use linemap::LineMap;

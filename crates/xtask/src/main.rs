@@ -5,6 +5,7 @@
 //! cargo run -p xtask -- lint [PATH...] [--baseline FILE] [--write-baseline]
 //!                            [--json FILE | --no-json]
 //! cargo run -p xtask -- bench [-- ARGS...]
+//! cargo run -p xtask -- crashtest [-- ARGS...]
 //! ```
 //!
 //! `lint` runs the token-level analyzer of the `lintpass` crate over the
@@ -27,6 +28,11 @@
 //! be meaningless) from the workspace root, passing any extra arguments
 //! through — e.g. `cargo run -p xtask -- bench -- --quick --check` is the CI
 //! regression gate against `results/bench_host_quick.json`.
+//!
+//! `crashtest` runs the deterministic crash-point fault-injection harness
+//! (the `hoop-crashtest` crate) in release mode from the workspace root,
+//! passing arguments through; the default invocation explores all engines
+//! in all modes and writes `results/crashtest.json`.
 
 #![forbid(unsafe_code)]
 
@@ -250,16 +256,45 @@ fn run_bench(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_crashtest(args: &[String]) -> ExitCode {
+    // Exhaustive exploration runs hundreds of full simulations; use the
+    // release build, from the workspace root so `results/crashtest.json`
+    // lands next to the other result documents.
+    let passthrough = args.iter().filter(|a| a.as_str() != "--");
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(workspace_root())
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "hoop-crashtest",
+            "--bin",
+            "crashtest",
+            "--",
+        ])
+        .args(passthrough)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(s) => ExitCode::from(s.code().unwrap_or(1).clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!("xtask crashtest: failed to spawn cargo: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
+        Some("crashtest") => run_crashtest(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- \
                  {{lint [PATH...] [--baseline FILE] [--write-baseline] [--json FILE | --no-json] \
-                 | bench [-- ARGS...]}}"
+                 | bench [-- ARGS...] | crashtest [-- ARGS...]}}"
             );
             ExitCode::from(2)
         }
