@@ -160,13 +160,13 @@ pub fn spec_for(cfg: WorkloadConfig, scale: Scale) -> WorkloadSpec {
 }
 
 /// Runs one (engine, workload) cell and returns its report, using the
-/// cell's identity-derived seed (see
-/// [`derive_cell_seed`](crate::runner::derive_cell_seed)). At
+/// workload row's label-derived, engine-blind seed (see
+/// [`derive_workload_seed`](crate::runner::derive_workload_seed)). At
 /// [`Scale::Full`] the measured window is extended until it spans several
 /// background GC/checkpoint periods, so steady-state traffic (not just
 /// end-of-run drains) is captured.
 pub fn run_cell(engine: &str, wcfg: WorkloadConfig, sim: &SimConfig, scale: Scale) -> RunReport {
-    let seed = crate::runner::derive_cell_seed(engine, wcfg.label);
+    let seed = crate::runner::derive_workload_seed(wcfg.label);
     crate::runner::run_cell_seeded(engine, wcfg, sim, scale, seed)
 }
 

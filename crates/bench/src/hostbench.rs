@@ -22,6 +22,7 @@
 use std::path::Path;
 
 use simcore::config::SimConfig;
+use trace::{record_workload, replay_cell, RecordOptions, ReplayWindow};
 use workloads::driver::{build_system, Driver, ENGINES};
 
 use crate::experiments::{spec_for, Scale, WorkloadConfig, MATRIX};
@@ -51,6 +52,26 @@ pub struct EngineTiming {
     pub txs: u64,
 }
 
+/// Host cost of workload generation, measured by timing one live HOOP run
+/// of the benchmark cell against a replay of its just-recorded trace (the
+/// recording itself is untimed — a pack is recorded once and replayed per
+/// engine).
+#[derive(Clone, Debug)]
+pub struct DriverOverhead {
+    /// Wall-clock seconds of the live run (setup + generation + simulation).
+    pub live_seconds: f64,
+    /// Wall-clock seconds of the replayed run (setup + simulation only).
+    pub replay_seconds: f64,
+}
+
+impl DriverOverhead {
+    /// Fraction of live host time eliminated by replaying
+    /// (`1 - replay/live`; positive = replay is cheaper).
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.replay_seconds / self.live_seconds.max(f64::MIN_POSITIVE)
+    }
+}
+
 /// One full harness run: calibration plus per-engine timings.
 #[derive(Clone, Debug)]
 pub struct HostBenchRun {
@@ -62,6 +83,9 @@ pub struct HostBenchRun {
     pub calibration_seconds: f64,
     /// Timings, in `ENGINES` order (filtered if a subset was requested).
     pub engines: Vec<EngineTiming>,
+    /// Live-vs-replay timing of the benchmark cell (absent in synthetic
+    /// documents; the `--check` gate ignores it).
+    pub driver_overhead: Option<DriverOverhead>,
 }
 
 /// Times a fixed arithmetic spin (SplitMix64 chain) to normalize host
@@ -109,6 +133,63 @@ pub fn time_engine(engine: &'static str, cfg: WorkloadConfig, scale: Scale) -> E
     }
 }
 
+/// Times the benchmark cell live vs replayed on HOOP. The live run's
+/// per-core issue counts size the recorded stream exactly, so the replay
+/// covers the same (possibly `min_cycles`-extended) window.
+pub fn measure_driver_overhead(scale: Scale) -> DriverOverhead {
+    let sim = SimConfig::default();
+    let cfg = MATRIX[BENCH_CELL];
+    let spec = spec_for(cfg, scale);
+    let measured = match scale {
+        Scale::Quick => 4 * scale.measured(),
+        Scale::Full => scale.measured(),
+    };
+    let min_cycles = 3 * sim.hoop.gc_period_cycles();
+
+    let start = std::time::Instant::now(); // lint:allow(wall-clock)
+    let mut sys = build_system("HOOP", &sim);
+    let mut driver = Driver::new(spec, &sim);
+    driver.setup(&mut sys);
+    let _ = driver.run_until(&mut sys, scale.warmup(), measured, min_cycles);
+    let live_seconds = start.elapsed().as_secs_f64(); // lint:allow(wall-clock)
+
+    let depth = driver
+        .issued_per_core()
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1) as u32;
+    let tf = record_workload(
+        cfg.label,
+        spec,
+        &sim,
+        RecordOptions {
+            txs_per_core: depth,
+            values: false,
+        },
+    )
+    .expect("benchmark cell records cleanly");
+
+    let start = std::time::Instant::now(); // lint:allow(wall-clock)
+    let _ = replay_cell(
+        &tf,
+        "HOOP",
+        &sim,
+        ReplayWindow {
+            warmup: scale.warmup(),
+            measured,
+            min_cycles,
+        },
+        false,
+    );
+    let replay_seconds = start.elapsed().as_secs_f64(); // lint:allow(wall-clock)
+    DriverOverhead {
+        live_seconds,
+        replay_seconds,
+    }
+}
+
 /// Runs the full harness: calibration spin, then the benchmark cell for
 /// every engine in `filter` (all of `ENGINES` when empty).
 ///
@@ -141,11 +222,19 @@ pub fn run(scale: Scale, filter: &[String]) -> HostBenchRun {
         );
         engines.push(t);
     }
+    let driver_overhead = measure_driver_overhead(scale);
+    eprintln!(
+        "driver_overhead live={:.3}s replay={:.3}s reduction={:.1}%",
+        driver_overhead.live_seconds,
+        driver_overhead.replay_seconds,
+        driver_overhead.reduction() * 100.0
+    );
     HostBenchRun {
         scale,
         workload: cfg.label,
         calibration_seconds,
         engines,
+        driver_overhead: Some(driver_overhead),
     }
 }
 
@@ -158,7 +247,7 @@ impl HostBenchRun {
 
     /// Builds the schema-versioned JSON document.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("schema_version", Json::UInt(HOSTBENCH_SCHEMA_VERSION)),
             ("kind", Json::Str("bench_host".into())),
             (
@@ -197,7 +286,18 @@ impl HostBenchRun {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(d) = &self.driver_overhead {
+            fields.push((
+                "driver_overhead",
+                Json::obj([
+                    ("live_seconds", Json::Num(d.live_seconds)),
+                    ("replay_seconds", Json::Num(d.replay_seconds)),
+                    ("reduction", Json::Num(d.reduction())),
+                ]),
+            ));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -328,7 +428,17 @@ mod tests {
                     txs: 1000,
                 })
                 .collect(),
+            driver_overhead: None,
         }
+    }
+
+    #[test]
+    fn driver_overhead_reduction_is_replay_savings() {
+        let d = DriverOverhead {
+            live_seconds: 2.0,
+            replay_seconds: 1.5,
+        };
+        assert!((d.reduction() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod experiments;
 pub mod hostbench;
 pub mod json;
 pub mod runner;
+pub mod tracepack;
 
 pub use experiments::{Scale, WorkloadConfig};
 pub use runner::{CellResult, ExperimentPlan, RunnerOptions};

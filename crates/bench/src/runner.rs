@@ -18,13 +18,22 @@
 //! [`HierStats`](memhier::HierStats) counter snapshots, and serialize to a
 //! schema-versioned JSON document (see [`write_json`]) that CI uploads as an
 //! artifact and trajectory tooling can diff across commits.
+//!
+//! Every figure binary also supports trace modes (`--record DIR` /
+//! `--replay DIR`): recording captures each workload row once into a binary
+//! trace (`hoop-trace`), replaying feeds the recorded streams into every
+//! engine of the row. Replay is byte-identical to a live run — CI proves it
+//! by `cmp`-ing live and replayed JSON documents.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pmcheck::{PersistencySanitizer, SanitizerSummary};
 use simcore::config::SimConfig;
+use trace::{
+    default_txs_per_core, record_workload, replay_cell, RecordOptions, ReplayWindow, TraceReader,
+};
 use workloads::driver::{build_system, Driver, RunReport, ENGINES};
 
 use crate::experiments::{spec_for, Scale, WorkloadConfig, MATRIX, TPCC};
@@ -34,10 +43,26 @@ use crate::json::Json;
 /// removing fields (adding fields is backward compatible).
 pub const RESULT_SCHEMA_VERSION: u64 = 1;
 
+/// How a figure binary obtains its workload streams.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum RunMode {
+    /// Generate workloads live (the default).
+    #[default]
+    Live,
+    /// Record each workload row into `DIR/<label>.trace`, then produce the
+    /// results by replaying the fresh traces (so a record run still emits
+    /// the same JSON a live run would).
+    Record(PathBuf),
+    /// Replay previously recorded traces from `DIR/<label>.trace`.
+    Replay(PathBuf),
+}
+
 /// Command-line options shared by every figure/table binary:
 /// `--quick`/`--full` selects the [`Scale`], `--jobs N` the worker count,
-/// `--sanitize` attaches the persistency sanitizer to every cell.
-#[derive(Clone, Copy, Debug)]
+/// `--sanitize` attaches the persistency sanitizer to every cell,
+/// `--record DIR` / `--replay DIR` select the trace [`RunMode`], and
+/// `--depth N` overrides the recorded per-core stream depth.
+#[derive(Clone, Debug)]
 pub struct RunnerOptions {
     /// Experiment scale.
     pub scale: Scale,
@@ -46,19 +71,69 @@ pub struct RunnerOptions {
     /// Attach the persistency sanitizer (`pmcheck`) to every cell. Off by
     /// default so unsanitized runs stay byte-identical to older builds.
     pub sanitize: bool,
+    /// Live / record / replay.
+    pub mode: RunMode,
+    /// Per-core transactions to record (record mode only). `None` sizes the
+    /// depth automatically; see [`plan_depth`].
+    pub depth: Option<u32>,
 }
 
 impl RunnerOptions {
     /// Parses `--quick` / `--full` / `--jobs N` (or `--jobs=N`) /
-    /// `--sanitize` from argv. Defaults: full scale, all available cores,
-    /// sanitizer off.
+    /// `--sanitize` / `--record DIR` / `--replay DIR` / `--depth N` from
+    /// argv. Defaults: full scale, all available cores, sanitizer off, live
+    /// mode.
     pub fn from_args() -> RunnerOptions {
         let args: Vec<String> = std::env::args().collect();
         RunnerOptions {
             scale: Scale::from_args(),
             jobs: parse_jobs(&args).unwrap_or_else(default_jobs),
             sanitize: args.iter().any(|a| a == "--sanitize"),
+            mode: parse_mode(&args),
+            depth: parse_value(&args, "--depth")
+                .map(|v| v.parse().expect("--depth needs a positive integer")),
         }
+    }
+
+    /// Options for a plain live run at `scale` (harness/test entry point).
+    pub fn live(scale: Scale, jobs: usize) -> RunnerOptions {
+        RunnerOptions {
+            scale,
+            jobs,
+            sanitize: false,
+            mode: RunMode::Live,
+            depth: None,
+        }
+    }
+}
+
+/// Extracts the value of `--flag VALUE` or `--flag=VALUE` from argv.
+fn parse_value(args: &[String], flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return Some(
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} needs a value"))
+                    .clone(),
+            );
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn parse_mode(args: &[String]) -> RunMode {
+    let record = parse_value(args, "--record");
+    let replay = parse_value(args, "--replay");
+    match (record, replay) {
+        (Some(_), Some(_)) => panic!("--record and --replay are mutually exclusive"),
+        (Some(dir), None) => RunMode::Record(PathBuf::from(dir)),
+        (None, Some(dir)) => RunMode::Replay(PathBuf::from(dir)),
+        (None, None) => RunMode::Live,
     }
 }
 
@@ -87,14 +162,17 @@ fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Deterministic per-cell workload seed, derived purely from the cell's
-/// identity (FNV-1a over `engine` and `label`) so every cell draws an
-/// independent random stream and parallel execution cannot perturb it. The
+/// Deterministic workload seed, derived purely from the workload's label
+/// (FNV-1a) so every row draws an independent random stream and parallel
+/// execution cannot perturb it. The seed is intentionally **engine-blind**:
+/// all engines of a row run the identical workload stream, which is both
+/// the fairest comparison (the paper runs the same benchmark binary against
+/// each scheme) and what lets one recorded trace serve the whole row. The
 /// per-worker `stream` split happens inside the workloads
 /// (`SimRng::seed(seed).fork(stream)`).
-pub fn derive_cell_seed(engine: &str, label: &str) -> u64 {
+pub fn derive_workload_seed(label: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in engine.bytes().chain([0u8]).chain(label.bytes()) {
+    for b in label.bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100_0000_01b3);
     }
@@ -303,7 +381,7 @@ impl ExperimentPlan {
     /// reports a hard ordering violation (samples are printed first).
     pub fn run_sanitized(&self, jobs: usize, sanitize: bool) -> Vec<CellResult> {
         let results = run_parallel(&self.cells, jobs, |cell| {
-            let seed = derive_cell_seed(cell.engine, cell.workload.label);
+            let seed = derive_workload_seed(cell.workload.label);
             let (report, sanitizer) = run_cell_seeded_sanitized(
                 cell.engine,
                 cell.workload,
@@ -321,25 +399,77 @@ impl ExperimentPlan {
                 sanitizer,
             }
         });
-        for r in &results {
-            assert_eq!(
-                r.report.verify_errors, 0,
-                "{}/{} corrupted data",
-                r.engine, r.workload
-            );
-            if let Some(s) = &r.sanitizer {
-                for sample in &s.samples {
-                    eprintln!("  sanitizer: {sample}");
-                }
-                assert!(
-                    s.is_clean(),
-                    "{}/{}: {} persistency violation(s)",
-                    r.engine,
-                    r.workload,
-                    s.violations
-                );
+        check_results(&results);
+        results
+    }
+
+    /// The distinct workload columns of this plan, in first-seen order.
+    pub fn workloads(&self) -> Vec<WorkloadConfig> {
+        let mut seen: Vec<WorkloadConfig> = Vec::new();
+        for cell in &self.cells {
+            if !seen.iter().any(|w| w.label == cell.workload.label) {
+                seen.push(cell.workload);
             }
         }
+        seen
+    }
+
+    /// Records every workload row of the plan into `dir/<label>.trace`
+    /// (engine-blind: one trace per row serves all engines). `depth`
+    /// overrides the per-core stream depth; `None` uses [`plan_depth`].
+    pub fn record_traces(&self, dir: &Path, jobs: usize, depth: Option<u32>) {
+        let workloads = self.workloads();
+        let depth = depth.unwrap_or_else(|| plan_depth(self.scale, &self.sim));
+        run_parallel(&workloads, jobs, |wcfg| {
+            let mut spec = spec_for(*wcfg, self.scale);
+            spec.seed = derive_workload_seed(wcfg.label);
+            let tf = record_workload(
+                wcfg.label,
+                spec,
+                &self.sim,
+                RecordOptions {
+                    txs_per_core: depth,
+                    values: false,
+                },
+            )
+            .unwrap_or_else(|e| panic!("recording {}: {e}", wcfg.label));
+            let path = trace_path(dir, wcfg.label);
+            tf.write_to(&path)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!(
+                "  recorded {} ({} events)",
+                path.display(),
+                tf.event_count()
+            );
+        });
+    }
+
+    /// Runs every cell by replaying `dir/<label>.trace` instead of
+    /// generating workloads live. Panics with a regeneration hint if a
+    /// trace is missing, unreadable, or stale (its recorded workload
+    /// identity no longer matches the plan's).
+    pub fn run_replayed(&self, jobs: usize, sanitize: bool, dir: &Path) -> Vec<CellResult> {
+        let results = run_parallel(&self.cells, jobs, |cell| {
+            let seed = derive_workload_seed(cell.workload.label);
+            let (report, sanitizer) = run_cell_replayed(
+                cell.engine,
+                cell.workload,
+                &self.sim,
+                self.scale,
+                seed,
+                sanitize,
+                dir,
+            );
+            eprintln!("  {}", report.summary());
+            CellResult {
+                engine: cell.engine,
+                workload: cell.workload.label,
+                seed,
+                report,
+                sanitizer,
+            }
+        });
+        check_results(&results);
         results
     }
 
@@ -351,12 +481,114 @@ impl ExperimentPlan {
     }
 
     /// [`run_and_export`](ExperimentPlan::run_and_export) honoring the full
-    /// option set (`--jobs`, `--sanitize`).
+    /// option set (`--jobs`, `--sanitize`, `--record`/`--replay`,
+    /// `--depth`).
     pub fn run_and_export_opts(&self, opts: &RunnerOptions) -> Vec<CellResult> {
-        let results = self.run_sanitized(opts.jobs, opts.sanitize);
+        let results = match &opts.mode {
+            RunMode::Live => self.run_sanitized(opts.jobs, opts.sanitize),
+            RunMode::Record(dir) => {
+                self.record_traces(dir, opts.jobs, opts.depth);
+                self.run_replayed(opts.jobs, opts.sanitize, dir)
+            }
+            RunMode::Replay(dir) => self.run_replayed(opts.jobs, opts.sanitize, dir),
+        };
         write_json(self.name, self.scale, &results);
         results
     }
+}
+
+/// Shared post-run validation: a corrupted or persistency-violating cell
+/// must never silently enter results.
+fn check_results(results: &[CellResult]) {
+    for r in results {
+        assert_eq!(
+            r.report.verify_errors, 0,
+            "{}/{} corrupted data",
+            r.engine, r.workload
+        );
+        if let Some(s) = &r.sanitizer {
+            for sample in &s.samples {
+                eprintln!("  sanitizer: {sample}");
+            }
+            assert!(
+                s.is_clean(),
+                "{}/{}: {} persistency violation(s)",
+                r.engine,
+                r.workload,
+                s.violations
+            );
+        }
+    }
+}
+
+/// The trace file for a workload row inside a pack directory.
+pub fn trace_path(dir: &Path, label: &str) -> PathBuf {
+    dir.join(format!("{label}.trace"))
+}
+
+/// The measured-window floor in simulated cycles: quick runs take the
+/// transaction counts at face value; full runs extend until several
+/// background GC/checkpoint periods elapsed (steady-state traffic).
+pub fn min_cycles_for(scale: Scale, sim: &SimConfig) -> u64 {
+    match scale {
+        Scale::Quick => 0,
+        Scale::Full => 3 * sim.hoop.gc_period_cycles(),
+    }
+}
+
+/// Default recorded stream depth for a plan at `scale`: twice the balanced
+/// per-core share of the driver-issued transactions. Exact for quick runs
+/// (their windows never extend); full-scale runs can extend up to 64× past
+/// `measured` to satisfy [`min_cycles_for`], so full-scale recording takes
+/// a 4× margin and relies on replay's loud run-dry panic (plus `--depth`)
+/// when a workload extends further.
+pub fn plan_depth(scale: Scale, sim: &SimConfig) -> u32 {
+    let total = scale.warmup() + scale.measured();
+    let base = default_txs_per_core(total, u64::from(sim.worker_threads));
+    match scale {
+        Scale::Quick => base,
+        Scale::Full => base * 4,
+    }
+}
+
+/// Replays one (engine, workload) cell from `dir/<label>.trace`, verifying
+/// the trace's recorded identity against the cell's spec.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_replayed(
+    engine: &str,
+    wcfg: WorkloadConfig,
+    sim: &SimConfig,
+    scale: Scale,
+    seed: u64,
+    sanitize: bool,
+    dir: &Path,
+) -> (RunReport, Option<SanitizerSummary>) {
+    let path = trace_path(dir, wcfg.label);
+    let tf = TraceReader::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "{e}\n(replaying {}; regenerate the pack with `cargo run -p xtask -- trace`)",
+            path.display()
+        )
+    });
+    let mut spec = spec_for(wcfg, scale);
+    spec.seed = seed;
+    assert_eq!(
+        tf.header.spec,
+        spec,
+        "{} is stale: recorded workload identity {:?} != expected {:?}; \
+         regenerate with `cargo run -p xtask -- trace`",
+        path.display(),
+        tf.header.spec,
+        spec
+    );
+    let window = ReplayWindow {
+        warmup: scale.warmup(),
+        measured: scale.measured(),
+        min_cycles: min_cycles_for(scale, sim),
+    };
+    let (mut report, summary) = replay_cell(&tf, engine, sim, window, sanitize);
+    report.workload = wcfg.label.to_string();
+    (report, summary)
 }
 
 /// Runs one (engine, workload) cell with an explicit workload seed.
@@ -390,10 +622,7 @@ pub fn run_cell_seeded_sanitized(
     });
     let mut driver = Driver::new(spec, sim);
     driver.setup(&mut sys);
-    let min_cycles = match scale {
-        Scale::Quick => 0,
-        Scale::Full => 3 * sim.hoop.gc_period_cycles(),
-    };
+    let min_cycles = min_cycles_for(scale, sim);
     let mut report = driver.run_until(&mut sys, scale.warmup(), scale.measured(), min_cycles);
     report.workload = wcfg.label.to_string();
     let summary = san.map(|s| s.lock().expect("sanitizer poisoned").summary());
@@ -505,13 +734,74 @@ mod tests {
     }
 
     #[test]
-    fn cell_seeds_are_identity_derived_and_distinct() {
-        let a = derive_cell_seed("HOOP", "vector-64B");
-        assert_eq!(a, derive_cell_seed("HOOP", "vector-64B"));
-        assert_ne!(a, derive_cell_seed("HOOP", "vector-1KB"));
-        assert_ne!(a, derive_cell_seed("Ideal", "vector-64B"));
-        // The separator byte keeps (engine, label) unambiguous.
-        assert_ne!(derive_cell_seed("a", "bc"), derive_cell_seed("ab", "c"));
+    fn workload_seeds_are_label_derived_and_engine_blind() {
+        let a = derive_workload_seed("vector-64B");
+        assert_eq!(a, derive_workload_seed("vector-64B"));
+        assert_ne!(a, derive_workload_seed("vector-1KB"));
+        assert_ne!(derive_workload_seed("ycsb"), derive_workload_seed("btree"));
+    }
+
+    #[test]
+    fn mode_flag_parses_both_forms_and_defaults_live() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_mode(&to_args(&["bin", "--quick"])), RunMode::Live);
+        assert_eq!(
+            parse_mode(&to_args(&["bin", "--record", "traces"])),
+            RunMode::Record(PathBuf::from("traces"))
+        );
+        assert_eq!(
+            parse_mode(&to_args(&["bin", "--replay=traces/quick"])),
+            RunMode::Replay(PathBuf::from("traces/quick"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn record_and_replay_conflict() {
+        let args: Vec<String> = ["bin", "--record", "a", "--replay", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let _ = parse_mode(&args);
+    }
+
+    /// The tentpole contract at the runner level: a record run and a
+    /// subsequent replay run of the same plan produce JSON byte-identical to
+    /// a live run.
+    #[test]
+    fn record_replay_json_matches_live_json() {
+        let sim = SimConfig::small_for_tests();
+        let cells: Vec<Cell> = ["HOOP", "LAD", "Ideal"]
+            .into_iter()
+            .map(|engine| Cell {
+                engine,
+                workload: MATRIX[0],
+            })
+            .collect();
+        let plan = ExperimentPlan::from_cells("trace-ab", cells, sim, Scale::Quick);
+        let live = results_json("trace-ab", Scale::Quick, &plan.run(2)).pretty();
+        let dir = std::env::temp_dir().join("hoop-trace-ab-test");
+        std::fs::create_dir_all(&dir).expect("temp trace dir");
+        plan.record_traces(&dir, 2, None);
+        let replayed =
+            results_json("trace-ab", Scale::Quick, &plan.run_replayed(2, false, &dir)).pretty();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    #[should_panic(expected = "regenerate")]
+    fn replaying_a_missing_pack_names_the_fix() {
+        let sim = SimConfig::small_for_tests();
+        let _ = run_cell_replayed(
+            "HOOP",
+            MATRIX[0],
+            &sim,
+            Scale::Quick,
+            7,
+            false,
+            Path::new("/nonexistent-trace-pack"),
+        );
     }
 
     #[test]

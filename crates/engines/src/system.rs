@@ -48,6 +48,12 @@ pub struct System {
     heap: BumpAllocator,
     tx_latency: Histogram,
     recording: Option<Trace>,
+    /// Capture-only machines skip the cache hierarchy, the engine, and all
+    /// timing: loads and stores only touch the functional byte image (and
+    /// the recording, if one is attached). Used by trace recording, where
+    /// workload *generation* is wanted without paying for simulation.
+    capture_only: bool,
+    next_capture_tx: u64,
     san: SanitizerHandle,
 }
 
@@ -80,8 +86,22 @@ impl System {
             heap,
             tx_latency: Histogram::new(),
             recording: None,
+            capture_only: false,
+            next_capture_tx: 1,
             san: SanitizerHandle::none(),
         }
+    }
+
+    /// Builds a capture-only machine: same allocator, functional memory and
+    /// recording hooks as a real one, but loads/stores/transactions skip the
+    /// cache hierarchy, the persistence engine, and all timing. Workloads
+    /// run against it orders of magnitude faster than against a simulated
+    /// machine, which is exactly what trace *recording* needs — the recorded
+    /// stream depends only on workload logic, never on simulated timing.
+    pub fn new_capture(cfg: &SimConfig) -> Self {
+        let mut sys = System::new(Box::new(crate::native::NativeEngine::new(cfg)), cfg);
+        sys.capture_only = true;
+        sys
     }
 
     /// Attaches a persistency sanitizer to the machine *and* its engine:
@@ -135,8 +155,16 @@ impl System {
     /// Seeds memory during setup: writes both the volatile view and the
     /// durable home image, bypassing caches and timing.
     pub fn write_initial(&mut self, addr: PAddr, data: &[u8]) {
+        if self.recording.is_some() {
+            self.record(TraceEvent::Init {
+                addr: addr.0,
+                data: data.to_vec(),
+            });
+        }
         self.volatile.write_bytes(addr, data);
-        self.engine.init_home(addr, data);
+        if !self.capture_only {
+            self.engine.init_home(addr, data);
+        }
     }
 
     /// Reads memory without timing (for tests and verification).
@@ -181,6 +209,12 @@ impl System {
         let c = core.index();
         assert!(self.active_tx[c].is_none(), "nested transaction on {core}");
         self.record(TraceEvent::TxBegin { core: core.0 });
+        if self.capture_only {
+            let tx = TxId(self.next_capture_tx);
+            self.next_capture_tx += 1;
+            self.active_tx[c] = Some(tx);
+            return tx;
+        }
         self.clocks[c] += costs::TX_BEGIN_OVERHEAD;
         let tx = self.engine.tx_begin(core, self.clocks[c]);
         self.san.tx_begin(core, tx, self.clocks[c]);
@@ -199,6 +233,10 @@ impl System {
         let c = core.index();
         assert_eq!(self.active_tx[c], Some(tx), "mismatched tx_end on {core}");
         self.record(TraceEvent::TxEnd { core: core.0 });
+        if self.capture_only {
+            self.active_tx[c] = None;
+            return;
+        }
         self.clocks[c] += costs::TX_END_OVERHEAD;
         let outcome = self.engine.tx_end(core, tx, self.clocks[c]);
         self.clocks[c] += outcome.latency;
@@ -250,6 +288,10 @@ impl System {
             addr: addr.0,
             len: buf.len() as u32,
         });
+        if self.capture_only {
+            self.volatile.read_bytes(addr, buf);
+            return;
+        }
         self.clocks[c] += costs::OP_BASE;
         self.clocks[c] += self
             .engine
@@ -286,6 +328,10 @@ impl System {
                 addr: addr.0,
                 data: data.to_vec(),
             });
+        }
+        if self.capture_only {
+            self.volatile.write_bytes(addr, data);
+            return;
         }
         self.clocks[c] += costs::OP_BASE;
         let lat = self.access_lines(core, addr, data.len() as u64, true);

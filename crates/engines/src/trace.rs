@@ -16,6 +16,14 @@ use crate::system::System;
 /// One recorded event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
+    /// Untimed setup write (`System::write_initial`): seeds both the
+    /// volatile view and the durable home image before measurement.
+    Init {
+        /// Target address.
+        addr: u64,
+        /// Initial bytes.
+        data: Vec<u8>,
+    },
     /// `Tx_begin` on a core.
     TxBegin {
         /// Issuing core.
@@ -66,6 +74,17 @@ pub struct ReplayReport {
     pub crashes: u64,
 }
 
+fn parse_hex(field: Option<&str>, err: &impl Fn(&str) -> String) -> Result<Vec<u8>, String> {
+    let hex = field.ok_or_else(|| err("missing data"))?;
+    if hex.len() % 2 != 0 {
+        return Err(err("odd hex length"));
+    }
+    (0..hex.len() / 2)
+        .map(|i| u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16))
+        .collect::<Result<Vec<u8>, _>>()
+        .map_err(|_| err("bad hex"))
+}
+
 /// A recorded transactional event stream.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
@@ -102,6 +121,9 @@ impl Trace {
         let mut open: Vec<Option<simcore::TxId>> = vec![None; 256];
         for ev in &self.events {
             match ev {
+                TraceEvent::Init { addr, data } => {
+                    sys.write_initial(PAddr(*addr), data);
+                }
                 TraceEvent::TxBegin { core } => {
                     open[*core as usize] = Some(sys.tx_begin(CoreId(*core)));
                 }
@@ -137,6 +159,13 @@ impl Trace {
         let mut out = String::new();
         for ev in &self.events {
             match ev {
+                TraceEvent::Init { addr, data } => {
+                    let mut hex = String::with_capacity(data.len() * 2);
+                    for b in data {
+                        let _ = write!(hex, "{b:02x}");
+                    }
+                    let _ = writeln!(out, "I {addr:#x} {hex}");
+                }
                 TraceEvent::TxBegin { core } => {
                     let _ = writeln!(out, "B {core}");
                 }
@@ -206,15 +235,13 @@ impl Trace {
                 "S" => {
                     let core = parse_u64(parts.next(), "bad core")? as u8;
                     let addr = parse_u64(parts.next(), "bad addr")?;
-                    let hex = parts.next().ok_or_else(|| err("missing data"))?;
-                    if hex.len() % 2 != 0 {
-                        return Err(err("odd hex length"));
-                    }
-                    let data = (0..hex.len() / 2)
-                        .map(|i| u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16))
-                        .collect::<Result<Vec<u8>, _>>()
-                        .map_err(|_| err("bad hex"))?;
+                    let data = parse_hex(parts.next(), &err)?;
                     events.push(TraceEvent::Store { core, addr, data });
+                }
+                "I" => {
+                    let addr = parse_u64(parts.next(), "bad addr")?;
+                    let data = parse_hex(parts.next(), &err)?;
+                    events.push(TraceEvent::Init { addr, data });
                 }
                 other => return Err(err(&format!("unknown event {other}"))),
             }
@@ -232,6 +259,10 @@ mod tests {
     fn trace() -> Trace {
         Trace {
             events: vec![
+                TraceEvent::Init {
+                    addr: 0x40,
+                    data: vec![1, 2, 3],
+                },
                 TraceEvent::TxBegin { core: 0 },
                 TraceEvent::Store {
                     core: 0,

@@ -94,10 +94,48 @@ impl RunReport {
     }
 }
 
+/// Assembles a [`RunReport`] from the machine's post-drain state. Shared by
+/// the live driver and trace replay (`hoop-trace`) so both build reports
+/// through a single code path — byte-identical replay results are part of
+/// the determinism contract (DESIGN.md §11).
+pub fn report_from(
+    sys: &System,
+    workload: String,
+    cycles: Cycle,
+    verify_errors: usize,
+) -> RunReport {
+    let engine = sys.engine();
+    let stats = engine.stats();
+    let traffic = engine.device().traffic();
+    let txs = stats.committed_txs.get().max(1);
+    let misses = stats.misses_served.get().max(1);
+    RunReport {
+        engine: engine.name(),
+        workload,
+        txs: stats.committed_txs.get(),
+        cycles,
+        throughput_tx_per_ms: stats.committed_txs.get() as f64 / cycles_to_ms(cycles.max(1)),
+        avg_tx_latency: sys.tx_latency().mean(),
+        write_bytes_per_tx: traffic.total_written() as f64 / txs as f64,
+        read_bytes_per_tx: traffic.total_read() as f64 / txs as f64,
+        energy_pj_per_tx: engine.device().energy_pj() / txs as f64,
+        llc_miss_ratio: sys.hier_stats().llc_miss_ratio(),
+        loads_per_miss: stats.loads_per_miss(),
+        parallel_read_fraction: stats.parallel_reads.get() as f64 / misses as f64,
+        gc_reduction: stats.gc_reduction_ratio(),
+        ondemand_gc_stall_cycles: stats.ondemand_gc_stall_cycles.get(),
+        verify_errors,
+        engine_stats: stats.clone(),
+        hier_stats: *sys.hier_stats(),
+        extra_metrics: engine.extra_metrics(),
+    }
+}
+
 /// Drives per-core workload instances over a `System`.
 pub struct Driver {
     workloads: Vec<Box<dyn TxWorkload>>,
     workers: usize,
+    issued: Vec<u64>,
 }
 
 impl std::fmt::Debug for Driver {
@@ -117,6 +155,7 @@ impl Driver {
                 .map(|w| build_workload(spec, w as u64))
                 .collect(),
             workers,
+            issued: vec![0; workers],
         }
     }
 
@@ -146,6 +185,7 @@ impl Driver {
     ) -> RunReport {
         for _ in 0..warmup {
             let core = sys.next_core();
+            self.issued[core.index()] += 1;
             self.workloads[core.index()].run_tx(sys, core);
         }
         // Settle warmup state (flush caches, run GC/checkpoints) so the
@@ -159,42 +199,32 @@ impl Driver {
             || (sys.global_time() - t0 < min_cycles && issued < measured.saturating_mul(64))
         {
             let core = sys.next_core();
+            self.issued[core.index()] += 1;
             self.workloads[core.index()].run_tx(sys, core);
             issued += 1;
         }
         sys.drain();
         let cycles = sys.global_time() - t0;
         let verify_errors = self.verify(sys);
-        let engine = sys.engine();
-        let stats = engine.stats();
-        let traffic = engine.device().traffic();
-        let txs = stats.committed_txs.get().max(1);
-        let misses = stats.misses_served.get().max(1);
-        RunReport {
-            engine: engine.name(),
-            workload: self.workloads[0].name().to_string(),
-            txs: stats.committed_txs.get(),
+        report_from(
+            sys,
+            self.workloads[0].name().to_string(),
             cycles,
-            throughput_tx_per_ms: stats.committed_txs.get() as f64 / cycles_to_ms(cycles.max(1)),
-            avg_tx_latency: sys.tx_latency().mean(),
-            write_bytes_per_tx: traffic.total_written() as f64 / txs as f64,
-            read_bytes_per_tx: traffic.total_read() as f64 / txs as f64,
-            energy_pj_per_tx: engine.device().energy_pj() / txs as f64,
-            llc_miss_ratio: sys.hier_stats().llc_miss_ratio(),
-            loads_per_miss: stats.loads_per_miss(),
-            parallel_read_fraction: stats.parallel_reads.get() as f64 / misses as f64,
-            gc_reduction: stats.gc_reduction_ratio(),
-            ondemand_gc_stall_cycles: stats.ondemand_gc_stall_cycles.get(),
             verify_errors,
-            engine_stats: stats.clone(),
-            hier_stats: *sys.hier_stats(),
-            extra_metrics: engine.extra_metrics(),
-        }
+        )
     }
 
     /// Runs a single transaction on `core` (profiling/driver internals).
     pub fn run_one(&mut self, sys: &mut System, core: CoreId) {
+        self.issued[core.index()] += 1;
         self.workloads[core.index()].run_tx(sys, core);
+    }
+
+    /// Transactions issued so far on each worker core (warmup + measured).
+    /// Trace recording uses the maximum to size per-core stream depth for
+    /// runs whose length is timing-dependent (`min_cycles > 0`).
+    pub fn issued_per_core(&self) -> &[u64] {
+        &self.issued
     }
 
     /// Verifies every worker's structure; returns total mismatches.

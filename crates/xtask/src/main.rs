@@ -6,6 +6,7 @@
 //!                            [--json FILE | --no-json]
 //! cargo run -p xtask -- bench [-- ARGS...]
 //! cargo run -p xtask -- crashtest [-- ARGS...]
+//! cargo run -p xtask -- trace [-- ARGS...]
 //! ```
 //!
 //! `lint` runs the token-level analyzer of the `lintpass` crate over the
@@ -33,6 +34,13 @@
 //! (the `hoop-crashtest` crate) in release mode from the workspace root,
 //! passing arguments through; the default invocation explores all engines
 //! in all modes and writes `results/crashtest.json`.
+//!
+//! `trace` regenerates the committed quick-scale trace pack under
+//! `traces/quick/` (the `trace_pack` binary in release mode). Recording is
+//! deterministic, so an up-to-date pack regenerates byte-identically and CI
+//! gates currency with `git diff --exit-code -- traces/`.
+//!
+//! Every subcommand answers `--help` with its flags and exit codes.
 
 #![forbid(unsafe_code)]
 
@@ -47,6 +55,14 @@ fn workspace_root() -> PathBuf {
         .join("../..")
         .canonicalize()
         .expect("workspace root")
+}
+
+/// Takes the operand of a `--flag VALUE` option from an argv iterator —
+/// the one flag-parsing shape every subcommand needs.
+fn operand<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} requires a path"))
 }
 
 struct LintOpts {
@@ -67,15 +83,9 @@ fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--baseline" => {
-                let v = it.next().ok_or("--baseline requires a path")?;
-                opts.baseline = PathBuf::from(v);
-            }
+            "--baseline" => opts.baseline = operand(&mut it, "--baseline")?,
             "--write-baseline" => opts.write_baseline = true,
-            "--json" => {
-                let v = it.next().ok_or("--json requires a path")?;
-                opts.json = Some(PathBuf::from(v));
-            }
+            "--json" => opts.json = Some(operand(&mut it, "--json")?),
             "--no-json" => opts.json = None,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => opts.roots.push(PathBuf::from(path)),
@@ -229,73 +239,114 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 }
 
-fn run_bench(args: &[String]) -> ExitCode {
-    // Host timing must run optimized code; delegate to the release build of
-    // `bench_host` rather than timing whatever profile xtask itself uses.
+/// Delegates a subcommand to the release build of a workspace binary, run
+/// from the workspace root (so `results/` and `traces/` artifacts land next
+/// to the committed ones). Shared by `bench`, `crashtest` and `trace`:
+/// simulation-heavy work must run optimized code, never whatever profile
+/// xtask itself uses.
+fn delegate(subcommand: &str, package: &str, bin: &str, args: &[String]) -> ExitCode {
     let passthrough = args.iter().filter(|a| a.as_str() != "--");
     let status = std::process::Command::new(env!("CARGO"))
         .current_dir(workspace_root())
-        .args([
-            "run",
-            "--release",
-            "-p",
-            "hoop-bench",
-            "--bin",
-            "bench_host",
-            "--",
-        ])
+        .args(["run", "--release", "-p", package, "--bin", bin, "--"])
         .args(passthrough)
         .status();
     match status {
         Ok(s) if s.success() => ExitCode::SUCCESS,
         Ok(s) => ExitCode::from(s.code().unwrap_or(1).clamp(0, 255) as u8),
         Err(e) => {
-            eprintln!("xtask bench: failed to spawn cargo: {e}");
+            eprintln!("xtask {subcommand}: failed to spawn cargo: {e}");
             ExitCode::from(2)
         }
     }
 }
 
-fn run_crashtest(args: &[String]) -> ExitCode {
-    // Exhaustive exploration runs hundreds of full simulations; use the
-    // release build, from the workspace root so `results/crashtest.json`
-    // lands next to the other result documents.
-    let passthrough = args.iter().filter(|a| a.as_str() != "--");
-    let status = std::process::Command::new(env!("CARGO"))
-        .current_dir(workspace_root())
-        .args([
-            "run",
-            "--release",
-            "-p",
-            "hoop-crashtest",
-            "--bin",
-            "crashtest",
-            "--",
-        ])
-        .args(passthrough)
-        .status();
-    match status {
-        Ok(s) if s.success() => ExitCode::SUCCESS,
-        Ok(s) => ExitCode::from(s.code().unwrap_or(1).clamp(0, 255) as u8),
-        Err(e) => {
-            eprintln!("xtask crashtest: failed to spawn cargo: {e}");
-            ExitCode::from(2)
+/// Per-subcommand `--help` text: flags and exit codes.
+fn help_for(subcommand: &str) -> Option<&'static str> {
+    Some(match subcommand {
+        "lint" => {
+            "usage: cargo run -p xtask -- lint [PATH...] [OPTIONS]\n\
+             \n\
+             Token-level static analysis (determinism/safety rules plus the\n\
+             persist-order, order-sensitive-iteration, sim-state-float and\n\
+             lossy-cycle-cast checks), gated against the committed baseline.\n\
+             \n\
+             options:\n\
+             \x20 PATH...            directories to scan (default: crates/ src/ tests/ examples/)\n\
+             \x20 --baseline FILE    baseline file (default: lint.baseline)\n\
+             \x20 --write-baseline   rewrite the baseline from this scan\n\
+             \x20 --json FILE        write the JSON report here (default: results/lint.json)\n\
+             \x20 --no-json          skip the JSON report\n\
+             \n\
+             exit codes: 0 clean/baselined, 1 new or stale findings, 2 scan/IO/usage error"
         }
-    }
+        "bench" => {
+            "usage: cargo run -p xtask -- bench [-- ARGS...]\n\
+             \n\
+             Host-time benchmark of the simulator itself (release build of\n\
+             bench_host). Writes results/bench_host*.json, including the\n\
+             live-vs-replay driver_overhead row.\n\
+             \n\
+             forwarded flags (see bench_host):\n\
+             \x20 --quick|--full     scale (default full)\n\
+             \x20 --engine NAME      limit to named engines (repeatable)\n\
+             \x20 --out PATH         output document path\n\
+             \x20 --check [PATH]     gate against a committed baseline\n\
+             \n\
+             exit codes: 0 ok, 1 regression gate failed, 2 usage/IO error"
+        }
+        "crashtest" => {
+            "usage: cargo run -p xtask -- crashtest [-- ARGS...]\n\
+             \n\
+             Deterministic crash-point fault injection with the\n\
+             atomic-durability oracle (release build of crashtest); writes\n\
+             results/crashtest.json.\n\
+             \n\
+             exit codes: 0 all oracles hold, 1 violation found, 2 usage/IO error"
+        }
+        "trace" => {
+            "usage: cargo run -p xtask -- trace [-- ARGS...]\n\
+             \n\
+             Regenerates the committed quick-scale trace pack under\n\
+             traces/quick/ (release build of trace_pack). Deterministic: an\n\
+             up-to-date pack regenerates byte-identically, so CI gates pack\n\
+             currency with `git diff --exit-code -- traces/`.\n\
+             \n\
+             forwarded flags (see trace_pack):\n\
+             \x20 --quick|--full     scale to record (default quick)\n\
+             \x20 --dir DIR          pack directory (default traces/quick)\n\
+             \x20 --jobs N           parallel recording workers\n\
+             \x20 --depth N          per-core stream depth override\n\
+             \n\
+             exit codes: 0 pack written, 1 recording failed, 2 spawn error"
+        }
+        _ => return None,
+    })
 }
+
+const USAGE: &str = "usage: cargo run -p xtask -- \
+     {lint | bench | crashtest | trace} [ARGS...]\n\
+     run `cargo run -p xtask -- <subcommand> --help` for flags and exit codes";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => run_lint(&args[1..]),
-        Some("bench") => run_bench(&args[1..]),
-        Some("crashtest") => run_crashtest(&args[1..]),
+    let Some(sub) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if args[1..].iter().any(|a| a == "--help" || a == "-h") {
+        if let Some(help) = help_for(sub) {
+            println!("{help}");
+            return ExitCode::SUCCESS;
+        }
+    }
+    match sub {
+        "lint" => run_lint(&args[1..]),
+        "bench" => delegate("bench", "hoop-bench", "bench_host", &args[1..]),
+        "crashtest" => delegate("crashtest", "hoop-crashtest", "crashtest", &args[1..]),
+        "trace" => delegate("trace", "hoop-bench", "trace_pack", &args[1..]),
         _ => {
-            eprintln!(
-                "usage: cargo run -p xtask -- \
-                 {{lint [PATH...] [--baseline FILE] [--write-baseline] [--json FILE | --no-json] \
-                 | bench [-- ARGS...] | crashtest [-- ARGS...]}}"
-            );
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
