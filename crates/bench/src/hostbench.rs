@@ -99,7 +99,7 @@ pub fn calibrate() -> f64 {
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     }
     std::hint::black_box(x);
-    start.elapsed().as_secs_f64() // lint:allow(wall-clock)
+    start.elapsed().as_secs_f64()
 }
 
 /// Runs and times the benchmark cell for one engine.
@@ -124,7 +124,7 @@ pub fn time_engine(engine: &'static str, cfg: WorkloadConfig, scale: Scale) -> E
         measured,
         3 * sim.hoop.gc_period_cycles(),
     );
-    let host_seconds = start.elapsed().as_secs_f64(); // lint:allow(wall-clock)
+    let host_seconds = start.elapsed().as_secs_f64();
     EngineTiming {
         engine,
         host_seconds,
@@ -151,7 +151,7 @@ pub fn measure_driver_overhead(scale: Scale) -> DriverOverhead {
     let mut driver = Driver::new(spec, &sim);
     driver.setup(&mut sys);
     let _ = driver.run_until(&mut sys, scale.warmup(), measured, min_cycles);
-    let live_seconds = start.elapsed().as_secs_f64(); // lint:allow(wall-clock)
+    let live_seconds = start.elapsed().as_secs_f64();
 
     let depth = driver
         .issued_per_core()
@@ -183,7 +183,7 @@ pub fn measure_driver_overhead(scale: Scale) -> DriverOverhead {
         },
         false,
     );
-    let replay_seconds = start.elapsed().as_secs_f64(); // lint:allow(wall-clock)
+    let replay_seconds = start.elapsed().as_secs_f64();
     DriverOverhead {
         live_seconds,
         replay_seconds,

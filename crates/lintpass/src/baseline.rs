@@ -182,8 +182,8 @@ mod tests {
     fn report(findings: Vec<Finding>) -> LintReport {
         LintReport {
             findings,
-            allows: vec![],
             files_scanned: 1,
+            ..Default::default()
         }
     }
 

@@ -1,0 +1,235 @@
+//! Workspace call graph with one-level per-function summaries.
+//!
+//! For each recovered function the graph records three bits — does the
+//! body contain direct payload-persist evidence (`persists`), a direct
+//! `SanitizerHooks` notification (`notifies`), a direct commit-record
+//! write (`commits`) — plus the set of callee names. Rules consult the
+//! graph to propagate facts through **one level** of calls: a call to a
+//! function whose summary says `persists` counts as persist evidence at
+//! the call site, and likewise for `notifies` in `hook-coverage`.
+//!
+//! Deliberate shallowness (DESIGN.md §9): summaries are *direct-only* —
+//! a helper that persists via a second helper does not mark its own
+//! summary, so evidence two calls deep is invisible. That is a
+//! false-negative surface (silence), never a false positive. Functions
+//! are keyed by bare name and merged across the workspace with OR
+//! semantics: if *any* function of that name persists, call sites credit
+//! it — again erring toward silence when names collide across modules.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::parse::{functions, sig_tokens, SigTok};
+
+/// Direct-evidence summary of one function (or the OR-merge of all
+/// same-named functions in scope).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Body contains direct payload-persist evidence.
+    pub persists: bool,
+    /// Body contains a direct `san.<event>(..)` sanitizer notification.
+    pub notifies: bool,
+    /// Body contains a direct commit-record write.
+    pub commits: bool,
+}
+
+/// Name-keyed function summaries for a set of source files.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    summaries: BTreeMap<String, FnSummary>,
+}
+
+/// Sanitizer event methods of `simcore::sanitize::SanitizerHooks` that
+/// count as notifications when invoked as `san.<event>(..)`. The receiver
+/// pattern keeps ordinary methods that happen to share a name (`flush`,
+/// `fence` on device models) from counting. `is_active` is a query, not a
+/// notification, and is deliberately absent.
+pub const SAN_EVENTS: &[&str] = &[
+    "data_persisted",
+    "home_write",
+    "flush",
+    "fence",
+    "commit_record",
+    "tx_begin",
+    "tx_store",
+    "volatile_store",
+    "evict_dirty",
+    "tx_committed",
+    "gc_migrate",
+    "map_insert",
+    "map_remove",
+    "block_reclaim",
+    "redirected_read",
+    "mapping_cleared",
+    "region_cleared",
+    "recovery_replay",
+    "crash",
+    "set_engine",
+];
+
+/// True if token `i` begins a `san . <event> (` sanitizer notification.
+pub fn is_san_notification(toks: &[SigTok<'_>], i: usize) -> bool {
+    toks[i].text == "san"
+        && toks[i].kind == TokenKind::Ident
+        && i + 3 < toks.len()
+        && toks[i + 1].text == "."
+        && SAN_EVENTS.contains(&toks[i + 2].text)
+        && toks[i + 3].text == "("
+}
+
+/// True if token `i` is an identifier invoked as a call or method call:
+/// `name (` or `. name (`.
+fn is_call_at(toks: &[SigTok<'_>], i: usize) -> bool {
+    toks[i].kind == TokenKind::Ident
+        && i + 1 < toks.len()
+        && toks[i + 1].text == "("
+        && toks[i].text != "fn"
+        && !(i > 0 && toks[i - 1].text == "fn") // a nested fn's name, not a call
+}
+
+impl CallGraph {
+    /// Scans one file's source and OR-merges every recovered function's
+    /// direct summary into the graph. `is_persist_evidence` and
+    /// `is_commit` classify identifier tokens (the rule layer owns the
+    /// vocabulary; the graph owns the traversal).
+    pub fn add_file(
+        &mut self,
+        source: &str,
+        is_persist_evidence: &dyn Fn(&str) -> bool,
+        is_commit: &dyn Fn(&str) -> bool,
+    ) {
+        let toks = sig_tokens(source);
+        for f in functions(&toks) {
+            let mut s = FnSummary::default();
+            let mut i = f.body.0;
+            while i < f.body.1 {
+                if is_san_notification(&toks, i) {
+                    s.notifies = true;
+                    i += 4;
+                    continue;
+                }
+                if toks[i].kind == TokenKind::Ident {
+                    let name = toks[i].text;
+                    if is_persist_evidence(name) {
+                        s.persists = true;
+                    }
+                    if is_commit(name) && i + 1 < f.body.1 && toks[i + 1].text == "(" {
+                        s.commits = true;
+                    }
+                }
+                i += 1;
+            }
+            let e = self.summaries.entry(f.name.clone()).or_default();
+            e.persists |= s.persists;
+            e.notifies |= s.notifies;
+            e.commits |= s.commits;
+        }
+    }
+
+    /// The merged summary for `name`, if any function of that name was
+    /// seen.
+    pub fn summary(&self, name: &str) -> Option<FnSummary> {
+        self.summaries.get(name).copied()
+    }
+
+    /// True if `name` resolves to a summarized function that persists.
+    pub fn callee_persists(&self, name: &str) -> bool {
+        self.summary(name).is_some_and(|s| s.persists)
+    }
+
+    /// True if `name` resolves to a summarized function that notifies the
+    /// sanitizer.
+    pub fn callee_notifies(&self, name: &str) -> bool {
+        self.summary(name).is_some_and(|s| s.notifies)
+    }
+
+    /// Number of distinct function names summarized.
+    pub fn len(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// True if no functions have been summarized.
+    pub fn is_empty(&self) -> bool {
+        self.summaries.is_empty()
+    }
+}
+
+/// Call-site scan: every callee name invoked in `toks[range]` (both
+/// free-function `name(..)` and method `.name(..)` forms).
+pub fn callees_in(toks: &[SigTok<'_>], range: (usize, usize)) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for i in range.0..range.1.min(toks.len()) {
+        if is_call_at(toks, i) {
+            out.push((i, toks[i].text.to_string()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(src: &str) -> CallGraph {
+        let mut g = CallGraph::default();
+        g.add_file(
+            src,
+            &|name| name == "data_persisted" || name.starts_with("persist"),
+            &|name| name == "commit_record",
+        );
+        g
+    }
+
+    #[test]
+    fn direct_persist_sets_summary() {
+        let g = graph_of("fn helper(&mut self) { self.persist_line(a); }");
+        assert!(g.callee_persists("helper"));
+        assert!(!g.callee_notifies("helper"));
+    }
+
+    #[test]
+    fn san_notification_requires_receiver() {
+        let g = graph_of(
+            "fn a(&self) { self.san.home_write(l, t); }\nfn b(&self) { self.dev.flush(l); }",
+        );
+        assert!(g.callee_notifies("a"));
+        // `dev.flush` shares a SanitizerHooks method name but the receiver
+        // is not `san`, so it is not a notification.
+        assert!(!g.callee_notifies("b"));
+    }
+
+    #[test]
+    fn commit_requires_call_syntax() {
+        let g = graph_of(
+            "fn c(&mut self) { self.commit_record(id); }\nfn d() { let commit_record = 1; }",
+        );
+        assert!(g.summary("c").unwrap().commits);
+        assert!(!g.summary("d").unwrap().commits);
+    }
+
+    #[test]
+    fn same_name_merges_with_or() {
+        let g = graph_of("fn h() { persist_x(); }\nmod m { fn h() { noop(); } }");
+        assert!(g.callee_persists("h"));
+    }
+
+    #[test]
+    fn one_level_only_no_transitivity() {
+        // inner persists; outer only calls inner — outer's own summary
+        // must NOT inherit persists (documented one-level cutoff).
+        let g = graph_of("fn inner() { persist_x(); }\nfn outer() { inner(); }");
+        assert!(g.callee_persists("inner"));
+        assert!(!g.callee_persists("outer"));
+    }
+
+    #[test]
+    fn callees_are_collected_with_positions() {
+        let toks = sig_tokens("fn f() { a(); x.b(1); fn g() {} }");
+        let f = functions(&toks).into_iter().next().unwrap();
+        let names: Vec<String> = callees_in(&toks, f.body)
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,753 @@
+//! Basic-block control-flow graphs over function bodies.
+//!
+//! [`build`] walks a function body's significant-token range and produces a
+//! CFG whose blocks *partition* the range — every token lands in exactly
+//! one block (the totality invariant the proptests pin) — with edges for
+//! `if`/`else if`/`else`, `match` arms, the three loop forms (including
+//! labeled `break`/`continue`), early `return`, and the `?` operator.
+//!
+//! Deliberate approximations, all chosen to err toward *silence* in the
+//! must-analysis built on top (DESIGN.md §9):
+//!
+//! * **Loops run at least once.** `while`/`for` exit from the *end of the
+//!   body* (plus `break`), not from the header, so evidence inside a loop
+//!   body dominates code after the loop. The zero-iteration path (an empty
+//!   transaction) is not modeled; the runtime sanitizer covers it. A bare
+//!   `loop` exits only via `break`, so code after an infinite loop is
+//!   correctly unreachable.
+//! * **Parenthesized/bracketed subexpressions are opaque.** Control
+//!   keywords inside call arguments (closure bodies, `matches!` args) do
+//!   not create edges; their tokens stay in the enclosing block.
+//! * **Plain `{ }` blocks, `unsafe` blocks and struct literals** are walked
+//!   inline as part of the current flow (no edges of their own).
+//! * **`match` is treated as exhaustive** (it is, in Rust): the join block
+//!   is reachable only through the arms, so must-facts intersect over arms
+//!   with no phantom fall-through path.
+//! * Unreachable continuation blocks (after `return`/`break`/`continue`)
+//!   are still materialized so the tokens that follow have a home; the
+//!   dataflow layer treats them as vacuously true for must-facts.
+//!
+//! [`to_dot`] renders a CFG as Graphviz dot — `xtask lint --cfg-dot`
+//! exposes it, and CI uploads the dot of any function with a failing flow
+//! finding as a debugging artifact.
+
+use crate::lexer::TokenKind;
+use crate::parse::{match_delim, SigTok};
+
+/// One basic block: the significant-token indexes it owns (source order is
+/// index order; ownership is unique across the CFG) and its successors.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Indexes into the significant-token stream owned by this block.
+    pub toks: Vec<usize>,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+}
+
+/// A function body's control-flow graph.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// All blocks; `blocks[entry]` and `blocks[exit]` delimit the graph.
+    pub blocks: Vec<Block>,
+    /// Entry block id (always 0).
+    pub entry: usize,
+    /// Virtual exit block id (always 1; owns no tokens, has no successors).
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Predecessor lists, computed on demand.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// The id of the block owning significant-token index `tok`, if any.
+    pub fn block_of(&self, tok: usize) -> Option<usize> {
+        self.blocks.iter().position(|b| b.toks.contains(&tok))
+    }
+}
+
+/// Loop context for `break`/`continue` resolution.
+struct LoopCtx {
+    label: Option<String>,
+    continue_to: usize,
+    break_to: usize,
+}
+
+struct Builder<'t, 's> {
+    toks: &'t [SigTok<'s>],
+    blocks: Vec<Block>,
+    cur: usize,
+    exit: usize,
+    loops: Vec<LoopCtx>,
+}
+
+const LOOP_KWS: &[&str] = &["loop", "while", "for"];
+
+impl<'t, 's> Builder<'t, 's> {
+    fn text(&self, i: usize) -> &'s str {
+        self.toks[i].text
+    }
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn push(&mut self, i: usize) {
+        let cur = self.cur;
+        self.blocks[cur].toks.push(i);
+    }
+
+    /// Appends the balanced `(...)`/`[...]`/`{...}` group opening at `i` to
+    /// the current block verbatim (no control parsing inside). Returns the
+    /// index after the closing delimiter.
+    fn consume_balanced(&mut self, i: usize, end: usize) -> usize {
+        let close = match_delim(self.toks, i, end);
+        for k in i..close.min(end) {
+            self.push(k);
+        }
+        if close < end {
+            self.push(close);
+            close + 1
+        } else {
+            end
+        }
+    }
+
+    /// Appends tokens up to (not including) the first `{` at bracket depth
+    /// zero — the shared "header scan" for `if`/`while`/`for`/`match`.
+    /// Returns the index of the `{`, or `end` if none.
+    fn consume_header(&mut self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            match self.text(i) {
+                "(" | "[" => i = self.consume_balanced(i, end),
+                "{" => return i,
+                _ => {
+                    self.push(i);
+                    i += 1;
+                }
+            }
+        }
+        end
+    }
+
+    /// Appends statement-tail tokens (the value of a `return`/`break`) up
+    /// to and including the `;` at depth zero, or up to `end`/a dangling
+    /// close delimiter. Returns the next index.
+    fn consume_until_semi(&mut self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            match self.text(i) {
+                "(" | "[" | "{" => i = self.consume_balanced(i, end),
+                ")" | "]" | "}" | "," => return i, // enclosing-range boundary
+                ";" => {
+                    self.push(i);
+                    return i + 1;
+                }
+                _ => {
+                    self.push(i);
+                    i += 1;
+                }
+            }
+        }
+        end
+    }
+
+    /// Walks `[i, end)` sequentially, splitting blocks at control flow.
+    fn walk_range(&mut self, mut i: usize, end: usize) {
+        while i < end {
+            let t = self.text(i);
+            match t {
+                "(" | "[" => i = self.consume_balanced(i, end),
+                "{" => {
+                    // Plain/unsafe block or struct literal: walk inline.
+                    let close = match_delim(self.toks, i, end);
+                    self.push(i);
+                    self.walk_range(i + 1, close.min(end));
+                    if close < end {
+                        self.push(close);
+                    }
+                    i = close.saturating_add(1).min(end.max(close));
+                    if close >= end {
+                        return;
+                    }
+                }
+                "if" => i = self.handle_if(i, end),
+                "match" => i = self.handle_match(i, end),
+                "loop" | "while" | "for" => i = self.handle_loop(i, end, None),
+                "return" => {
+                    self.push(i);
+                    i = self.consume_until_semi(i + 1, end);
+                    let cur = self.cur;
+                    self.edge(cur, self.exit);
+                    self.cur = self.new_block();
+                }
+                "break" | "continue" => {
+                    let is_break = t == "break";
+                    self.push(i);
+                    i += 1;
+                    let mut label = None;
+                    if i < end && self.toks[i].kind == TokenKind::Lifetime {
+                        label = Some(self.text(i).to_string());
+                        self.push(i);
+                        i += 1;
+                    }
+                    if is_break {
+                        i = self.consume_until_semi(i, end);
+                    } else if i < end && self.text(i) == ";" {
+                        self.push(i);
+                        i += 1;
+                    }
+                    let target = match &label {
+                        Some(l) => self
+                            .loops
+                            .iter()
+                            .rev()
+                            .find(|c| c.label.as_deref() == Some(l.as_str())),
+                        None => self.loops.last(),
+                    }
+                    .map(|c| if is_break { c.break_to } else { c.continue_to });
+                    if let Some(to) = target {
+                        let cur = self.cur;
+                        self.edge(cur, to);
+                        self.cur = self.new_block();
+                    }
+                    // No enclosing loop (e.g. inside a closure we treat as
+                    // inline): inert — tokens are kept, flow continues.
+                }
+                "?" => {
+                    self.push(i);
+                    i += 1;
+                    let nb = self.new_block();
+                    let cur = self.cur;
+                    self.edge(cur, nb);
+                    self.edge(cur, self.exit);
+                    self.cur = nb;
+                }
+                _ => {
+                    // Labeled loop: 'name : loop/while/for.
+                    if self.toks[i].kind == TokenKind::Lifetime
+                        && i + 2 < end
+                        && self.text(i + 1) == ":"
+                        && LOOP_KWS.contains(&self.text(i + 2))
+                    {
+                        let label = self.text(i).to_string();
+                        self.push(i);
+                        self.push(i + 1);
+                        i = self.handle_loop(i + 2, end, Some(label));
+                    } else {
+                        self.push(i);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `if cond { .. } [else if .. | else { .. }]`; returns the next index.
+    /// On exit, `self.cur` is the join block.
+    fn handle_if(&mut self, i: usize, end: usize) -> usize {
+        self.push(i); // `if`
+        let open = self.consume_header(i + 1, end);
+        if open >= end {
+            return end; // malformed: condition tokens already consumed
+        }
+        let cond = self.cur;
+        let close = match_delim(self.toks, open, end);
+
+        let then_b = self.new_block();
+        self.edge(cond, then_b);
+        self.cur = then_b;
+        self.push(open);
+        self.walk_range(open + 1, close.min(end));
+        if close < end {
+            self.push(close);
+        }
+        let end_then = self.cur;
+
+        let mut k = close.saturating_add(1);
+        if k < end && self.text(k) == "else" {
+            let else_b = self.new_block();
+            self.edge(cond, else_b);
+            self.cur = else_b;
+            self.push(k); // `else`
+            k += 1;
+            if k < end && self.text(k) == "if" {
+                k = self.handle_if(k, end); // chain; cur = nested join
+            } else if k < end && self.text(k) == "{" {
+                let c2 = match_delim(self.toks, k, end);
+                self.push(k);
+                self.walk_range(k + 1, c2.min(end));
+                if c2 < end {
+                    self.push(c2);
+                }
+                k = c2.saturating_add(1).min(end);
+            }
+            let end_else = self.cur;
+            let join = self.new_block();
+            self.edge(end_then, join);
+            self.edge(end_else, join);
+            self.cur = join;
+            k
+        } else {
+            let join = self.new_block();
+            self.edge(end_then, join);
+            self.edge(cond, join); // no else: fall-through path
+            self.cur = join;
+            k.min(end)
+        }
+    }
+
+    /// `match scrutinee { pat => body, .. }`; all arms branch from the
+    /// header block and join after. Pattern tokens (including guards) and
+    /// arm separators live in the header block.
+    fn handle_match(&mut self, i: usize, end: usize) -> usize {
+        self.push(i); // `match`
+        let open = self.consume_header(i + 1, end);
+        if open >= end {
+            return end;
+        }
+        let header = self.cur;
+        self.push(open); // `{`
+        let mclose = match_delim(self.toks, open, end);
+        let mut arm_ends = Vec::new();
+        let mut k = open + 1;
+        while k < mclose.min(end) {
+            // Pattern (+ optional guard) up to `=>` at depth 0.
+            self.cur = header;
+            let mut found_arrow = false;
+            while k < mclose {
+                match self.text(k) {
+                    "(" | "[" | "{" => k = self.consume_balanced(k, mclose),
+                    "=" if k + 1 < mclose && self.text(k + 1) == ">" => {
+                        self.push(k);
+                        self.push(k + 1);
+                        k += 2;
+                        found_arrow = true;
+                        break;
+                    }
+                    _ => {
+                        self.push(k);
+                        k += 1;
+                    }
+                }
+            }
+            if !found_arrow {
+                break; // trailing tokens (already owned by header)
+            }
+            // Arm body: braced block or expression up to `,` at depth 0.
+            let arm_b = self.new_block();
+            self.edge(header, arm_b);
+            self.cur = arm_b;
+            if k < mclose && self.text(k) == "{" {
+                let c2 = match_delim(self.toks, k, mclose);
+                self.push(k);
+                self.walk_range(k + 1, c2.min(mclose));
+                if c2 < mclose {
+                    self.push(c2);
+                }
+                k = c2.saturating_add(1).min(mclose);
+            } else {
+                let mut depth = 0i64;
+                let mut j = k;
+                while j < mclose {
+                    match self.text(j) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                self.walk_range(k, j);
+                k = j;
+            }
+            arm_ends.push(self.cur);
+            if k < mclose && self.text(k) == "," {
+                self.cur = header;
+                self.push(k);
+                k += 1;
+            }
+        }
+        self.cur = header;
+        if mclose < end {
+            self.push(mclose); // `}`
+        }
+        let join = self.new_block();
+        if arm_ends.is_empty() {
+            self.edge(header, join); // empty match: degrade to fall-through
+        } else {
+            for e in arm_ends {
+                self.edge(e, join);
+            }
+        }
+        self.cur = join;
+        mclose.saturating_add(1).min(end.max(mclose))
+    }
+
+    /// `loop`/`while`/`for` with an optional label. Loop head is a
+    /// dedicated (token-less) block so `continue` and the back edge share a
+    /// re-entry point; exit is from body end (at-least-once model) and from
+    /// `break`. Returns the next index; `self.cur` is the after-block.
+    fn handle_loop(&mut self, i: usize, end: usize, label: Option<String>) -> usize {
+        let kw = self.text(i);
+        self.push(i);
+        let open = self.consume_header(i + 1, end);
+        if open >= end {
+            return end;
+        }
+        let head = self.new_block();
+        let cur = self.cur;
+        self.edge(cur, head);
+        let body = self.new_block();
+        self.edge(head, body);
+        let after = self.new_block();
+        self.loops.push(LoopCtx {
+            label,
+            continue_to: head,
+            break_to: after,
+        });
+        self.cur = body;
+        let close = match_delim(self.toks, open, end);
+        self.push(open);
+        self.walk_range(open + 1, close.min(end));
+        if close < end {
+            self.push(close);
+        }
+        self.loops.pop();
+        let body_end = self.cur;
+        self.edge(body_end, head); // back edge
+        if kw != "loop" {
+            // while/for can leave after an iteration; bare `loop` exits
+            // only via break, so post-loop code is unreachable without one.
+            self.edge(body_end, after);
+        }
+        self.cur = after;
+        close.saturating_add(1).min(end.max(close))
+    }
+}
+
+/// Builds the CFG for the body range `range` (as produced by
+/// [`crate::parse::functions`]) of the significant-token stream `toks`.
+pub fn build(toks: &[SigTok<'_>], range: (usize, usize)) -> Cfg {
+    let mut b = Builder {
+        toks,
+        blocks: vec![Block::default(), Block::default()],
+        cur: 0,
+        exit: 1,
+        loops: Vec::new(),
+    };
+    let end = range.1.min(toks.len());
+    b.walk_range(range.0, end);
+    let cur = b.cur;
+    b.edge(cur, b.exit); // natural fall-through
+    Cfg {
+        blocks: b.blocks,
+        entry: 0,
+        exit: 1,
+    }
+}
+
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a CFG as Graphviz dot. Block labels show the id, source line
+/// span, and a truncated token preview so a failing function's shape is
+/// readable at a glance.
+pub fn to_dot(cfg: &Cfg, toks: &[SigTok<'_>], fn_name: &str) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("digraph \"{}\" {{\n", dot_escape(fn_name)));
+    s.push_str("  node [shape=box, fontname=\"monospace\"];\n");
+    for (id, blk) in cfg.blocks.iter().enumerate() {
+        let tag = if id == cfg.entry {
+            " (entry)"
+        } else if id == cfg.exit {
+            " (exit)"
+        } else {
+            ""
+        };
+        let label = if blk.toks.is_empty() {
+            format!("B{id}{tag}")
+        } else {
+            let first = blk.toks.iter().copied().min().unwrap_or(0);
+            let last = blk.toks.iter().copied().max().unwrap_or(0);
+            let mut preview: String = blk
+                .toks
+                .iter()
+                .take(12)
+                .map(|&t| toks[t].text)
+                .collect::<Vec<_>>()
+                .join(" ");
+            if blk.toks.len() > 12 {
+                preview.push_str(" …");
+            }
+            format!(
+                "B{id}{tag} L{}-L{}\\n{}",
+                toks[first].line,
+                toks[last].line,
+                dot_escape(&preview)
+            )
+        };
+        s.push_str(&format!("  b{id} [label=\"{label}\"];\n"));
+    }
+    for (id, blk) in cfg.blocks.iter().enumerate() {
+        for &to in &blk.succs {
+            s.push_str(&format!("  b{id} -> b{to};\n"));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{functions, sig_tokens};
+
+    fn cfg_of(src: &str) -> (Vec<crate::parse::SigTok<'_>>, Cfg) {
+        let toks = sig_tokens(src);
+        let f = functions(&toks).into_iter().next().expect("one fn");
+        let cfg = build(&toks, f.body);
+        (toks, cfg)
+    }
+
+    /// Every body token owned exactly once; succs valid; exit terminal.
+    fn check_invariants(src: &str) {
+        let toks = sig_tokens(src);
+        for f in functions(&toks) {
+            let cfg = build(&toks, f.body);
+            let mut owned: Vec<usize> = cfg
+                .blocks
+                .iter()
+                .flat_map(|b| b.toks.iter().copied())
+                .collect();
+            owned.sort_unstable();
+            let expect: Vec<usize> = (f.body.0..f.body.1).collect();
+            assert_eq!(owned, expect, "token partition broken on:\n{src}");
+            for b in &cfg.blocks {
+                for &s in &b.succs {
+                    assert!(s < cfg.blocks.len(), "dangling edge on:\n{src}");
+                }
+            }
+            assert!(cfg.blocks[cfg.exit].succs.is_empty());
+            assert!(cfg.blocks[cfg.exit].toks.is_empty());
+        }
+    }
+
+    fn block_containing<'s>(cfg: &Cfg, toks: &[crate::parse::SigTok<'s>], text: &str) -> usize {
+        for (id, b) in cfg.blocks.iter().enumerate() {
+            if b.toks.iter().any(|&t| toks[t].text == text) {
+                return id;
+            }
+        }
+        panic!("no block contains {text:?}");
+    }
+
+    fn reaches(cfg: &Cfg, from: usize, to: usize) -> bool {
+        let mut seen = vec![false; cfg.blocks.len()];
+        let mut stack = vec![from];
+        while let Some(b) = stack.pop() {
+            if b == to {
+                return true;
+            }
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            stack.extend(cfg.blocks[b].succs.iter().copied());
+        }
+        false
+    }
+
+    #[test]
+    fn if_else_arms_join() {
+        let src = "fn f() { if c { a(); } else { b(); } j(); }";
+        check_invariants(src);
+        let (toks, cfg) = cfg_of(src);
+        let (ba, bb, bj) = (
+            block_containing(&cfg, &toks, "a"),
+            block_containing(&cfg, &toks, "b"),
+            block_containing(&cfg, &toks, "j"),
+        );
+        assert_ne!(ba, bb);
+        assert!(reaches(&cfg, ba, bj) && reaches(&cfg, bb, bj));
+        // `a` and `b` are on alternative paths: neither reaches the other.
+        assert!(!reaches(&cfg, ba, bb) && !reaches(&cfg, bb, ba));
+    }
+
+    #[test]
+    fn if_without_else_has_fallthrough() {
+        let src = "fn f() { if c { a(); } j(); }";
+        check_invariants(src);
+        let (toks, cfg) = cfg_of(src);
+        let bc = block_containing(&cfg, &toks, "if");
+        let bj = block_containing(&cfg, &toks, "j");
+        // The condition block has a direct edge to the join (skip path).
+        assert!(cfg.blocks[bc]
+            .succs
+            .iter()
+            .any(|&s| s == bj || reaches(&cfg, s, bj)));
+        let ba = block_containing(&cfg, &toks, "a");
+        assert!(cfg.blocks[bc].succs.len() >= 2);
+        assert!(reaches(&cfg, ba, bj));
+    }
+
+    #[test]
+    fn return_edges_to_exit_only() {
+        let src = "fn f() { if c { return; } t(); }";
+        check_invariants(src);
+        let (toks, cfg) = cfg_of(src);
+        let br = block_containing(&cfg, &toks, "return");
+        assert_eq!(cfg.blocks[br].succs, vec![cfg.exit]);
+        // `t` is unreachable from the return block but reachable from entry.
+        let bt = block_containing(&cfg, &toks, "t");
+        assert!(!reaches(&cfg, br, bt));
+        assert!(reaches(&cfg, cfg.entry, bt));
+    }
+
+    #[test]
+    fn while_loop_has_back_edge_and_exit_from_body() {
+        let src = "fn f() { while c { p(); } q(); }";
+        check_invariants(src);
+        let (toks, cfg) = cfg_of(src);
+        let bp = block_containing(&cfg, &toks, "p");
+        let bq = block_containing(&cfg, &toks, "q");
+        // At-least-once model: exit edge leaves from the body end.
+        assert!(cfg.blocks[bp]
+            .succs
+            .iter()
+            .any(|&s| s == bq || reaches(&cfg, s, bq)));
+        // Back edge: the body reaches itself again.
+        assert!(cfg.blocks[bp]
+            .succs
+            .iter()
+            .any(|&s| s != bq && reaches(&cfg, s, bp)));
+    }
+
+    #[test]
+    fn break_targets_after_loop_continue_targets_head() {
+        let src = "fn f() { loop { if c { break; } if d { continue; } p(); } q(); }";
+        check_invariants(src);
+        let (toks, cfg) = cfg_of(src);
+        let bbrk = block_containing(&cfg, &toks, "break");
+        let bcont = block_containing(&cfg, &toks, "continue");
+        let bq = block_containing(&cfg, &toks, "q");
+        let bp = block_containing(&cfg, &toks, "p");
+        // break jumps straight to the after-block.
+        assert!(
+            cfg.blocks[bbrk].succs.contains(&bq)
+                || cfg.blocks[bbrk]
+                    .succs
+                    .iter()
+                    .any(|&s| cfg.blocks[s].toks.is_empty() && reaches(&cfg, s, bq))
+        );
+        // continue re-enters the loop (reaches p again) without passing q.
+        let cont_target = cfg.blocks[bcont].succs[0];
+        assert!(reaches(&cfg, cont_target, bp));
+    }
+
+    #[test]
+    fn bare_loop_without_break_makes_tail_unreachable() {
+        let src = "fn f() { loop { p(); } q(); }";
+        check_invariants(src);
+        let (toks, cfg) = cfg_of(src);
+        let bq = block_containing(&cfg, &toks, "q");
+        assert!(!reaches(&cfg, cfg.entry, bq));
+    }
+
+    #[test]
+    fn labeled_break_exits_outer_loop() {
+        let src = "fn f() { 'o: loop { loop { break 'o; } } q(); }";
+        check_invariants(src);
+        let (toks, cfg) = cfg_of(src);
+        let bbrk = block_containing(&cfg, &toks, "break");
+        let bq = block_containing(&cfg, &toks, "q");
+        assert!(cfg.blocks[bbrk]
+            .succs
+            .iter()
+            .any(|&s| s == bq || reaches(&cfg, s, bq)));
+    }
+
+    #[test]
+    fn match_arms_branch_and_join() {
+        let src = "fn f() { match v { A => { a(); } B => b(), _ => {} } j(); }";
+        check_invariants(src);
+        let (toks, cfg) = cfg_of(src);
+        let ba = block_containing(&cfg, &toks, "a");
+        let bb = block_containing(&cfg, &toks, "b");
+        let bj = block_containing(&cfg, &toks, "j");
+        assert!(!reaches(&cfg, ba, bb) && !reaches(&cfg, bb, ba));
+        assert!(reaches(&cfg, ba, bj) && reaches(&cfg, bb, bj));
+    }
+
+    #[test]
+    fn match_guard_if_is_not_control_flow() {
+        let src = "fn f() { match v { x if x > 0 => a(), _ => b(), } j(); }";
+        check_invariants(src);
+    }
+
+    #[test]
+    fn question_mark_adds_exit_edge() {
+        let src = "fn f() -> R { let x = g()?; h(x); Ok(()) }";
+        check_invariants(src);
+        let (toks, cfg) = cfg_of(src);
+        let bq = block_containing(&cfg, &toks, "?");
+        assert!(cfg.blocks[bq].succs.contains(&cfg.exit));
+        let bh = block_containing(&cfg, &toks, "h");
+        assert!(cfg.blocks[bq]
+            .succs
+            .iter()
+            .any(|&s| s == bh || reaches(&cfg, s, bh)));
+    }
+
+    #[test]
+    fn closure_control_keywords_stay_inline() {
+        // `if` inside a call argument must not split flow.
+        let src = "fn f() { v.retain(|x| if x.ok() { true } else { false }); t(); }";
+        check_invariants(src);
+        let (toks, cfg) = cfg_of(src);
+        let bif = block_containing(&cfg, &toks, "if");
+        let bt = block_containing(&cfg, &toks, "t");
+        assert_eq!(bif, block_containing(&cfg, &toks, "retain"));
+        assert!(reaches(&cfg, bif, bt));
+    }
+
+    #[test]
+    fn struct_literals_and_plain_blocks_stay_inline() {
+        check_invariants("fn f() { let o = Out { a: 1, b: 2 }; { scoped(); } o }");
+    }
+
+    #[test]
+    fn torn_sources_do_not_panic() {
+        for src in [
+            "fn f() { if c {",
+            "fn f() { match v { A =>",
+            "fn f() { loop {",
+            "fn f() { break; continue; }",
+            "fn f() { else }",
+        ] {
+            check_invariants(src);
+        }
+    }
+
+    #[test]
+    fn dot_renders_blocks_and_edges() {
+        let (toks, cfg) = cfg_of("fn f() { if c { a(); } j(); }");
+        let dot = to_dot(&cfg, &toks, "f");
+        assert!(dot.starts_with("digraph \"f\""));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("(entry)") && dot.contains("(exit)"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Forward dataflow over [`crate::cfg`] graphs.
+//!
+//! One analysis, two lattices, evaluated together: for a set of *gen*
+//! points (payload-persist evidence) and a set of *site* points (commit
+//! sites), compute at each site whether evidence has been generated on
+//! **every** path from entry (*must*, meet = AND) and on **some** path
+//! (*may*, meet = OR). The `persist-order` family splits on the pair:
+//!
+//! * `must`  → the commit is dominated by evidence: clean.
+//! * `may` but not `must` → evidence exists on one path but not all —
+//!   the flow-sensitive `commit-in-branch` finding.
+//! * neither → no evidence anywhere before the commit: `persist-order`.
+//!
+//! On straight-line code `must == may`, which is exactly the old
+//! token-order rule — the differential test in `tests/flow.rs` pins that.
+//!
+//! Unreachable blocks (after `return`, after a bare `loop`) initialize to
+//! lattice TOP for must (vacuous truth: no path reaches them) and to
+//! `false` for may, so sites in dead code never fire. Within a block,
+//! gen-before-site is resolved by significant-token index order.
+
+use crate::cfg::Cfg;
+
+/// Per-site result of the evidence dataflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteState {
+    /// The site's significant-token index (as passed in `sites`).
+    pub site: usize,
+    /// Evidence generated on every path from entry to this site.
+    pub must: bool,
+    /// Evidence generated on at least one path from entry to this site.
+    pub may: bool,
+}
+
+/// Runs the must/may evidence analysis. `gens` and `sites` are
+/// significant-token indexes; tokens outside the CFG's range are ignored.
+pub fn evidence_at_sites(cfg: &Cfg, gens: &[usize], sites: &[usize]) -> Vec<SiteState> {
+    let n = cfg.blocks.len();
+    // Per-block facts about *block-local* generation: does the block
+    // contain a gen at all, and (for within-block ordering) the earliest
+    // gen token index in the block.
+    let mut block_gen = vec![false; n];
+    let mut first_gen = vec![usize::MAX; n];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for &t in &blk.toks {
+            if gens.contains(&t) {
+                block_gen[b] = true;
+                first_gen[b] = first_gen[b].min(t);
+            }
+        }
+    }
+
+    // IN/OUT fact pairs (must, may). Entry starts with no evidence; all
+    // other IN-facts start at each lattice's TOP so the meet over real
+    // predecessors determines them (must TOP = true, may TOP/bottom = false
+    // — for may, OR-ing from false is already the right identity).
+    let mut in_must = vec![true; n];
+    let mut in_may = vec![false; n];
+    in_must[cfg.entry] = false;
+    let preds = cfg.preds();
+
+    let out = |in_v: bool, gen: bool| in_v || gen;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            if b == cfg.entry {
+                continue;
+            }
+            if preds[b].is_empty() {
+                continue; // unreachable: keep vacuous init
+            }
+            let new_must = preds[b].iter().all(|&p| out(in_must[p], block_gen[p]));
+            let new_may = preds[b].iter().any(|&p| out(in_may[p], block_gen[p]));
+            if new_must != in_must[b] || new_may != in_may[b] {
+                in_must[b] = new_must;
+                in_may[b] = new_may;
+                changed = true;
+            }
+        }
+    }
+
+    sites
+        .iter()
+        .map(|&site| {
+            let b = match cfg.block_of(site) {
+                Some(b) => b,
+                None => {
+                    return SiteState {
+                        site,
+                        must: false,
+                        may: false,
+                    }
+                }
+            };
+            // Within-block: a gen earlier in the same block satisfies both.
+            let local = block_gen[b] && first_gen[b] < site;
+            SiteState {
+                site,
+                must: in_must[b] || local,
+                may: in_may[b] || local,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use crate::parse::{functions, sig_tokens};
+
+    /// Builds the first function's CFG and maps `gen_text`/`site_text`
+    /// token texts to indexes.
+    fn run(src: &str, gen_text: &str, site_text: &str) -> SiteState {
+        let toks = sig_tokens(src);
+        let f = functions(&toks).into_iter().next().unwrap();
+        let cfg = build(&toks, f.body);
+        let gens: Vec<usize> = (f.body.0..f.body.1)
+            .filter(|&i| toks[i].text == gen_text)
+            .collect();
+        let sites: Vec<usize> = (f.body.0..f.body.1)
+            .filter(|&i| toks[i].text == site_text)
+            .collect();
+        assert_eq!(sites.len(), 1, "ambiguous site in test source");
+        evidence_at_sites(&cfg, &gens, &sites)[0]
+    }
+
+    #[test]
+    fn straight_line_before_is_must() {
+        let s = run("fn f() { persist(); commit(); }", "persist", "commit");
+        assert!(s.must && s.may);
+    }
+
+    #[test]
+    fn straight_line_after_is_neither() {
+        let s = run("fn f() { commit(); persist(); }", "persist", "commit");
+        assert!(!s.must && !s.may);
+    }
+
+    #[test]
+    fn gen_in_one_branch_is_may_not_must() {
+        let s = run(
+            "fn f() { if c { persist(); } commit(); }",
+            "persist",
+            "commit",
+        );
+        assert!(!s.must && s.may);
+    }
+
+    #[test]
+    fn gen_in_both_branches_is_must() {
+        let s = run(
+            "fn f() { if c { persist(); } else { persist(); } commit(); }",
+            "persist",
+            "commit",
+        );
+        assert!(s.must);
+    }
+
+    #[test]
+    fn gen_in_all_match_arms_is_must() {
+        let s = run(
+            "fn f() { match v { A => { persist(); } _ => { persist(); } } commit(); }",
+            "persist",
+            "commit",
+        );
+        assert!(s.must);
+    }
+
+    #[test]
+    fn gen_in_loop_body_dominates_after_loop() {
+        // At-least-once loop model: for/while bodies execute ≥ 1 time.
+        let s = run(
+            "fn f() { for x in v { persist(); } commit(); }",
+            "persist",
+            "commit",
+        );
+        assert!(s.must);
+    }
+
+    #[test]
+    fn commit_in_branch_without_gen_is_neither() {
+        let s = run(
+            "fn f() { if c { commit(); } persist(); }",
+            "persist",
+            "commit",
+        );
+        assert!(!s.must && !s.may);
+    }
+
+    #[test]
+    fn early_return_branch_does_not_poison_must() {
+        // The return path never reaches the commit, so it must not count
+        // against dominance.
+        let s = run(
+            "fn f() { if c { return; } persist(); commit(); }",
+            "persist",
+            "commit",
+        );
+        assert!(s.must);
+    }
+
+    #[test]
+    fn site_in_dead_code_never_fires() {
+        let s = run(
+            "fn f() { return; persist(); commit(); }",
+            "nothing",
+            "commit",
+        );
+        // Unreachable: vacuously must (clean), never may.
+        assert!(s.must && !s.may);
+    }
+}

@@ -1,27 +1,35 @@
 //! Token-aware static analyzer for the HOOP reproduction (`lintpass`).
 //!
 //! This crate replaces the regex line-scanner that used to live in
-//! `pmcheck::lint` with a real lexer ([`lexer`]) and an item/expression-level
-//! analyzer ([`rules`]): every workspace source file is tokenized with exact
-//! line:col spans (raw strings, nested block comments, lifetimes and
-//! multi-line expressions handled), the original determinism/safety rules are
-//! re-implemented on tokens (no more false positives inside strings/comments,
-//! no more real uses escaping via line breaks), and four semantic rules are
-//! added on top — most importantly **persist-order**, the static complement
-//! of the runtime persistency sanitizer: a commit-record store must be
-//! dominated by a payload persist in the same function (the paper's §III-G
-//! ordering, Fig. 4).
+//! `pmcheck::lint` with a real lexer ([`lexer`]) and a flow-sensitive
+//! analysis stack: [`parse`] recovers per-function bodies from the lossless
+//! token stream, [`cfg`] builds basic-block control-flow graphs (if/else,
+//! match arms, loops with break/continue, early return, `?`), [`dataflow`]
+//! runs a forward must/may evidence analysis over them, and [`callgraph`]
+//! adds one-level per-function summaries so helper-function persists
+//! propagate through calls. On that stack, [`rules`] implements the
+//! determinism/safety rules plus the persistency family — most importantly
+//! **persist-order**, the static complement of the runtime persistency
+//! sanitizer: a commit-record store must be *dominated* by a payload
+//! persist (the paper's §III-G ordering, Fig. 4), with the branch-shaped
+//! violation split out as **commit-in-branch** and the sanitizer's own
+//! visibility proven by **hook-coverage**.
 //!
 //! The analyzer is *hermetic*: no dependencies, not even in-tree ones, so it
 //! can never be broken by the crates it checks and builds in a bare
 //! container.
 //!
 //! Entry points:
-//! * [`lint_source`] — analyze one in-memory file (pure; used by tests).
-//! * [`lint_paths`] — walk directories, analyze every `.rs` file.
+//! * [`lint_source`] — analyze one in-memory file (pure; the call graph is
+//!   built from that file alone, so helper propagation is file-local).
+//! * [`lint_paths`] / [`lint_paths_rel`] — walk directories twice: pass 1
+//!   builds the workspace call graph from persistency-scoped files, pass 2
+//!   analyzes every `.rs` file against it.
 //! * [`baseline`] — committed-baseline gating (CI fails only on new
 //!   findings; stale entries demand a refresh).
 //! * [`report::to_json`] — the schema-versioned `results/lint.json` export.
+//! * [`cfg_dot_at`] — Graphviz dot of the CFG of the function containing a
+//!   given line (`xtask lint --cfg-dot`, CI failure artifacts).
 //!
 //! Run it via `cargo run -p xtask -- lint`.
 
@@ -29,7 +37,11 @@
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 
@@ -40,10 +52,23 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use callgraph::CallGraph;
+
+/// Builds a call graph from one file's source using the rule vocabulary
+/// (persist evidence / commit names shared with `persist-order`).
+fn graph_add(graph: &mut CallGraph, source: &str) {
+    graph.add_file(source, &rules::is_persist_evidence, &rules::is_commit_name);
+}
+
 /// Analyzes one file's `source`, reporting against `path` (used both for
-/// messages and for path-scoped rules like `persist-order`).
+/// messages and for path-scoped rules like `persist-order`). Interprocedural
+/// summaries are built from this file alone, so helper-function persists
+/// defined in the same file propagate; cross-file helpers require
+/// [`lint_paths_rel`].
 pub fn lint_source(path: &str, source: &str) -> LintReport {
-    rules::analyze(path, source)
+    let mut graph = CallGraph::default();
+    graph_add(&mut graph, source);
+    rules::analyze(path, source, &graph)
 }
 
 fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -87,10 +112,16 @@ pub fn collect_files(roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
 /// Scans every `.rs` file under `roots`. When `rel_root` is given, reported
 /// paths are made relative to it (the form committed in the baseline and
 /// exported to JSON, so reports are machine-independent).
+///
+/// Two passes: the first builds the workspace call graph from every file in
+/// the persistency scope (`crates/engines`, `crates/hoop`), so a helper
+/// defined in `common.rs` counts as evidence at call sites in `lsm.rs`; the
+/// second analyzes each file against that graph.
 pub fn lint_paths_rel(roots: &[PathBuf], rel_root: Option<&Path>) -> io::Result<LintReport> {
-    let mut report = LintReport::default();
-    for f in collect_files(roots)? {
-        let source = fs::read_to_string(&f)?;
+    let files = collect_files(roots)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for f in &files {
+        let source = fs::read_to_string(f)?;
         let shown = match rel_root {
             Some(root) => f
                 .strip_prefix(root)
@@ -98,7 +129,17 @@ pub fn lint_paths_rel(roots: &[PathBuf], rel_root: Option<&Path>) -> io::Result<
                 .unwrap_or_else(|_| f.clone()),
             None => f.clone(),
         };
-        report.merge(lint_source(&shown.display().to_string(), &source));
+        sources.push((shown.display().to_string(), source));
+    }
+    let mut graph = CallGraph::default();
+    for (path, source) in &sources {
+        if rules::in_persist_scope(path) {
+            graph_add(&mut graph, source);
+        }
+    }
+    let mut report = LintReport::default();
+    for (path, source) in &sources {
+        report.merge(rules::analyze(path, source, &graph));
     }
     Ok(report)
 }
@@ -106,6 +147,39 @@ pub fn lint_paths_rel(roots: &[PathBuf], rel_root: Option<&Path>) -> io::Result<
 /// [`lint_paths_rel`] with paths reported as given (no relativization).
 pub fn lint_paths(roots: &[PathBuf]) -> io::Result<LintReport> {
     lint_paths_rel(roots, None)
+}
+
+/// Renders the CFG of the function whose body spans source `line`
+/// (1-based) as Graphviz dot, returning `(function_name, dot)`. Picks the
+/// innermost enclosing function when they nest. `None` if no function body
+/// covers the line.
+pub fn cfg_dot_at(source: &str, line: u32) -> Option<(String, String)> {
+    let toks = parse::sig_tokens(source);
+    let fns = parse::functions(&toks);
+    // Innermost = smallest covering body range.
+    let f = fns
+        .iter()
+        .filter(|f| {
+            let lo = toks.get(f.fn_idx).map_or(u32::MAX, |t| t.line);
+            let hi = toks
+                .get(f.body.1.saturating_sub(1).min(toks.len().saturating_sub(1)))
+                .map_or(0, |t| t.line);
+            lo <= line && line <= hi
+        })
+        .min_by_key(|f| f.body.1 - f.body.0)?;
+    let graph = cfg::build(&toks, f.body);
+    Some((f.name.clone(), cfg::to_dot(&graph, &toks, &f.name)))
+}
+
+/// Renders the CFG of the function named `name` in `source` as dot (first
+/// match in declaration order). `None` if absent.
+pub fn cfg_dot_named(source: &str, name: &str) -> Option<String> {
+    let toks = parse::sig_tokens(source);
+    let f = parse::functions(&toks)
+        .into_iter()
+        .find(|f| f.name == name)?;
+    let graph = cfg::build(&toks, f.body);
+    Some(cfg::to_dot(&graph, &toks, name))
 }
 
 #[cfg(test)]
@@ -128,5 +202,23 @@ mod tests {
         for a in &r.allows {
             assert!(!a.path.starts_with('/'), "absolute path: {}", a.path);
         }
+    }
+
+    #[test]
+    fn cfg_dot_at_picks_innermost_function() {
+        let src = "fn outer() {\n    fn inner() {\n        x();\n    }\n    inner();\n}\n";
+        let (name, dot) = cfg_dot_at(src, 3).unwrap();
+        assert_eq!(name, "inner");
+        assert!(dot.contains("digraph \"inner\""));
+        let (name, _) = cfg_dot_at(src, 5).unwrap();
+        assert_eq!(name, "outer");
+        assert!(cfg_dot_at(src, 40).is_none());
+    }
+
+    #[test]
+    fn cfg_dot_named_finds_function() {
+        let src = "fn a() { x(); }\nfn b() { if c { y(); } }\n";
+        assert!(cfg_dot_named(src, "b").unwrap().contains("digraph \"b\""));
+        assert!(cfg_dot_named(src, "zzz").is_none());
     }
 }

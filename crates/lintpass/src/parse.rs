@@ -1,0 +1,216 @@
+//! Lightweight syntactic layer over the lossless token stream.
+//!
+//! The lexer ([`crate::lexer`]) produces a flat token sequence; this module
+//! recovers just enough *structure* for flow-sensitive analysis without
+//! becoming a Rust parser: the significant-token view ([`sig_tokens`],
+//! whitespace and comments dropped but positions kept), per-function items
+//! with named bodies ([`functions`]), and the bracket-matching helpers the
+//! CFG builder ([`crate::cfg`]) leans on.
+//!
+//! The recovery is deliberately *total*: every function body is a
+//! well-defined significant-token range even on torn or macro-heavy
+//! sources (unterminated bodies extend to end of file), because the
+//! analyzer must degrade gracefully on the broken fixtures it exists to
+//! convict. Items that are not functions are simply not modeled — rules
+//! that need them (e.g. `shard-shared-mut` on `static` items) work on the
+//! flat token view directly.
+
+use crate::lexer::{tokenize, TokenKind};
+
+/// One significant (non-whitespace, non-comment) token: text plus the exact
+/// 1-based position the lexer assigned it.
+#[derive(Clone, Copy, Debug)]
+pub struct SigTok<'s> {
+    /// The token's source text.
+    pub text: &'s str,
+    /// Token classification from the lexer.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based character column.
+    pub col: u32,
+}
+
+/// Lexes `source` and keeps only code tokens, preserving spans. Indexes into
+/// the returned vector are the unit of reference for the whole analysis
+/// layer (function body ranges, CFG blocks, dataflow gen/site points).
+pub fn sig_tokens(source: &str) -> Vec<SigTok<'_>> {
+    tokenize(source)
+        .into_iter()
+        .filter(|t| t.kind.is_code())
+        .map(|t| SigTok {
+            text: &source[t.start..t.end],
+            kind: t.kind,
+            line: t.line,
+            col: t.col,
+        })
+        .collect()
+}
+
+/// A recovered `fn` item: its name and the significant-token range of its
+/// body (exclusive of the outer braces). Nested functions appear both
+/// inline in their parent's range and as items of their own.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Index of the `fn` keyword token.
+    pub fn_idx: usize,
+    /// Index of the name token.
+    pub name_idx: usize,
+    /// Body as a half-open significant-token index range, excluding the
+    /// outer `{`/`}`.
+    pub body: (usize, usize),
+}
+
+impl FnItem {
+    /// Whether the `fn` keyword is directly preceded by a `#[test]`
+    /// attribute (rules that model production-path contracts exempt unit
+    /// tests, which construct raw traffic on purpose).
+    pub fn has_test_attr(&self, toks: &[SigTok<'_>]) -> bool {
+        let i = self.fn_idx;
+        i >= 4
+            && toks[i - 1].text == "]"
+            && toks[i - 2].text == "test"
+            && toks[i - 3].text == "["
+            && toks[i - 4].text == "#"
+    }
+}
+
+/// Finds the index of the delimiter matching the opener at `open`
+/// (scanning `(`/`[`/`{` against `)`/`]`/`}` with one shared depth counter,
+/// which is exact on lexed Rust where strings/comments are already single
+/// tokens). Returns `end` if unterminated.
+pub fn match_delim(toks: &[SigTok<'_>], open: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < end.min(toks.len()) {
+        match toks[j].text {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Recovers every `fn` item (at any nesting depth) with its name and body
+/// range. Bodyless trait-method declarations are skipped.
+pub fn functions(toks: &[SigTok<'_>]) -> Vec<FnItem> {
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if toks[i].text == "fn"
+            && toks[i].kind == TokenKind::Ident
+            && i + 1 < n
+            && toks[i + 1].kind == TokenKind::Ident
+        {
+            // Scan the signature for the opening brace at bracket depth 0
+            // (generics/arguments/return types keep the depth positive or
+            // contain no braces).
+            let mut j = i + 2;
+            let mut depth = 0i64;
+            let mut open = None;
+            while j < n {
+                match toks[j].text {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break, // bodyless (trait method)
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = match_delim(toks, open, n);
+                out.push(FnItem {
+                    name: toks[i + 1].text.to_string(),
+                    fn_idx: i,
+                    name_idx: i + 1,
+                    body: (open + 1, close),
+                });
+                i = open + 1; // nested fns are found inside
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sig_tokens_drop_trivia_keep_positions() {
+        let toks = sig_tokens("fn f() { // c\n  1\n}");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec!["fn", "f", "(", ")", "{", "1", "}"]);
+        let one = toks.iter().find(|t| t.text == "1").unwrap();
+        assert_eq!((one.line, one.col), (2, 3));
+    }
+
+    #[test]
+    fn functions_recover_names_and_bodies() {
+        let toks = sig_tokens("fn a() { x(); }\nimpl T { fn b(&self) -> u64 { 1 } }");
+        let fns = functions(&toks);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert_eq!(fns[1].name, "b");
+        // Body ranges exclude the braces.
+        let (s, e) = fns[0].body;
+        let body: Vec<&str> = toks[s..e].iter().map(|t| t.text).collect();
+        assert_eq!(body, vec!["x", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn nested_fn_appears_inline_and_standalone() {
+        let toks = sig_tokens("fn outer() { fn inner() { y(); } inner(); }");
+        let fns = functions(&toks);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "outer");
+        assert_eq!(fns[1].name, "inner");
+        assert!(fns[0].body.0 < fns[1].body.0 && fns[1].body.1 <= fns[0].body.1);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_skipped() {
+        let toks = sig_tokens("trait T { fn a(&self); fn b(&self) { } }");
+        let fns = functions(&toks);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "b");
+    }
+
+    #[test]
+    fn unterminated_body_extends_to_eof() {
+        let toks = sig_tokens("fn torn() { x(");
+        let fns = functions(&toks);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].body.1, toks.len());
+    }
+
+    #[test]
+    fn test_attribute_is_detected() {
+        let toks = sig_tokens("#[test]\nfn t() { }\nfn u() { }");
+        let fns = functions(&toks);
+        assert!(fns[0].has_test_attr(&toks));
+        assert!(!fns[1].has_test_attr(&toks));
+    }
+
+    #[test]
+    fn match_delim_handles_mixed_nesting() {
+        let toks = sig_tokens("{ a(bc[d], { e }) }");
+        assert_eq!(match_delim(&toks, 0, toks.len()), toks.len() - 1);
+    }
+}

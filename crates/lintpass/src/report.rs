@@ -1,10 +1,15 @@
 //! Finding/report types and the schema-versioned JSON export.
 //!
 //! The JSON document written to `results/lint.json` is versioned under
-//! `"schema": "hoop-lint/1"` and fully deterministic: findings are reported
+//! `"schema": "hoop-lint/2"` and fully deterministic: findings are reported
 //! in file-walk order (sorted paths) with repo-relative paths, and the
 //! per-rule count map enumerates every known rule (zeros included) so
 //! downstream tooling never has to special-case missing keys.
+//!
+//! Schema history: `/1` predates the flow-sensitive analyzer; `/2` adds the
+//! `commit-in-branch` / `shard-shared-mut` / `hook-coverage` count keys and
+//! the `stale_allows` array (annotations that no longer suppress anything —
+//! warnings, never failures).
 
 use crate::rules::{rule_counts, RULE_IDS};
 
@@ -51,6 +56,9 @@ pub struct LintReport {
     pub findings: Vec<Finding>,
     /// Annotated exceptions that suppressed a finding.
     pub allows: Vec<Allow>,
+    /// `lint:allow` annotations that suppressed nothing (stale — warned
+    /// about, never a failure, so they can be cleaned up deliberately).
+    pub stale_allows: Vec<Allow>,
     /// Files scanned.
     pub files_scanned: usize,
 }
@@ -65,6 +73,7 @@ impl LintReport {
     pub fn merge(&mut self, other: LintReport) {
         self.findings.extend(other.findings);
         self.allows.extend(other.allows);
+        self.stale_allows.extend(other.stale_allows);
         self.files_scanned += other.files_scanned;
     }
 }
@@ -86,10 +95,10 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Serializes a report (plus optional baseline accounting) as the
-/// `hoop-lint/1` JSON document.
+/// `hoop-lint/2` JSON document.
 pub fn to_json(report: &LintReport, baseline: Option<&BaselineSummary>) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"hoop-lint/1\",\n");
+    s.push_str("{\n  \"schema\": \"hoop-lint/2\",\n");
     s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     s.push_str("  \"counts\": {");
     let counts = rule_counts(report);
@@ -136,6 +145,23 @@ pub fn to_json(report: &LintReport, baseline: Option<&BaselineSummary>) -> Strin
         ));
     }
     s.push_str(if report.allows.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    s.push_str("  \"stale_allows\": [");
+    for (k, a) in report.stale_allows.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\"}}",
+            json_escape(&a.path),
+            a.line,
+            a.rule
+        ));
+    }
+    s.push_str(if report.stale_allows.is_empty() {
         "]"
     } else {
         "\n  ]"
@@ -193,15 +219,25 @@ mod tests {
                 line: 1,
                 rule: "wall-clock",
             }],
+            stale_allows: vec![Allow {
+                path: "c.rs".into(),
+                line: 7,
+                rule: "det-hash",
+            }],
             files_scanned: 2,
         };
         let j = to_json(&report, None);
-        assert!(j.contains("\"schema\": \"hoop-lint/1\""));
+        assert!(j.contains("\"schema\": \"hoop-lint/2\""));
         assert!(j.contains("\"det-hash\": 1"));
         assert!(j.contains("\"persist-order\": 0"));
+        assert!(j.contains("\"commit-in-branch\": 0"));
+        assert!(j.contains("\"hook-coverage\": 0"));
+        assert!(j.contains("\"shard-shared-mut\": 0"));
         assert!(j.contains("\"files_scanned\": 2"));
         assert!(j.contains("HashMap::new()"));
         assert!(j.contains("\"wall-clock\""));
+        assert!(j.contains("\"stale_allows\": ["));
+        assert!(j.contains("\"c.rs\", \"line\": 7"));
     }
 
     #[test]
@@ -211,8 +247,7 @@ mod tests {
                 snippet: "a \"quoted\"\tsnippet\\".into(),
                 ..finding()
             }],
-            allows: vec![],
-            files_scanned: 1,
+            ..Default::default()
         };
         let j = to_json(&report, None);
         assert!(j.contains("a \\\"quoted\\\"\\tsnippet\\\\"));

@@ -1,9 +1,9 @@
-//! Token-level rule engine.
+//! Token-level rule engine with a flow-sensitive core.
 //!
 //! Rules run over the significant-token view of a file (whitespace and
 //! comments filtered out, raw lines kept for snippets and annotations), so
 //! a hazard split across lines is still found and the same text inside a
-//! string or comment never is. Two rule families:
+//! string or comment never is. Three rule families:
 //!
 //! **Determinism/safety rules** (workspace-wide) — the token re-implementation
 //! of the original regex scanner:
@@ -17,31 +17,48 @@
 //! | `unsafe-safety` | `unsafe` without a nearby `// SAFETY:` comment |
 //! | `forbid-unsafe` | a crate root (`src/lib.rs`) missing `#![forbid(unsafe_code)]` |
 //!
-//! **Semantic rules** (path-scoped to the simulation crates) — the static
-//! complement of the runtime persistency sanitizer:
+//! **Flow-sensitive persistency rules** (scoped to `crates/engines`,
+//! `crates/hoop`) — built on the [`crate::parse`] → [`crate::cfg`] →
+//! [`crate::dataflow`] stack plus one-level [`crate::callgraph`] summaries:
 //!
-//! | rule | scope | rejects |
-//! |------|-------|---------|
-//! | `persist-order` | `crates/engines`, `crates/hoop` | a `.commit_record(..)` call with no earlier payload-persist call (`data_persisted`, `write_burst`, `burst_spread`, `write_home_line`, `fence`, `persist*`, `flush*`) in the same function body — the §III-G "payload before commit record" ordering, checked at the source level |
-//! | `order-sensitive-iteration` | + `crates/memhier`, `crates/nvm` | `.iter()`/`.keys()`/`.values()`/`.drain()` on a receiver declared `DetHashMap`/`DetHashSet` in the same file, unless annotated `lint:order-frozen` — hash-order iteration feeding simulated state is frozen by the determinism contract (DESIGN.md §8) |
-//! | `sim-state-float` | + `crates/simcore` | casting a float-tainted expression to an integer/`Cycle` type — floating point feeding simulated counters |
-//! | `lossy-cycle-cast` | + `crates/simcore` | `as` truncation of a cycle/clock-named counter to a sub-64-bit integer |
+//! | rule | rejects |
+//! |------|---------|
+//! | `persist-order` | a `.commit_record(..)` call with **no path** from function entry carrying payload-persist evidence (`data_persisted`, `write_burst`, `burst_spread`, `write_home_line`, `fence`, `persist*`, `flush*`, or a call to a summarized helper that persists) — §III-G "payload before commit record", now a real dominance check |
+//! | `commit-in-branch` | a `.commit_record(..)` call reachable along **some** path without evidence while **another** path has it — the branch-shaped ordering bug the old token-order rule could not express |
+//! | `hook-coverage` | a `write_burst`/`burst_spread`/`write_home_line` call site in a non-`#[test]` function with no direct `san.<event>(..)` notification and no call to a helper whose summary notifies — statically proving the runtime sanitizer sees every event it claims to shadow |
 //!
-//! The ordering model behind `persist-order` is intentionally a *token-order
-//! dominance approximation*: an event earlier in the function body is treated
-//! as dominating later ones. That is exact for the straight-line commit paths
-//! the engines use and errs toward silence (not noise) on branches; the
-//! runtime sanitizer remains the precise dynamic check.
+//! **Determinism-scoped semantic rules** (`crates/engines`, `crates/hoop`,
+//! `crates/memhier`, `crates/nvm`, and for the numeric pair `crates/simcore`):
 //!
-//! Escapes: `// lint:allow(<rule>)` on the same or preceding line suppresses
-//! any rule and is recorded as an audited exception;
+//! | rule | rejects |
+//! |------|---------|
+//! | `order-sensitive-iteration` | `.iter()`/`.keys()`/`.values()`/`.drain()` on a receiver declared `DetHashMap`/`DetHashSet` in the same file, unless annotated `lint:order-frozen` |
+//! | `shard-shared-mut` | `static mut`, `thread_local!`, or interior-mutability containers (`Rc<`, `RefCell<`, `Cell<`, `UnsafeCell<`, `Mutex<`, `RwLock<`) in simulation crates — shared mutable state that the bank-group sharding split (ROADMAP direction 1) cannot partition |
+//! | `sim-state-float` | casting a float-tainted expression to an integer/`Cycle` type |
+//! | `lossy-cycle-cast` | `as` truncation of a cycle/clock-named counter to a sub-64-bit integer |
+//!
+//! The flow model errs toward **silence**: loops are modeled as executing at
+//! least once, helper summaries propagate one call level only, and call
+//! arguments are opaque (see `crate::cfg` for the full list). The runtime
+//! pmcheck sanitizer remains the precise dynamic check; `hook-coverage` is
+//! the static half of that cross-validation contract.
+//!
+//! Escapes: `// lint:allow(<rule>)` on the same or preceding comment line
+//! suppresses any rule and is recorded as an audited exception. Markers
+//! are recognized **only inside comments** and only for known rule names;
+//! any marker that suppresses nothing is reported as a *stale allow*
+//! warning (exit-code 0) so annotations cannot rot silently.
 //! `// lint:order-frozen` is the dedicated marker for
 //! `order-sensitive-iteration` sites whose iteration order is part of the
 //! frozen determinism contract.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::{callees_in, is_san_notification, CallGraph};
+use crate::cfg;
+use crate::dataflow::evidence_at_sites;
 use crate::lexer::{tokenize, Token, TokenKind};
+use crate::parse::{self, FnItem, SigTok};
 use crate::report::{Allow, Finding, LintReport};
 
 /// Every rule the analyzer knows, in the order counts are reported.
@@ -53,9 +70,12 @@ pub const RULE_IDS: &[&str] = &[
     "unsafe-safety",
     "forbid-unsafe",
     "persist-order",
+    "commit-in-branch",
     "order-sensitive-iteration",
     "sim-state-float",
     "lossy-cycle-cast",
+    "shard-shared-mut",
+    "hook-coverage",
 ];
 
 /// The marker that suppresses a finding on the same or the next line.
@@ -64,9 +84,10 @@ const ALLOW_PREFIX: &str = "lint:allow(";
 /// iteration order at this site is frozen by the determinism contract.
 const ORDER_FROZEN: &str = "lint:order-frozen";
 
-/// Path scope of `persist-order`.
+/// Path scope of the persistency rules (`persist-order`,
+/// `commit-in-branch`, `hook-coverage`).
 const PERSIST_SCOPE: &[&str] = &["crates/engines/src/", "crates/hoop/src/"];
-/// Path scope of `order-sensitive-iteration`.
+/// Path scope of `order-sensitive-iteration` and `shard-shared-mut`.
 const ITER_SCOPE: &[&str] = &[
     "crates/engines/src/",
     "crates/hoop/src/",
@@ -91,6 +112,16 @@ const PERSIST_EVIDENCE: &[&str] = &[
     "fence",
 ];
 
+/// Persist-event primitives whose call sites `hook-coverage` audits: each
+/// site must live in a function the sanitizer observes (directly or via a
+/// notifying helper). `write_home_line` notifies internally, so its *own*
+/// summary covers callers; the raw burst primitives do not.
+const HOOK_EVENTS: &[&str] = &["write_burst", "burst_spread", "write_home_line"];
+
+/// Interior-mutability containers `shard-shared-mut` rejects when used as
+/// generic types (`Name<..>`) inside simulation crates.
+const SHARED_MUT_TYPES: &[&str] = &["Rc", "RefCell", "Cell", "UnsafeCell", "Mutex", "RwLock"];
+
 /// Iteration methods whose order escapes into simulated state.
 const ORDERED_ITER_METHODS: &[&str] =
     &["iter", "iter_mut", "keys", "values", "values_mut", "drain"];
@@ -114,6 +145,33 @@ fn is_counter_name(name: &str) -> bool {
         )
 }
 
+/// Whether `name` counts as payload-persist evidence (the call-site
+/// vocabulary shared by `persist-order` and the call-graph summaries).
+pub fn is_persist_evidence(name: &str) -> bool {
+    PERSIST_EVIDENCE.contains(&name) || name.starts_with("persist") || name.starts_with("flush")
+}
+
+/// Whether `name` is a commit-record write (the site vocabulary of
+/// `persist-order`/`commit-in-branch` and the call-graph `commits` bit).
+pub fn is_commit_name(name: &str) -> bool {
+    name == "commit_record"
+}
+
+/// Whether `path` is inside the persistency-rule scope (used by callers to
+/// decide which files feed the workspace call graph).
+pub fn in_persist_scope(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    PERSIST_SCOPE.iter().any(|s| p.contains(s))
+}
+
+/// One `lint:allow(<rule>)` annotation found in a comment, with whether any
+/// finding actually consumed it.
+struct Marker {
+    line: u32,
+    rule: &'static str,
+    used: bool,
+}
+
 /// The per-file analysis context rules run against.
 struct FileCtx<'s> {
     path: String,
@@ -122,10 +180,45 @@ struct FileCtx<'s> {
     raw_lines: Vec<&'s str>,
     /// Significant (code) tokens only.
     sig: Vec<Token>,
+    /// `lint:allow` annotations harvested from comment tokens.
+    markers: Vec<Marker>,
     /// `(rule, line)` pairs already reported — one finding per rule per line.
     seen: BTreeSet<(&'static str, u32)>,
     findings: Vec<Finding>,
     allows: Vec<Allow>,
+}
+
+/// Harvests `lint:allow(<rule>)` markers from the comment tokens of
+/// `source`. Only known rule names count (so documentation like
+/// `lint:allow(<rule>)` never registers), and only comments (so the same
+/// text inside a string literal never does).
+fn collect_markers(source: &str) -> Vec<Marker> {
+    let mut markers = Vec::new();
+    for t in tokenize(source) {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = t.text(source);
+        let mut pos = 0;
+        while let Some(p) = text[pos..].find(ALLOW_PREFIX) {
+            let at = pos + p;
+            let start = at + ALLOW_PREFIX.len();
+            pos = start;
+            let Some(close) = text[start..].find(')') else {
+                break;
+            };
+            let name = &text[start..start + close];
+            if let Some(&rule) = RULE_IDS.iter().find(|&&r| r == name) {
+                let line = t.line + text[..at].matches('\n').count() as u32;
+                markers.push(Marker {
+                    line,
+                    rule,
+                    used: false,
+                });
+            }
+        }
+    }
+    markers
 }
 
 impl<'s> FileCtx<'s> {
@@ -139,6 +232,7 @@ impl<'s> FileCtx<'s> {
             source,
             raw_lines: source.lines().collect(),
             sig,
+            markers: collect_markers(source),
             seen: BTreeSet::new(),
             findings: Vec::new(),
             allows: Vec::new(),
@@ -161,25 +255,12 @@ impl<'s> FileCtx<'s> {
         scope.iter().any(|s| self.path.contains(s))
     }
 
-    /// Whether `line` (1-based) carries an allow marker for `rule`: on the
-    /// same raw line, or anywhere in the contiguous run of `//` comment
-    /// lines immediately above it (so a multi-line annotation comment works
-    /// as naturally as a trailing one). `extra` is an additional accepted
-    /// marker (e.g. `lint:order-frozen`).
-    fn allowed(&self, line: u32, rule: &str, extra: Option<&str>) -> bool {
-        let marker = format!("{ALLOW_PREFIX}{rule})");
-        let has = |l: usize| -> bool {
-            self.raw_lines
-                .get(l)
-                .is_some_and(|raw| raw.contains(&marker) || extra.is_some_and(|m| raw.contains(m)))
-        };
-        let idx = line as usize - 1;
-        if has(idx) {
-            return true;
-        }
-        // Walk the comment block directly above (bounded to keep marker
-        // influence local).
-        let mut k = idx;
+    /// The candidate annotation lines for a finding on `line` (1-based):
+    /// the line itself plus the contiguous run of `//` comment lines
+    /// immediately above it (bounded to keep marker influence local).
+    fn annotation_lines(&self, line: u32) -> Vec<u32> {
+        let mut lines = vec![line];
+        let mut k = line as usize - 1;
         let mut budget = 8;
         while k > 0 && budget > 0 {
             k -= 1;
@@ -188,8 +269,32 @@ impl<'s> FileCtx<'s> {
             if !raw.starts_with("//") {
                 break;
             }
-            if has(k) {
+            lines.push(k as u32 + 1);
+        }
+        lines
+    }
+
+    /// Whether `line` carries an allow marker for `rule` (same line or the
+    /// comment block above). A match is recorded as *used* so unused
+    /// markers can be reported as stale. `extra` is an additional accepted
+    /// raw-text marker (e.g. `lint:order-frozen`), not staleness-tracked.
+    fn allowed(&mut self, line: u32, rule: &str, extra: Option<&str>) -> bool {
+        let cand = self.annotation_lines(line);
+        for m in &mut self.markers {
+            if m.rule == rule && cand.contains(&m.line) {
+                m.used = true;
                 return true;
+            }
+        }
+        if let Some(extra) = extra {
+            for &l in &cand {
+                if self
+                    .raw_lines
+                    .get(l as usize - 1)
+                    .is_some_and(|raw| raw.contains(extra))
+                {
+                    return true;
+                }
             }
         }
         false
@@ -225,17 +330,30 @@ impl<'s> FileCtx<'s> {
     }
 
     fn into_report(self) -> LintReport {
+        let stale_allows = self
+            .markers
+            .iter()
+            .filter(|m| !m.used)
+            .map(|m| Allow {
+                path: self.path.clone(),
+                line: m.line as usize,
+                rule: m.rule,
+            })
+            .collect();
         LintReport {
             findings: self.findings,
             allows: self.allows,
+            stale_allows,
             files_scanned: 1,
         }
     }
 }
 
 /// Analyzes one file's `source`, reporting against `path` (used both for
-/// messages and for path-scoped rules).
-pub fn analyze(path: &str, source: &str) -> LintReport {
+/// messages and for path-scoped rules). `graph` supplies one-level helper
+/// summaries for the interprocedural rules; pass a graph built from just
+/// this file for self-contained analysis ([`crate::lint_source`] does).
+pub fn analyze(path: &str, source: &str, graph: &CallGraph) -> LintReport {
     let mut ctx = FileCtx::new(path, source);
     rule_det_hash(&mut ctx);
     rule_wall_clock(&mut ctx);
@@ -243,11 +361,17 @@ pub fn analyze(path: &str, source: &str) -> LintReport {
     rule_par_iter(&mut ctx);
     rule_unsafe_safety(&mut ctx);
     rule_forbid_unsafe(&mut ctx);
-    if ctx.in_scope(PERSIST_SCOPE) {
-        rule_persist_order(&mut ctx);
+    if ctx.in_scope(PERSIST_SCOPE) || ctx.in_scope(ITER_SCOPE) {
+        let ptoks = parse::sig_tokens(source);
+        let fns = parse::functions(&ptoks);
+        if ctx.in_scope(PERSIST_SCOPE) {
+            rule_persist_flow(&mut ctx, &ptoks, &fns, graph);
+            rule_hook_coverage(&mut ctx, &ptoks, &fns, graph);
+        }
     }
     if ctx.in_scope(ITER_SCOPE) {
         rule_order_sensitive_iteration(&mut ctx);
+        rule_shard_shared_mut(&mut ctx);
     }
     if ctx.in_scope(NUMERIC_SCOPE) {
         rule_sim_state_float(&mut ctx);
@@ -349,76 +473,147 @@ fn rule_forbid_unsafe(ctx: &mut FileCtx<'_>) {
     }
 }
 
-/// Finds each `fn` body as a significant-token index range `(start, end)`
-/// (exclusive of the braces themselves).
-fn fn_bodies(ctx: &FileCtx<'_>) -> Vec<(usize, usize)> {
-    let mut bodies = Vec::new();
-    let n = ctx.sig.len();
-    let mut i = 0;
-    while i < n {
-        if ctx.text(i) == "fn" && ctx.kind(i + 1) == Some(TokenKind::Ident) {
-            // Scan the signature for the opening brace at bracket depth 0.
-            let mut j = i + 2;
-            let mut depth = 0i32;
-            let mut open = None;
-            while j < n {
-                match ctx.text(j) {
-                    "(" | "[" => depth += 1,
-                    ")" | "]" => depth -= 1,
-                    "{" if depth == 0 => {
-                        open = Some(j);
-                        break;
-                    }
-                    ";" if depth == 0 => break, // bodyless (trait method)
-                    _ => {}
-                }
-                j += 1;
-            }
-            if let Some(open) = open {
-                let mut braces = 1i32;
-                let mut k = open + 1;
-                while k < n && braces > 0 {
-                    match ctx.text(k) {
-                        "{" => braces += 1,
-                        "}" => braces -= 1,
-                        _ => {}
-                    }
-                    k += 1;
-                }
-                bodies.push((open + 1, k.saturating_sub(1)));
-                i = open + 1; // nested fns will be found inside
+/// The flow-sensitive §III-G check: at every `.commit_record(..)` site,
+/// classify by the must/may evidence pair — `must` is clean, `may`-only is
+/// `commit-in-branch`, neither is `persist-order`. Evidence is a direct
+/// persist call or a call to a helper whose one-level summary persists.
+fn rule_persist_flow(
+    ctx: &mut FileCtx<'_>,
+    ptoks: &[SigTok<'_>],
+    fns: &[FnItem],
+    graph: &CallGraph,
+) {
+    let mut hits: Vec<(&'static str, usize)> = Vec::new();
+    for f in fns {
+        let mut gens = Vec::new();
+        let mut sites = Vec::new();
+        for i in f.body.0..f.body.1.min(ptoks.len()) {
+            if ptoks[i].kind != TokenKind::Ident || i + 1 >= ptoks.len() || ptoks[i + 1].text != "("
+            {
                 continue;
+            }
+            let name = ptoks[i].text;
+            if is_commit_name(name) {
+                if i > 0 && ptoks[i - 1].text == "." {
+                    sites.push(i);
+                }
+            } else if is_persist_evidence(name) || graph.callee_persists(name) {
+                gens.push(i);
             }
         }
-        i += 1;
-    }
-    bodies
-}
-
-fn is_persist_evidence(name: &str) -> bool {
-    PERSIST_EVIDENCE.contains(&name) || name.starts_with("persist") || name.starts_with("flush")
-}
-
-fn rule_persist_order(ctx: &mut FileCtx<'_>) {
-    let bodies = fn_bodies(ctx);
-    let mut hits = Vec::new();
-    for (start, end) in bodies {
-        let mut persist_seen = false;
-        for i in start..end.min(ctx.sig.len()) {
-            if ctx.kind(i) != Some(TokenKind::Ident) || !ctx.is(i + 1, "(") {
+        if sites.is_empty() {
+            continue;
+        }
+        let cfg = cfg::build(ptoks, f.body);
+        for s in evidence_at_sites(&cfg, &gens, &sites) {
+            if s.must {
                 continue;
             }
-            let name = ctx.text(i);
-            if is_persist_evidence(name) {
-                persist_seen = true;
-            } else if name == "commit_record" && i > 0 && ctx.is(i - 1, ".") && !persist_seen {
-                hits.push(i);
-            }
+            hits.push((
+                if s.may {
+                    "commit-in-branch"
+                } else {
+                    "persist-order"
+                },
+                s.site,
+            ));
+        }
+    }
+    for (rule, i) in hits {
+        ctx.report(rule, i, None);
+    }
+}
+
+/// Static half of the sanitizer cross-validation: every audited
+/// persist-event call site must live in a function the sanitizer observes —
+/// a direct `san.<event>(..)` call in the body, or a call to a helper whose
+/// summary notifies. `#[test]` functions construct raw traffic on purpose
+/// and are exempt.
+fn rule_hook_coverage(
+    ctx: &mut FileCtx<'_>,
+    ptoks: &[SigTok<'_>],
+    fns: &[FnItem],
+    graph: &CallGraph,
+) {
+    let mut hits = Vec::new();
+    for f in fns {
+        if f.has_test_attr(ptoks) {
+            continue;
+        }
+        let end = f.body.1.min(ptoks.len());
+        let event_sites: Vec<usize> = (f.body.0..end)
+            .filter(|&i| {
+                HOOK_EVENTS.contains(&ptoks[i].text)
+                    && ptoks[i].kind == TokenKind::Ident
+                    && i > 0
+                    && ptoks[i - 1].text == "."
+                    && i + 1 < end
+                    && ptoks[i + 1].text == "("
+            })
+            .collect();
+        if event_sites.is_empty() {
+            continue;
+        }
+        let covered = (f.body.0..end).any(|i| is_san_notification(ptoks, i))
+            || callees_in(ptoks, f.body)
+                .iter()
+                .any(|(_, name)| graph.callee_notifies(name));
+        if covered {
+            continue;
+        }
+        hits.extend(event_sites);
+    }
+    for i in hits {
+        ctx.report("hook-coverage", i, None);
+    }
+}
+
+/// Shared-mutable-state audit ahead of the bank-group sharding split:
+/// `static mut`, `thread_local!`, and interior-mutability containers used
+/// as types are flagged inside simulation crates.
+fn rule_shard_shared_mut(ctx: &mut FileCtx<'_>) {
+    let mut hits = Vec::new();
+    for i in 0..ctx.sig.len() {
+        if ctx.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let t = ctx.text(i);
+        if (t == "static" && ctx.is(i + 1, "mut"))
+            || t == "thread_local"
+            || (SHARED_MUT_TYPES.contains(&t) && ctx.is(i + 1, "<"))
+        {
+            hits.push(i);
         }
     }
     for i in hits {
-        ctx.report("persist-order", i, None);
+        ctx.report("shard-shared-mut", i, None);
     }
+}
+
+/// The pre-flow token-order approximation of `persist-order`, kept as an
+/// executable specification: within each function body, report the
+/// `line:col` of every `.commit_record(..)` with no persist evidence at any
+/// *earlier token index*. On straight-line code the flow-sensitive rule
+/// must agree with this exactly (pinned by the differential test in
+/// `tests/flow.rs`); on branching code they intentionally diverge.
+pub fn token_order_commit_sites(source: &str) -> Vec<(u32, u32)> {
+    let toks = parse::sig_tokens(source);
+    let mut out = Vec::new();
+    for f in parse::functions(&toks) {
+        let mut persist_seen = false;
+        for i in f.body.0..f.body.1.min(toks.len()) {
+            if toks[i].kind != TokenKind::Ident || i + 1 >= toks.len() || toks[i + 1].text != "(" {
+                continue;
+            }
+            let name = toks[i].text;
+            if is_persist_evidence(name) {
+                persist_seen = true;
+            } else if is_commit_name(name) && i > 0 && toks[i - 1].text == "." && !persist_seen {
+                out.push((toks[i].line, toks[i].col));
+            }
+        }
+    }
+    out
 }
 
 /// Collects names declared with a `DetHashMap`/`DetHashSet` type annotation
@@ -566,4 +761,100 @@ pub fn rule_counts(report: &LintReport) -> BTreeMap<&'static str, usize> {
         *counts.entry(f.rule).or_insert(0) += 1;
     }
     counts
+}
+
+/// Long-form documentation for one rule (`xtask lint --explain <rule>`).
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "det-hash" => {
+            "det-hash: rejects HashMap::new / HashSet::new / ::with_capacity.\n\
+             std hash containers seed a fresh RandomState per instance, so\n\
+             iteration order differs between runs and leaks into simulated\n\
+             state. Use simcore::det::{DetHashMap, DetHashSet} (fixed-seed)\n\
+             instead."
+        }
+        "wall-clock" => {
+            "wall-clock: rejects Instant::now() and SystemTime.\n\
+             Host time must never feed simulated results; the simulator's\n\
+             own cycle clock is the only time source. Host timing for the\n\
+             bench harness is annotated explicitly."
+        }
+        "thread-rng" => {
+            "thread-rng: rejects thread_rng / rand::random.\n\
+             OS-seeded randomness breaks run-to-run determinism. Use the\n\
+             seeded simcore::det RNG plumbed through the config."
+        }
+        "par-iter" => {
+            "par-iter: rejects par_iter()/into_par_iter()/par_bridge().\n\
+             Unordered parallel collection makes reduction order (and\n\
+             float/counter accumulation) nondeterministic. Parallelism is\n\
+             allowed only across independent simulations with ordered joins."
+        }
+        "unsafe-safety" => {
+            "unsafe-safety: every `unsafe` needs a `// SAFETY:` comment\n\
+             within the three lines above it explaining the invariant."
+        }
+        "forbid-unsafe" => {
+            "forbid-unsafe: every crate root (src/lib.rs) must carry\n\
+             #![forbid(unsafe_code)] so unsafety cannot creep in silently."
+        }
+        "persist-order" => {
+            "persist-order: a .commit_record(..) call with NO path from\n\
+             function entry carrying payload-persist evidence\n\
+             (data_persisted, write_burst, burst_spread, write_home_line,\n\
+             fence, persist*/flush* calls, or a helper whose one-level\n\
+             summary persists). This is HOOP's §III-G ordering contract —\n\
+             the commit record is persisted only after the payload it\n\
+             covers — checked as a dominance property on the function's\n\
+             control-flow graph. Flow model: loops run at least once, call\n\
+             arguments are opaque, helper evidence propagates one call\n\
+             level (see DESIGN.md §9)."
+        }
+        "commit-in-branch" => {
+            "commit-in-branch: a .commit_record(..) call where SOME path\n\
+             from function entry carries payload-persist evidence but\n\
+             ANOTHER reaches the commit without it — e.g. the persist sits\n\
+             in one `if` arm only. The old token-order rule could not see\n\
+             this shape (evidence earlier in the token stream looked\n\
+             dominating); the CFG must/may dataflow pair distinguishes it:\n\
+             may-but-not-must is exactly \"covered on some paths only\"."
+        }
+        "order-sensitive-iteration" => {
+            "order-sensitive-iteration: .iter()/.keys()/.values()/.drain()\n\
+             on a receiver declared DetHashMap/DetHashSet in the same file.\n\
+             Det containers fix the seed, but their iteration order is\n\
+             still insertion-history-dependent; if it feeds simulated\n\
+             state, annotate the site lint:order-frozen to freeze it into\n\
+             the determinism contract (DESIGN.md §8)."
+        }
+        "sim-state-float" => {
+            "sim-state-float: casting a float-tainted expression to an\n\
+             integer/Cycle type. Floating point must not feed simulated\n\
+             counters; derive integer state from integer arithmetic."
+        }
+        "lossy-cycle-cast" => {
+            "lossy-cycle-cast: `as` truncation of a cycle/clock-named\n\
+             counter to a sub-64-bit integer. Cycle counters are u64 by\n\
+             contract; narrowing silently wraps on long runs."
+        }
+        "shard-shared-mut" => {
+            "shard-shared-mut: static mut, thread_local!, or an\n\
+             interior-mutability container type (Rc<, RefCell<, Cell<,\n\
+             UnsafeCell<, Mutex<, RwLock<) inside the simulation crates.\n\
+             ROADMAP direction 1 shards the controller by bank group;\n\
+             shared mutable state that is not owned by exactly one shard\n\
+             either races or serializes the split. Flag it now, decide\n\
+             ownership explicitly (annotate with a reason if it must stay)."
+        }
+        "hook-coverage" => {
+            "hook-coverage: a write_burst/burst_spread/write_home_line call\n\
+             site in a non-#[test] function with no sanitizer observation —\n\
+             no direct san.<event>(..) call in the body and no call to a\n\
+             helper whose one-level summary notifies. The runtime pmcheck\n\
+             sanitizer (PR 2) claims to shadow every persist event; this\n\
+             rule is the static half of that cross-validation, proving no\n\
+             engine path emits device traffic the sanitizer cannot see."
+        }
+        _ => return None,
+    })
 }

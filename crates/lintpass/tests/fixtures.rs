@@ -262,6 +262,215 @@ fn bad(&mut self) {
     fires_once("crates/engines/src/two.rs", src, "persist-order", 7, 19);
 }
 
+// --------------------------------------------------------- commit-in-branch
+
+/// The branch-shaped §III-G violation the token-order rule could not see:
+/// the payload persist sits in one `if` arm only, yet the commit record is
+/// announced unconditionally. In token order the evidence comes *earlier*,
+/// so the old rule stayed silent; on the CFG the evidence is may-but-not-
+/// must at the commit site.
+const COMMIT_IN_BRANCH_ENGINE: &str = r#"
+impl PersistenceEngine for BranchyEngine {
+    fn tx_end(&mut self, tx: TxId, now: Cycle) -> CommitOutcome {
+        let lines = self.active.remove(&tx).expect("commit of unknown tx");
+        if self.fast_path {
+            for (l, img) in lines {
+                self.base.write_home_line(Line(l), &img, now, TrafficClass::Data);
+                self.base.san.data_persisted(tx, Line(l), now);
+            }
+        }
+        // BUG: on the slow path nothing was persisted, yet the commit
+        // record is announced unconditionally.
+        self.base.san.commit_record(tx, now);
+        CommitOutcome { latency: 0, clean_lines: Vec::new() }
+    }
+}
+"#;
+
+#[test]
+fn commit_in_branch_fires_where_token_order_was_blind() {
+    let f = fires_once(
+        "crates/engines/src/branchy.rs",
+        COMMIT_IN_BRANCH_ENGINE,
+        "commit-in-branch",
+        13,
+        23,
+    );
+    assert!(f.snippet.contains("commit_record"));
+    // The old token-order rule mis-handles this exact source: the arm's
+    // evidence appears earlier in the token stream, so it reports nothing.
+    assert!(
+        lintpass::rules::token_order_commit_sites(COMMIT_IN_BRANCH_ENGINE).is_empty(),
+        "token-order spec unexpectedly caught the branch case"
+    );
+    // And plain persist-order must not double-report the same site.
+    let r = lint_source("crates/engines/src/branchy.rs", COMMIT_IN_BRANCH_ENGINE);
+    assert!(r.findings.iter().all(|f| f.rule != "persist-order"));
+}
+
+#[test]
+fn commit_in_branch_cleared_when_both_arms_persist() {
+    let src = r#"
+fn tx_end(&mut self, tx: TxId, now: Cycle) {
+    if self.fast_path {
+        self.base.san.data_persisted(tx, l, now);
+    } else {
+        self.flush_all(tx, now);
+    }
+    self.base.san.commit_record(tx, now);
+}
+"#;
+    clean("crates/engines/src/botharms.rs", src);
+}
+
+/// Persist-via-helper: the payload persist lives in `drain_to_home`, whose
+/// one-level call-graph summary carries the evidence to the call site in
+/// `tx_end`. The old token-order rule false-positives here (no evidence
+/// inside `tx_end` itself).
+const HELPER_PERSIST_ENGINE: &str = r#"
+impl PersistenceEngine for HelperEngine {
+    fn drain_to_home(&mut self, tx: TxId, now: Cycle) {
+        for (l, img) in self.active.remove(&tx).expect("tx") {
+            self.base.write_home_line(Line(l), &img, now, TrafficClass::Data);
+            self.base.san.data_persisted(tx, Line(l), now);
+        }
+    }
+    fn tx_end(&mut self, tx: TxId, now: Cycle) -> CommitOutcome {
+        self.drain_to_home(tx, now);
+        self.base.san.commit_record(tx, now);
+        CommitOutcome { latency: 0, clean_lines: Vec::new() }
+    }
+}
+"#;
+
+#[test]
+fn persist_via_helper_is_cleared_by_call_graph() {
+    clean("crates/engines/src/helper.rs", HELPER_PERSIST_ENGINE);
+    // The old token-order rule mis-handles this source the other way: a
+    // false positive at the commit site (line 11, col 23).
+    assert_eq!(
+        lintpass::rules::token_order_commit_sites(HELPER_PERSIST_ENGINE),
+        vec![(11, 23)],
+        "token-order spec should false-positive on the helper shape"
+    );
+}
+
+#[test]
+fn helper_evidence_does_not_propagate_two_levels() {
+    // outer -> mid -> leaf(persists): the one-level cutoff means mid's
+    // summary does NOT persist, so outer's commit is still convicted
+    // (documented false-positive surface of the shallow summaries — the
+    // conservative direction for persist-order).
+    let src = r#"
+fn leaf(&mut self) { persist_line(l); }
+fn mid(&mut self) { self.leaf(); }
+fn outer(&mut self) {
+    self.mid();
+    self.base.san.commit_record(tx, now);
+}
+"#;
+    fires_once("crates/engines/src/deep.rs", src, "persist-order", 6, 19);
+}
+
+// ------------------------------------------------------------ hook-coverage
+
+#[test]
+fn hook_coverage_fires_on_unobserved_burst() {
+    let src = "fn spill(&mut self, now: Cycle) {\n    self.base.write_burst(slot, &bytes, now, TrafficClass::Data);\n}\n";
+    fires_once("crates/engines/src/spill.rs", src, "hook-coverage", 2, 15);
+}
+
+#[test]
+fn hook_coverage_accepts_direct_san_notification() {
+    let src = "fn spill(&mut self, now: Cycle) {\n    self.base.write_burst(slot, &bytes, now, TrafficClass::Data);\n    self.base.san.evict_dirty(Line(slot), now);\n}\n";
+    clean("crates/engines/src/spill.rs", src);
+}
+
+#[test]
+fn hook_coverage_accepts_notifying_helper_one_level() {
+    let src = r#"
+fn observe(&mut self, l: Line, now: Cycle) {
+    self.base.san.evict_dirty(l, now);
+}
+fn spill(&mut self, now: Cycle) {
+    self.base.write_burst(slot, &bytes, now, TrafficClass::Data);
+    self.observe(Line(slot), now);
+}
+"#;
+    clean("crates/engines/src/spill.rs", src);
+}
+
+#[test]
+fn hook_coverage_exempts_test_functions() {
+    let src = "#[test]\nfn raw_traffic() {\n    base.write_burst(slot, &bytes, now, TrafficClass::Data);\n}\n";
+    clean("crates/engines/src/t.rs", src);
+}
+
+#[test]
+fn hook_coverage_is_scoped_to_persist_crates() {
+    let src = "fn spill(&mut self, now: Cycle) {\n    self.base.write_burst(slot, &bytes, now, TrafficClass::Data);\n}\n";
+    clean("crates/memhier/src/x.rs", src);
+}
+
+// -------------------------------------------------------- shard-shared-mut
+
+#[test]
+fn shard_shared_mut_fires_on_interior_mutability_type() {
+    let src = "struct Controller {\n    queue: Rc<RefCell<Vec<u64>>>,\n}\n";
+    // `Rc<` and `RefCell<` are on one line; per-rule-per-line dedup keeps
+    // exactly one finding, anchored at the first offender.
+    fires_once("crates/engines/src/ctl.rs", src, "shard-shared-mut", 2, 12);
+}
+
+#[test]
+fn shard_shared_mut_fires_on_static_mut() {
+    let src = "static mut EPOCH: u64 = 0;\n";
+    fires_once("crates/nvm/src/epoch.rs", src, "shard-shared-mut", 1, 1);
+}
+
+#[test]
+fn shard_shared_mut_ignores_plain_statics_and_lifetimes() {
+    clean(
+        "crates/engines/src/names.rs",
+        "static NAMES: &[&str] = &[\"a\"];\nfn f(s: &'static str) -> &'static str { s }\n",
+    );
+}
+
+#[test]
+fn shard_shared_mut_is_scoped_to_sim_crates() {
+    clean("crates/bench/src/x.rs", "static mut EPOCH: u64 = 0;\n");
+}
+
+// ------------------------------------------------------------- stale allows
+
+#[test]
+fn stale_allow_is_warned_not_failed() {
+    let src = "// lint:allow(det-hash)\nfn f() { let v: Vec<u64> = Vec::new(); }\n";
+    let r = lint_source("x.rs", src);
+    assert!(r.is_clean(), "stale allows must not become findings");
+    assert_eq!(r.stale_allows.len(), 1);
+    assert_eq!(r.stale_allows[0].rule, "det-hash");
+    assert_eq!(r.stale_allows[0].line, 1);
+}
+
+#[test]
+fn used_allow_is_not_stale() {
+    let src = "// lint:allow(wall-clock)\nfn f() { let t = Instant::now(); }\n";
+    let r = lint_source("x.rs", src);
+    assert!(r.stale_allows.is_empty(), "consumed marker reported stale");
+    assert_eq!(r.allows.len(), 1);
+}
+
+#[test]
+fn allow_in_string_or_doc_placeholder_is_not_a_marker() {
+    // A marker-shaped string literal and the `<rule>` documentation
+    // placeholder must register as neither allow nor stale-allow.
+    let src = "fn f() -> &'static str { \"lint:allow(det-hash)\" }\n// lint:allow(<rule>) is the syntax\n";
+    let r = lint_source("x.rs", src);
+    assert!(r.stale_allows.is_empty());
+    assert!(r.allows.is_empty());
+}
+
 // ---------------------------------------- order-sensitive-iteration
 
 #[test]

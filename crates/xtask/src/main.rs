@@ -4,25 +4,37 @@
 //! ```text
 //! cargo run -p xtask -- lint [PATH...] [--baseline FILE] [--write-baseline]
 //!                            [--json FILE | --no-json]
+//!                            [--explain RULE] [--cfg-dot FILE:LINE|FILE:FN]
 //! cargo run -p xtask -- bench [-- ARGS...]
 //! cargo run -p xtask -- crashtest [-- ARGS...]
 //! cargo run -p xtask -- trace [-- ARGS...]
 //! ```
 //!
-//! `lint` runs the token-level analyzer of the `lintpass` crate over the
+//! `lint` runs the flow-sensitive analyzer of the `lintpass` crate over the
 //! workspace sources (`crates/`, `src/`, `tests/`, `examples/`; `vendor/`
 //! and `target/` are excluded): the determinism/safety rules plus the
-//! semantic `persist-order`, `order-sensitive-iteration`, `sim-state-float`
-//! and `lossy-cycle-cast` checks. Findings are gated against the committed
-//! baseline (`lint.baseline` at the workspace root) so CI fails only on
-//! *new* findings — and also on *stale* baseline entries, which demand a
-//! refresh via `--write-baseline` in the same change. A schema-versioned
-//! JSON report is written to `results/lint.json` unless `--no-json`.
+//! CFG/dataflow-backed `persist-order`, `commit-in-branch` and
+//! `hook-coverage` checks and the scope-based `order-sensitive-iteration`,
+//! `sim-state-float`, `lossy-cycle-cast` and `shard-shared-mut` checks.
+//! Findings are gated against the committed baseline (`lint.baseline` at the
+//! workspace root) so CI fails only on *new* findings — and also on *stale*
+//! baseline entries, which demand a refresh via `--write-baseline` in the
+//! same change. A schema-versioned JSON report is written to
+//! `results/lint.json` unless `--no-json`; when that path cannot be written
+//! (read-only checkout) the run degrades to the stdout summary with a
+//! warning instead of failing. For every *failing* flow-rule finding the
+//! enclosing function's CFG is exported as Graphviz dot under
+//! `results/cfg/` so CI can attach it as a debugging artifact.
+//!
+//! `--explain RULE` prints the rationale and fix guidance for one rule;
+//! `--cfg-dot FILE:LINE` (or `FILE:FUNCTION`) prints a function's CFG as
+//! dot without running the scan.
 //!
 //! Exit codes: `0` clean (or fully baselined), `1` findings (new findings,
 //! stale baseline entries, or a corrupt baseline), `2` scan/IO/usage error.
 //! Explicitly annotated `// lint:allow(<rule>)` exceptions are listed so
-//! the audit trail stays visible in CI logs.
+//! the audit trail stays visible in CI logs; annotations that no longer
+//! suppress anything are reported as *stale* warnings (never a failure).
 //!
 //! `bench` measures the simulator's own host time: it builds and runs the
 //! `bench_host` binary in release mode (host timing of a debug build would
@@ -70,6 +82,8 @@ struct LintOpts {
     baseline: PathBuf,
     write_baseline: bool,
     json: Option<PathBuf>,
+    explain: Option<String>,
+    cfg_dot: Option<String>,
 }
 
 fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
@@ -79,6 +93,8 @@ fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
         baseline: root.join("lint.baseline"),
         write_baseline: false,
         json: Some(root.join("results/lint.json")),
+        explain: None,
+        cfg_dot: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,6 +103,19 @@ fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
             "--write-baseline" => opts.write_baseline = true,
             "--json" => opts.json = Some(operand(&mut it, "--json")?),
             "--no-json" => opts.json = None,
+            "--explain" => {
+                opts.explain = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--explain requires a rule name".to_string())?,
+                );
+            }
+            "--cfg-dot" => {
+                opts.cfg_dot =
+                    Some(it.next().cloned().ok_or_else(|| {
+                        "--cfg-dot requires FILE:LINE or FILE:FUNCTION".to_string()
+                    })?);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => opts.roots.push(PathBuf::from(path)),
         }
@@ -100,6 +129,109 @@ fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
     Ok(opts)
 }
 
+/// `--explain RULE`: prints the per-rule rationale from the analyzer's own
+/// vocabulary, so the fix guidance cannot drift from the implementation.
+fn run_explain(rule: &str) -> u8 {
+    match rules::explain(rule) {
+        Some(text) => {
+            println!("{rule}\n{}\n{text}", "-".repeat(rule.len()));
+            0
+        }
+        None => {
+            eprintln!(
+                "xtask lint: unknown rule `{rule}` — known rules: {}",
+                rules::RULE_IDS.join(", ")
+            );
+            2
+        }
+    }
+}
+
+/// `--cfg-dot FILE:LINE` or `FILE:FUNCTION`: renders one function's CFG as
+/// Graphviz dot on stdout. A numeric suffix selects the innermost function
+/// whose body spans that line; anything else is a function name.
+fn run_cfg_dot(spec: &str) -> u8 {
+    let Some((file, sel)) = spec.rsplit_once(':') else {
+        eprintln!("xtask lint: --cfg-dot expects FILE:LINE or FILE:FUNCTION, got `{spec}`");
+        return 2;
+    };
+    let path = PathBuf::from(file);
+    let path = if path.exists() {
+        path
+    } else {
+        workspace_root().join(file)
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let dot = match sel.parse::<u32>() {
+        Ok(line) => lintpass::cfg_dot_at(&source, line).map(|(name, dot)| {
+            eprintln!("xtask lint: cfg of `{name}` (innermost function at {file}:{line})");
+            dot
+        }),
+        Err(_) => lintpass::cfg_dot_named(&source, sel),
+    };
+    match dot {
+        Some(dot) => {
+            println!("{dot}");
+            0
+        }
+        None => {
+            eprintln!(
+                "xtask lint: no function body matches `{sel}` in {}",
+                path.display()
+            );
+            2
+        }
+    }
+}
+
+/// Rules whose findings come out of the CFG/dataflow layer — these get their
+/// enclosing function's CFG exported as dot when they fail the gate.
+const FLOW_RULES: [&str; 3] = ["persist-order", "commit-in-branch", "hook-coverage"];
+
+/// Best-effort dot export for failing flow-rule findings: one
+/// `results/cfg/<path with '/'→'_'>__<line>.dot` per finding, so CI can
+/// upload the CFGs a human needs to audit the dataflow verdict. IO errors
+/// are warnings — the artifact must never mask the finding itself.
+fn export_failing_cfgs(root: &std::path::Path, failing: &[&lintpass::Finding]) {
+    let flow: Vec<&&lintpass::Finding> = failing
+        .iter()
+        .filter(|f| FLOW_RULES.contains(&f.rule))
+        .collect();
+    if flow.is_empty() {
+        return;
+    }
+    let dir = root.join("results/cfg");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("xtask lint: cannot create {}: {e}", dir.display());
+        return;
+    }
+    for f in flow {
+        let Ok(source) = std::fs::read_to_string(root.join(&f.path)) else {
+            continue;
+        };
+        let Some((name, dot)) = lintpass::cfg_dot_at(&source, f.line as u32) else {
+            continue;
+        };
+        let file = dir.join(format!("{}__{}.dot", f.path.replace('/', "_"), f.line));
+        match std::fs::write(&file, dot) {
+            Ok(()) => println!(
+                "wrote {} (cfg of `{name}` for [{}] at {}:{})",
+                file.display(),
+                f.rule,
+                f.path,
+                f.line
+            ),
+            Err(e) => eprintln!("xtask lint: cannot write {}: {e}", file.display()),
+        }
+    }
+}
+
 /// Prints the per-rule finding count table (zeros included, so the full
 /// rule inventory is visible in every CI log).
 fn print_rule_counts(report: &LintReport) {
@@ -110,24 +242,41 @@ fn print_rule_counts(report: &LintReport) {
     }
 }
 
-fn run_lint(args: &[String]) -> ExitCode {
+/// The whole `lint` subcommand as a plain function returning the exit code
+/// as `u8` — [`std::process::ExitCode`] has no `PartialEq`, so tests could
+/// not assert on it.
+fn lint_main(args: &[String]) -> u8 {
     let opts = match parse_lint_args(args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("xtask lint: {e}");
-            return ExitCode::from(2);
+            return 2;
         }
     };
+    if let Some(rule) = &opts.explain {
+        return run_explain(rule);
+    }
+    if let Some(spec) = &opts.cfg_dot {
+        return run_cfg_dot(spec);
+    }
     let root = workspace_root();
     let report = match lintpass::lint_paths_rel(&opts.roots, Some(&root)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: scan failed: {e}");
-            return ExitCode::from(2);
+            return 2;
         }
     };
     for a in &report.allows {
         println!("allowed  {}:{} [{}]", a.path, a.line, a.rule);
+    }
+    // Stale allows are a warning, never a failure: cleaning up a suppression
+    // whose finding is gone should be a deliberate follow-up, not a CI block.
+    for a in &report.stale_allows {
+        println!(
+            "warning: stale lint:allow — {}:{} [{}] suppresses nothing; remove it",
+            a.path, a.line, a.rule
+        );
     }
 
     if opts.write_baseline {
@@ -136,7 +285,7 @@ fn run_lint(args: &[String]) -> ExitCode {
                 "xtask lint: cannot write baseline {}: {e}",
                 opts.baseline.display()
             );
-            return ExitCode::from(2);
+            return 2;
         }
         println!(
             "xtask lint: wrote baseline {} ({} entr{})",
@@ -159,7 +308,7 @@ fn run_lint(args: &[String]) -> ExitCode {
                 "error: baseline {} is corrupt: {e}",
                 opts.baseline.display()
             );
-            return ExitCode::FAILURE;
+            return 1;
         }
         Ok(None) => None,
         Err(e) => {
@@ -167,7 +316,7 @@ fn run_lint(args: &[String]) -> ExitCode {
                 "xtask lint: cannot read baseline {}: {e}",
                 opts.baseline.display()
             );
-            return ExitCode::from(2);
+            return 2;
         }
     };
     let outcome = baseline.as_ref().map(|b| gate(&report, b));
@@ -182,11 +331,12 @@ fn run_lint(args: &[String]) -> ExitCode {
             .map_or(Ok(()), std::fs::create_dir_all)
             .and_then(|()| std::fs::write(json_path, doc));
         if let Err(e) = write {
+            // A read-only checkout must still be lintable: degrade to the
+            // stdout summary instead of failing with an IO error.
             eprintln!(
-                "xtask lint: cannot write report {}: {e}",
+                "warning: cannot write report {} ({e}) — continuing with stdout summary only",
                 json_path.display()
             );
-            return ExitCode::from(2);
         }
     }
 
@@ -211,6 +361,7 @@ fn run_lint(args: &[String]) -> ExitCode {
             );
         }
     }
+    export_failing_cfgs(&root, &failing);
 
     if failing.is_empty() && stale == 0 {
         println!(
@@ -219,7 +370,7 @@ fn run_lint(args: &[String]) -> ExitCode {
             report.allows.len(),
             outcome.as_ref().map_or(0, |o| o.baselined.len()),
         );
-        ExitCode::SUCCESS
+        0
     } else {
         if stale > 0 {
             eprintln!(
@@ -231,11 +382,12 @@ fn run_lint(args: &[String]) -> ExitCode {
         eprintln!(
             "xtask lint: {} new finding(s) in {} files — use simcore::det containers, \
              simulated time, and SimRng; annotate intentional exceptions with \
-             `// lint:allow(<rule>)`",
+             `// lint:allow(<rule>)`, or run `cargo run -p xtask -- lint --explain <rule>` \
+             for the rationale",
             failing.len(),
             report.files_scanned
         );
-        ExitCode::FAILURE
+        1
     }
 }
 
@@ -267,16 +419,25 @@ fn help_for(subcommand: &str) -> Option<&'static str> {
         "lint" => {
             "usage: cargo run -p xtask -- lint [PATH...] [OPTIONS]\n\
              \n\
-             Token-level static analysis (determinism/safety rules plus the\n\
-             persist-order, order-sensitive-iteration, sim-state-float and\n\
-             lossy-cycle-cast checks), gated against the committed baseline.\n\
+             Flow-sensitive static analysis: determinism/safety rules plus the\n\
+             CFG/dataflow-backed persist-order, commit-in-branch and\n\
+             hook-coverage checks and the scope-based order-sensitive-iteration,\n\
+             sim-state-float, lossy-cycle-cast and shard-shared-mut checks,\n\
+             gated against the committed baseline. Failing flow-rule findings\n\
+             export their function's CFG as dot under results/cfg/. Stale\n\
+             lint:allow annotations are warned about (exit 0).\n\
              \n\
              options:\n\
              \x20 PATH...            directories to scan (default: crates/ src/ tests/ examples/)\n\
              \x20 --baseline FILE    baseline file (default: lint.baseline)\n\
              \x20 --write-baseline   rewrite the baseline from this scan\n\
-             \x20 --json FILE        write the JSON report here (default: results/lint.json)\n\
+             \x20 --json FILE        write the JSON report here (default: results/lint.json);\n\
+             \x20                    an unwritable path degrades to stdout with a warning\n\
              \x20 --no-json          skip the JSON report\n\
+             \x20 --explain RULE     print one rule's rationale and fix guidance, then exit\n\
+             \x20 --cfg-dot F:LINE   print the CFG (Graphviz dot) of the innermost function\n\
+             \x20                    at line LINE of file F, then exit; F:NAME selects the\n\
+             \x20                    function named NAME instead\n\
              \n\
              exit codes: 0 clean/baselined, 1 new or stale findings, 2 scan/IO/usage error"
         }
@@ -341,7 +502,7 @@ fn main() -> ExitCode {
         }
     }
     match sub {
-        "lint" => run_lint(&args[1..]),
+        "lint" => ExitCode::from(lint_main(&args[1..])),
         "bench" => delegate("bench", "hoop-bench", "bench_host", &args[1..]),
         "crashtest" => delegate("crashtest", "hoop-crashtest", "crashtest", &args[1..]),
         "trace" => delegate("trace", "hoop-bench", "trace_pack", &args[1..]),
@@ -349,5 +510,97 @@ fn main() -> ExitCode {
             eprintln!("{USAGE}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fresh scratch directory per test (no tempfile dependency): unique by
+    /// test name + pid, recreated from empty on every run.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xtask-lint-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn explain_known_rule_exits_zero() {
+        assert_eq!(lint_main(&strs(&["--explain", "persist-order"])), 0);
+        assert_eq!(lint_main(&strs(&["--explain", "commit-in-branch"])), 0);
+        assert_eq!(lint_main(&strs(&["--explain", "hook-coverage"])), 0);
+    }
+
+    #[test]
+    fn explain_unknown_rule_is_usage_error() {
+        assert_eq!(lint_main(&strs(&["--explain", "no-such-rule"])), 2);
+        assert_eq!(lint_main(&strs(&["--explain"])), 2);
+    }
+
+    #[test]
+    fn unknown_flag_is_usage_error() {
+        assert_eq!(lint_main(&strs(&["--frobnicate"])), 2);
+    }
+
+    #[test]
+    fn unwritable_json_degrades_to_stdout_not_exit_2() {
+        let dir = scratch("unwritable-json");
+        std::fs::write(dir.join("clean.rs"), "fn main() {}\n").unwrap();
+        // The JSON path's parent is a regular file, so creating it (and
+        // writing through it) must fail even when running as root.
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "not a directory").unwrap();
+        let json = blocker.join("lint.json");
+        let code = lint_main(&strs(&[
+            dir.to_str().unwrap(),
+            "--baseline",
+            dir.join("no-such-baseline").to_str().unwrap(),
+            "--json",
+            json.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0, "unwritable report must degrade, not fail");
+        assert!(!json.exists());
+    }
+
+    #[test]
+    fn writable_json_is_written() {
+        let dir = scratch("writable-json");
+        std::fs::write(dir.join("clean.rs"), "fn main() {}\n").unwrap();
+        let json = dir.join("out/lint.json");
+        let code = lint_main(&strs(&[
+            dir.to_str().unwrap(),
+            "--baseline",
+            dir.join("no-such-baseline").to_str().unwrap(),
+            "--json",
+            json.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("\"schema\": \"hoop-lint/2\""));
+    }
+
+    #[test]
+    fn cfg_dot_by_line_and_by_name() {
+        let dir = scratch("cfg-dot");
+        let file = dir.join("mini.rs");
+        std::fs::write(
+            &file,
+            "fn step(x: u32) -> u32 {\n    if x > 1 {\n        x - 1\n    } else {\n        0\n    }\n}\n",
+        )
+        .unwrap();
+        let path = file.to_str().unwrap();
+        assert_eq!(lint_main(&strs(&["--cfg-dot", &format!("{path}:2")])), 0);
+        assert_eq!(lint_main(&strs(&["--cfg-dot", &format!("{path}:step")])), 0);
+        assert_eq!(
+            lint_main(&strs(&["--cfg-dot", &format!("{path}:no_such_fn")])),
+            2
+        );
+        assert_eq!(lint_main(&strs(&["--cfg-dot", "no-colon-spec"])), 2);
     }
 }
