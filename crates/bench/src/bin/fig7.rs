@@ -19,7 +19,9 @@ use workloads::driver::ENGINES;
 
 fn main() {
     let opts = RunnerOptions::from_args();
-    let plan = ExperimentPlan::matrix("fig7", SimConfig::default(), opts.scale);
+    let mut sim = SimConfig::default();
+    opts.apply_to_sim(&mut sim);
+    let plan = ExperimentPlan::matrix("fig7", sim, opts.scale);
     let cells = plan.run_and_export_opts(&opts);
     let reports: Vec<_> = cells.into_iter().map(|c| c.report).collect();
 

@@ -1,8 +1,8 @@
 //! `hoopsim` — command-line front end for the HOOP simulator.
 //!
 //! ```text
-//! hoopsim run      --engine HOOP --workload ycsb --txs 20000 [--item-bytes 1024] [--sanitize]
-//! hoopsim compare  --workload hashmap [--txs 10000]
+//! hoopsim run      --engine HOOP --workload ycsb --txs 20000 [--item-bytes 1024] [--sanitize] [--shards N]
+//! hoopsim compare  --workload hashmap [--txs 10000] [--shards N]
 //! hoopsim recover  [--threads 8] [--bandwidth 25]
 //! hoopsim trace    --workload vector --txs 200 --out trace.txt
 //! hoopsim replay   --engine LAD --in trace.txt
@@ -77,6 +77,17 @@ fn spec_from(opts: &DetHashMap<String, String>) -> WorkloadSpec {
     spec
 }
 
+/// Machine configuration for a CLI run: the default Table II machine with
+/// the `--shards N` host knob applied (byte-identical output for any N).
+fn cfg_from(opts: &DetHashMap<String, String>) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    if let Some(v) = opts.get("shards") {
+        cfg.shards = v.parse().expect("--shards takes a positive integer");
+        assert!(cfg.shards > 0, "--shards takes a positive integer");
+    }
+    cfg
+}
+
 fn u64_opt(opts: &DetHashMap<String, String>, key: &str, default: u64) -> u64 {
     opts.get(key)
         .map(|v| {
@@ -86,8 +97,13 @@ fn u64_opt(opts: &DetHashMap<String, String>, key: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn run_one(engine: &str, spec: WorkloadSpec, txs: u64) -> workloads::driver::RunReport {
-    run_one_sanitized(engine, spec, txs, false).0
+fn run_one(
+    engine: &str,
+    spec: WorkloadSpec,
+    txs: u64,
+    cfg: &SimConfig,
+) -> workloads::driver::RunReport {
+    run_one_sanitized(engine, spec, txs, false, cfg).0
 }
 
 fn run_one_sanitized(
@@ -95,18 +111,18 @@ fn run_one_sanitized(
     spec: WorkloadSpec,
     txs: u64,
     sanitize: bool,
+    cfg: &SimConfig,
 ) -> (
     workloads::driver::RunReport,
     Option<pmcheck::SanitizerSummary>,
 ) {
-    let cfg = SimConfig::default();
-    let mut sys = build_system(engine, &cfg);
+    let mut sys = build_system(engine, cfg);
     let san = sanitize.then(|| {
         let (san, handle) = pmcheck::PersistencySanitizer::shared();
         sys.attach_sanitizer(handle);
         san
     });
-    let mut driver = Driver::new(spec, &cfg);
+    let mut driver = Driver::new(spec, cfg);
     driver.setup(&mut sys);
     let report = driver.run(&mut sys, txs / 10, txs);
     let summary = san.map(|s| s.lock().expect("sanitizer poisoned").summary());
@@ -121,7 +137,8 @@ fn main() {
             let spec = spec_from(&opts);
             let txs = u64_opt(&opts, "txs", 10_000);
             let sanitize = opts.contains_key("sanitize");
-            let (r, summary) = run_one_sanitized(engine, spec, txs, sanitize);
+            let cfg = cfg_from(&opts);
+            let (r, summary) = run_one_sanitized(engine, spec, txs, sanitize, &cfg);
             println!("{}", r.summary());
             println!(
                 "  miss_ratio={:.3}  loads/miss={:.2}  gc_reduction={:.3}  verify_errors={}",
@@ -143,8 +160,9 @@ fn main() {
         "compare" => {
             let spec = spec_from(&opts);
             let txs = u64_opt(&opts, "txs", 10_000);
+            let cfg = cfg_from(&opts);
             for engine in ENGINES {
-                println!("{}", run_one(engine, spec, txs).summary());
+                println!("{}", run_one(engine, spec, txs, &cfg).summary());
             }
         }
         "recover" => {

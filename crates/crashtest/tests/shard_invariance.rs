@@ -1,0 +1,57 @@
+//! Intra-cell sharding must be a pure host knob: for any engine, any
+//! workload seed, and any crash point, running the cell with `--shards` 1,
+//! 2 or 4 must tick the crash valve through the identical event sequence,
+//! trip at the identical point, and recover to a byte-identical durable
+//! image with identical counters. Sharded phases only parallelize pure
+//! reads (region scans, chain walks) and fold their results in shard order,
+//! so nothing observable may move.
+
+use crashtest::harness::Harness;
+use crashtest::workload::{CrashSpec, CrashWorkload};
+use proptest::prelude::*;
+use simcore::config::SimConfig;
+use workloads::driver::ENGINES;
+
+fn sharded_config(shards: u8) -> SimConfig {
+    let mut cfg = SimConfig::small_for_tests();
+    cfg.shards = shards;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn crash_and_recovery_are_shard_invariant(seed in 0u64..1024, frac in 0u64..100) {
+        for engine in ENGINES {
+            let serial = Harness::named(engine).with_config(sharded_config(1));
+            let wl = CrashWorkload::generate(
+                CrashSpec::quick(seed),
+                serial.config().worker_threads as usize,
+            );
+            let total = serial.count_events(&wl).events_at_crash;
+            let cutoff = (total * frac) / 100;
+            let one = serial.run(&wl, cutoff, None, 1);
+            prop_assert!(one.passed(), "{engine}: {:?}", one.violations.first());
+
+            for shards in [2u8, 4] {
+                let harness = Harness::named(engine).with_config(sharded_config(shards));
+                let many = harness.run(&wl, cutoff, None, 1);
+                prop_assert_eq!(
+                    many.image_digest, one.image_digest,
+                    "{} at cutoff {}: durable image differs with {} shards",
+                    engine, cutoff, shards
+                );
+                prop_assert_eq!(many.events_at_crash, one.events_at_crash);
+                prop_assert_eq!(many.total_events, one.total_events);
+                prop_assert_eq!(many.tripped, one.tripped);
+                prop_assert_eq!(many.trip_kind, one.trip_kind);
+                prop_assert_eq!(many.kind_counts, one.kind_counts);
+                prop_assert_eq!(&many.committed, &one.committed);
+                prop_assert_eq!(many.report.bytes_scanned, one.report.bytes_scanned);
+                prop_assert_eq!(many.report.bytes_written, one.report.bytes_written);
+                prop_assert_eq!(many.report.txs_replayed, one.report.txs_replayed);
+            }
+        }
+    }
+}

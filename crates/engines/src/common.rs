@@ -35,18 +35,26 @@ pub struct ControllerBase {
     /// event stands for; a tripped valve closes the store, so the mutation
     /// is dropped and the byte image freezes at the injected crash point.
     pub crash: CrashValve,
+    /// Host-execution shards for this cell's bulk phases (`cfg.shards`,
+    /// ≥ 1). A pure host knob: engines that shard their scans must produce
+    /// byte-identical output for every value (see `simcore::shard`).
+    pub shards: usize,
     next_tx: u64,
 }
 
 impl ControllerBase {
     /// Creates the base from the machine configuration.
     pub fn new(cfg: &SimConfig) -> Self {
+        let shards = (cfg.shards as usize).max(1);
+        let mut device = NvmDevice::new(cfg.nvm, cfg.energy);
+        device.set_bank_groups(shards);
         ControllerBase {
-            device: NvmDevice::new(cfg.nvm, cfg.energy),
+            device,
             store: PersistentStore::new(),
             stats: EngineStats::default(),
             san: SanitizerHandle::none(),
             crash: CrashValve::detached(),
+            shards,
             next_tx: 1,
         }
     }

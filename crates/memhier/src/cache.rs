@@ -22,6 +22,9 @@ const DIRTY: u64 = 1;
 const PERSISTENT: u64 = 2;
 const STAMP_SHIFT: u32 = 2;
 
+/// Memo way value recording "this line is known absent from its set".
+const WAY_MISS: u32 = u32::MAX;
+
 /// One way of one set: the line tag plus its LRU stamp and dirty/persistent
 /// bits packed into a single word. Sixteen bytes per slot keeps a whole
 /// 4-way set in one cache line (8-way in two), and a hit updates the same
@@ -42,6 +45,14 @@ pub struct Cache {
     ways: usize,
     slots: Vec<Slot>,
     tick: u64,
+    /// Per-set one-entry lookup memo: the last line whose way was resolved
+    /// in this set, as `(line, way)` — `way == WAY_MISS` records a known
+    /// absence, `line == INVALID` an empty memo. The hierarchy probes the
+    /// same line several times per access (touch, then insert or
+    /// mark-dirty), and the memo answers the repeats without rescanning the
+    /// ways. Pure lookup state: it never influences replacement, so hits,
+    /// evictions and simulated traffic are bit-identical with it disabled.
+    memo: Vec<(u64, u32)>,
 }
 
 impl Cache {
@@ -66,23 +77,64 @@ impl Cache {
                 (sets as usize) * cfg.ways as usize
             ],
             tick: 0,
+            memo: vec![(INVALID, WAY_MISS); sets as usize],
         }
+    }
+
+    /// Index of `line`'s set.
+    #[inline]
+    fn set_index(&self, line: Line) -> usize {
+        (line.0 & (self.sets - 1)) as usize
     }
 
     /// First slot index of `line`'s set.
     #[inline]
     fn set_base(&self, line: Line) -> usize {
-        (line.0 & (self.sets - 1)) as usize * self.ways
+        self.set_index(line) * self.ways
     }
 
-    /// Scans `line`'s set, early-exiting on the first tag match.
+    /// Scans `line`'s set, early-exiting on the first tag match (the
+    /// memo-blind ground truth).
     #[inline]
-    fn find(&self, line: Line) -> Option<usize> {
+    fn scan(&self, line: Line) -> Option<usize> {
         let base = self.set_base(line);
         self.slots[base..base + self.ways]
             .iter()
             .position(|s| s.tag == line.0)
             .map(|w| base + w)
+    }
+
+    /// Looks up `line`, answering from the set's memo when it covers this
+    /// line (skipping the way scan entirely) and scanning otherwise.
+    #[inline]
+    fn find(&self, line: Line) -> Option<usize> {
+        let si = self.set_index(line);
+        let (mline, way) = self.memo[si];
+        if mline == line.0 {
+            let hit = (way != WAY_MISS).then(|| si * self.ways + way as usize);
+            debug_assert_eq!(hit, self.scan(line), "stale cache memo");
+            return hit;
+        }
+        self.scan(line)
+    }
+
+    /// Like [`find`](Cache::find), refreshing the set's memo on a scan so
+    /// the next probe of the same line skips it.
+    #[inline]
+    fn find_update(&mut self, line: Line) -> Option<usize> {
+        let si = self.set_index(line);
+        let (mline, way) = self.memo[si];
+        if mline == line.0 {
+            let hit = (way != WAY_MISS).then(|| si * self.ways + way as usize);
+            debug_assert_eq!(hit, self.scan(line), "stale cache memo");
+            return hit;
+        }
+        let hit = self.scan(line);
+        self.memo[si] = (
+            line.0,
+            hit.map_or(WAY_MISS, |i| (i - si * self.ways) as u32),
+        );
+        hit
     }
 
     /// Returns `true` if `line` is present (does not touch LRU state).
@@ -96,7 +148,7 @@ impl Cache {
     #[inline]
     pub fn touch(&mut self, line: Line, write: bool, persistent: bool) -> bool {
         self.tick += 1;
-        match self.find(line) {
+        match self.find_update(line) {
             Some(i) => {
                 let s = &mut self.slots[i];
                 let flags = (s.meta & (DIRTY | PERSISTENT))
@@ -142,6 +194,10 @@ impl Cache {
                 | if dirty { DIRTY } else { 0 }
                 | if persistent { PERSISTENT } else { 0 },
         };
+        // The memo entry of this set is superseded either way (the evicted
+        // victim may be the memoized line): point it at the fresh insertion.
+        let si = self.set_index(line);
+        self.memo[si] = (line.0, (victim - base) as u32);
         if old.tag != INVALID {
             Some(Evicted {
                 line: Line(old.tag),
@@ -156,20 +212,25 @@ impl Cache {
     /// Removes `line` if present, returning its (dirty, persistent) state.
     #[inline]
     pub fn remove(&mut self, line: Line) -> Option<(bool, bool)> {
-        self.find(line).map(|i| {
+        let removed = self.find_update(line).map(|i| {
             let s = &mut self.slots[i];
             let meta = s.meta;
             s.tag = INVALID;
             s.meta = 0;
             (meta & DIRTY != 0, meta & PERSISTENT != 0)
-        })
+        });
+        if removed.is_some() {
+            let si = self.set_index(line);
+            self.memo[si] = (line.0, WAY_MISS);
+        }
+        removed
     }
 
     /// Marks `line` clean (data persisted) and clears its persistent bit.
     /// Returns `true` if the line was present and dirty.
     #[inline]
     pub fn clean(&mut self, line: Line) -> bool {
-        match self.find(line) {
+        match self.find_update(line) {
             Some(i) => {
                 let s = &mut self.slots[i];
                 let was = s.meta & DIRTY != 0;
@@ -184,7 +245,7 @@ impl Cache {
     /// upper level lands here).
     #[inline]
     pub fn mark_dirty(&mut self, line: Line, persistent: bool) {
-        if let Some(i) = self.find(line) {
+        if let Some(i) = self.find_update(line) {
             self.slots[i].meta |= DIRTY | if persistent { PERSISTENT } else { 0 };
         }
     }
@@ -204,6 +265,7 @@ impl Cache {
                 s.meta = 0;
             }
         }
+        self.memo.fill((INVALID, WAY_MISS));
         out
     }
 
@@ -213,6 +275,7 @@ impl Cache {
             s.tag = INVALID;
             s.meta = 0;
         }
+        self.memo.fill((INVALID, WAY_MISS));
     }
 
     /// Number of valid lines currently resident.
@@ -300,6 +363,52 @@ mod tests {
         assert_eq!(c.insert(Line(8), false, false), None);
         assert!(c.contains(Line(4)));
         assert!(c.contains(Line(8)));
+    }
+
+    #[test]
+    fn memo_matches_full_scan_under_random_ops() {
+        let mut c = tiny();
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for _ in 0..5_000 {
+            let line = Line(rng() % 32);
+            match rng() % 6 {
+                0 => {
+                    if !c.touch(line, rng() % 2 == 0, rng() % 2 == 0) {
+                        c.insert(line, false, false);
+                    }
+                }
+                1 => {
+                    c.remove(line);
+                }
+                2 => {
+                    c.clean(line);
+                }
+                3 => c.mark_dirty(line, rng() % 2 == 0),
+                4 => {
+                    let _ = c.contains(line);
+                }
+                _ => {
+                    if !c.contains(line) {
+                        c.insert(line, rng() % 2 == 0, false);
+                    }
+                }
+            }
+            // The memoized lookup must agree with the memo-blind scan for
+            // every possible probe after every operation.
+            for probe in 0..32 {
+                assert_eq!(c.find(Line(probe)), c.scan(Line(probe)));
+            }
+        }
+        c.drain_valid();
+        for probe in 0..32 {
+            assert_eq!(c.find(Line(probe)), None);
+        }
     }
 
     #[test]

@@ -164,6 +164,12 @@ pub struct SimConfig {
     pub energy: NvmEnergyConfig,
     /// HOOP structural parameters.
     pub hoop: HoopConfig,
+    /// Host-execution shards for one cell (`--shards N`): bulk phases
+    /// (region scans, GC chain walks) run on this many host threads with a
+    /// deterministic ordered merge (see `simcore::shard`). A pure host
+    /// knob — simulated state, counters and every `results/*.json` byte
+    /// are identical for every value. Default 1 (serial).
+    pub shards: u8,
 }
 
 impl Default for SimConfig {
@@ -189,6 +195,7 @@ impl Default for SimConfig {
             nvm: NvmTimingConfig::default(),
             energy: NvmEnergyConfig::default(),
             hoop: HoopConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -248,6 +255,12 @@ mod tests {
         assert_eq!(h.oop_block_bytes, 2 * 1024 * 1024);
         assert_eq!(h.gc_period_cycles(), 25_000_000);
         assert_eq!(h.mapping_table_entries(), 131072);
+    }
+
+    #[test]
+    fn shards_default_serial() {
+        assert_eq!(SimConfig::default().shards, 1);
+        assert_eq!(SimConfig::small_for_tests().shards, 1);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Deterministic intra-cell sharding primitives.
+//!
+//! One simulated cell can execute its bulk phases (OOP-region scans, GC
+//! chain walks, recovery) on several host threads — *shards* — without any
+//! observable effect on simulated state. The contract is byte-identity: for
+//! every shard count, every counter, every durable byte and every
+//! `results/*.json` document must equal the serial run exactly. Three rules
+//! make that hold:
+//!
+//! 1. **Static partition.** Work is split by value (bank group, block
+//!    range, controller index), never by host arrival order. See
+//!    [`chunk_ranges`] and [`bank_group_of`].
+//! 2. **Ordered merge.** Per-shard results are folded in ascending shard
+//!    index order — [`run_sharded`] returns them that way — so reductions
+//!    that are order-sensitive (hash-map insertion order, float sums)
+//!    observe the exact serial sequence.
+//! 3. **Epoch barriers.** Sharded phases are separated by joins; the
+//!    [`EpochClock`] numbers them so cross-shard state is only read at
+//!    epoch boundaries, never mid-phase.
+//!
+//! Shards never share mutable state (the `shard-shared-mut` lint rejects
+//! `Mutex`/`RefCell`/... in the simulation crates); each worker owns its
+//! inputs and returns its outputs through its join handle.
+
+/// Derives a per-shard RNG seed from the cell seed and the shard index
+/// (SplitMix64 finalizer over their combination). Distinct shards get
+/// decorrelated streams; shard 0 of a 1-shard run matches shard 0 of an
+/// N-shard run, so seeding is stable under resharding.
+pub fn shard_seed(cell_seed: u64, shard: usize) -> u64 {
+    let mut z = cell_seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The bank group (shard) owning `bank` when `banks` banks are split into
+/// `groups` contiguous, balanced groups. With `groups == 1` everything maps
+/// to group 0; the mapping partitions banks for any `groups` in
+/// `1..=banks`.
+pub fn bank_group_of(bank: usize, banks: usize, groups: usize) -> usize {
+    debug_assert!(bank < banks);
+    let groups = groups.clamp(1, banks.max(1));
+    bank * groups / banks.max(1)
+}
+
+/// Splits `0..n` into `shards` contiguous, balanced ranges (some may be
+/// empty when `shards > n`). Concatenated in order they cover `0..n`
+/// exactly — the property the ordered merge relies on.
+pub fn chunk_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.max(1);
+    (0..shards)
+        .map(|s| (n * s / shards)..(n * (s + 1) / shards))
+        .collect()
+}
+
+/// Runs `f(shard)` for every shard and returns the results in ascending
+/// shard order — the deterministic merge order.
+///
+/// With one shard the closure runs inline on the caller's thread (the
+/// serial path stays free of spawn overhead); with more, each shard runs on
+/// its own scoped host thread and results are collected through the join
+/// handles in index order, so host scheduling can never reorder the merge.
+pub fn run_sharded<T, F>(shards: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let shards = shards.max(1);
+    if shards == 1 {
+        return vec![f(0)];
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards).map(|s| scope.spawn(move || f(s))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+/// Numbers the barrier-separated sharded phases of one simulated cell.
+///
+/// Every fork/join of shard workers is one epoch: cross-shard state
+/// (mapping table, eviction buffer, GC newest-set) is only read or merged
+/// at epoch boundaries, and the clock gives each phase a stable identity
+/// that is independent of host interleaving.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochClock {
+    epoch: u64,
+}
+
+impl EpochClock {
+    /// A clock at epoch 0 (no sharded phase has run yet).
+    pub const fn new() -> Self {
+        EpochClock { epoch: 0 }
+    }
+
+    /// The number of completed sharded phases.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Closes the current epoch (a fork/join barrier completed) and returns
+    /// the id of the phase that just ran.
+    pub fn advance(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for n in [0usize, 1, 7, 16, 100] {
+            for shards in [1usize, 2, 3, 4, 8, 33] {
+                let ranges = chunk_ranges(n, shards);
+                assert_eq!(ranges.len(), shards);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn bank_groups_partition_banks() {
+        for groups in [1usize, 2, 4, 8, 16, 3, 5] {
+            let mut sizes = vec![0usize; groups.min(16)];
+            for bank in 0..16 {
+                let g = bank_group_of(bank, 16, groups);
+                assert!(g < groups.min(16));
+                sizes[g] += 1;
+            }
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced split, got {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn run_sharded_preserves_index_order() {
+        for shards in [1usize, 2, 4, 7] {
+            let out = run_sharded(shards, |s| s * 10);
+            assert_eq!(out, (0..shards).map(|s| s * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_stable_and_distinct() {
+        let a = shard_seed(42, 0);
+        assert_eq!(a, shard_seed(42, 0), "stable");
+        let seeds: Vec<u64> = (0..8).map(|s| shard_seed(42, s)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "distinct per shard");
+    }
+
+    #[test]
+    fn epoch_clock_counts_barriers() {
+        let mut c = EpochClock::new();
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.advance(), 2);
+        assert_eq!(c.epoch(), 2);
+    }
+}
