@@ -144,9 +144,6 @@ impl PersistenceEngine for OspEngine {
             let shadow = self.shadow_addr(Line(l));
             let done = self
                 .base
-                // lint:allow(hook-coverage): eager shadow persistence is
-                // sanitized at commit — tx_end issues data_persisted per
-                // touched line once the shadow writes are known durable.
                 .write_burst(shadow, CACHE_LINE_BYTES, now, TrafficClass::Data);
             let entry = self.active.get_mut(&tx).expect("store outside tx");
             let t = entry.get_mut(&l).expect("just inserted");

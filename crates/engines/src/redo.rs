@@ -94,9 +94,6 @@ impl OptRedoEngine {
         let bytes = lines.len() as u64 * CACHE_LINE_BYTES;
         let first = Line(*lines.keys().next().expect("nonempty")).base();
         // Checkpointing is asynchronous background work: stagger it.
-        // lint:allow(hook-coverage): checkpoint traffic is background home
-        // propagation outside the sanitizer's tx persist model; log persists
-        // are sanitized at tx_end (data_persisted/commit_record).
         self.base.burst_spread(
             first,
             bytes,

@@ -134,9 +134,6 @@ impl PersistenceEngine for OptUndoEngine {
             let slot = self.log_slot();
             let done = self
                 .base
-                // lint:allow(hook-coverage): undo-log formation traffic; the
-                // sanitizer's §III-G oracle tracks payload/commit events
-                // (issued in tx_end), not log-slot appends.
                 .write_burst(slot, UNDO_RECORD_BYTES, now, TrafficClass::Log);
             if self.base.crash.event(PersistEvent::Payload, None) {
                 self.log.push(rec);

@@ -317,9 +317,6 @@ impl HoopEngine {
         // not the commit point (that is the tail slice's flag).
         self.base.crash.event(PersistEvent::Meta, None);
         self.base.store.write_bytes(addr, &encoded);
-        // lint:allow(hook-coverage): async Addr-index accelerator append —
-        // the durable commit point is the tail slice flag, sanitized by the
-        // caller (tx_end issues data_persisted/commit_record).
         let done = self.base.write_burst(
             addr,
             COMMIT_APPEND_BYTES,

@@ -175,9 +175,6 @@ impl MultiHoopEngine {
         let flush = crate::slice::flush_bytes(slice.words.len());
         self.base.crash.event(PersistEvent::Payload, None);
         self.base.store.write_bytes(addr, &slice.encode());
-        // lint:allow(hook-coverage): slice flush observed one call level up
-        // (the summary propagates callee-direction only) — tx_end issues
-        // data_persisted for every slice word once the chain is durable.
         let done = self.base.write_burst(addr, flush, now, TrafficClass::Log);
         for w in &slice.words {
             self.ctrls[ctrl]
@@ -251,9 +248,6 @@ impl MultiHoopEngine {
         }
         self.base.store.write_bytes(addr, &encoded);
         self.base
-            // lint:allow(hook-coverage): prepare/commit record append; the
-            // coordinator's tx_end sanitizes commit_record after the 2PC
-            // round, so this metadata burst is covered by the caller.
             .write_burst(addr, 16, issue, TrafficClass::Metadata)
     }
 

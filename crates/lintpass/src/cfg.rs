@@ -9,12 +9,18 @@
 //! Deliberate approximations, all chosen to err toward *silence* in the
 //! must-analysis built on top (DESIGN.md §9):
 //!
-//! * **Loops run at least once.** `while`/`for` exit from the *end of the
-//!   body* (plus `break`), not from the header, so evidence inside a loop
-//!   body dominates code after the loop. The zero-iteration path (an empty
-//!   transaction) is not modeled; the runtime sanitizer covers it. A bare
-//!   `loop` exits only via `break`, so code after an infinite loop is
-//!   correctly unreachable.
+//! * **Loops carry a dual model.** On the *real* edges (`succs`),
+//!   `while`/`for` exit from the *end of the body* (plus `break`), not
+//!   from the header — the at-least-once view under which evidence inside
+//!   a loop body dominates code after the loop. Each `while`/`for`
+//!   additionally records a **zero-iteration bypass edge** (`zero_succs`,
+//!   head → after-block) modeling the empty-collection/false-condition
+//!   path; the dataflow layer evaluates the must analysis both ways and
+//!   the rule layer downgrades "dominates only if the loop runs" to the
+//!   `persist-in-loop-only` advisory instead of trusting it silently. A
+//!   bare `loop` exits only via `break` (its body genuinely runs), so it
+//!   gets no bypass edge and code after an infinite loop stays
+//!   unreachable.
 //! * **Parenthesized/bracketed subexpressions are opaque.** Control
 //!   keywords inside call arguments (closure bodies, `matches!` args) do
 //!   not create edges; their tokens stay in the enclosing block.
@@ -42,6 +48,11 @@ pub struct Block {
     pub toks: Vec<usize>,
     /// Successor block ids.
     pub succs: Vec<usize>,
+    /// Zero-iteration bypass successors: for a `while`/`for` head block,
+    /// the after-loop block the flow skips to when the body runs zero
+    /// times. Disjoint from `succs`; only the may-zero variant of the
+    /// must analysis traverses them.
+    pub zero_succs: Vec<usize>,
 }
 
 /// A function body's control-flow graph.
@@ -56,12 +67,26 @@ pub struct Cfg {
 }
 
 impl Cfg {
-    /// Predecessor lists, computed on demand.
+    /// Predecessor lists over the real edges, computed on demand.
     pub fn preds(&self) -> Vec<Vec<usize>> {
         let mut preds = vec![Vec::new(); self.blocks.len()];
         for (b, blk) in self.blocks.iter().enumerate() {
             for &s in &blk.succs {
                 preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Predecessor lists over the union of real and zero-iteration bypass
+    /// edges — the graph the may-zero must analysis runs on.
+    pub fn preds_with_zero(&self) -> Vec<Vec<usize>> {
+        let mut preds = self.preds();
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.zero_succs {
+                if !preds[s].contains(&b) {
+                    preds[s].push(b);
+                }
             }
         }
         preds
@@ -103,6 +128,12 @@ impl<'t, 's> Builder<'t, 's> {
     fn edge(&mut self, from: usize, to: usize) {
         if !self.blocks[from].succs.contains(&to) {
             self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn zero_edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].zero_succs.contains(&to) {
+            self.blocks[from].zero_succs.push(to);
         }
     }
 
@@ -433,6 +464,9 @@ impl<'t, 's> Builder<'t, 's> {
             // while/for can leave after an iteration; bare `loop` exits
             // only via break, so post-loop code is unreachable without one.
             self.edge(body_end, after);
+            // Dual model: the zero-iteration bypass (false condition /
+            // empty collection) skips the body entirely.
+            self.zero_edge(head, after);
         }
         self.cur = after;
         close.saturating_add(1).min(end.max(close))
@@ -507,6 +541,11 @@ pub fn to_dot(cfg: &Cfg, toks: &[SigTok<'_>], fn_name: &str) -> String {
         for &to in &blk.succs {
             s.push_str(&format!("  b{id} -> b{to};\n"));
         }
+        for &to in &blk.zero_succs {
+            // Zero-iteration bypass edges render dashed so the dual loop
+            // model is visible in the exported artifact.
+            s.push_str(&format!("  b{id} -> b{to} [style=dashed, label=\"0x\"];\n"));
+        }
     }
     s.push_str("}\n");
     s
@@ -538,11 +577,12 @@ mod tests {
             let expect: Vec<usize> = (f.body.0..f.body.1).collect();
             assert_eq!(owned, expect, "token partition broken on:\n{src}");
             for b in &cfg.blocks {
-                for &s in &b.succs {
+                for &s in b.succs.iter().chain(&b.zero_succs) {
                     assert!(s < cfg.blocks.len(), "dangling edge on:\n{src}");
                 }
             }
             assert!(cfg.blocks[cfg.exit].succs.is_empty());
+            assert!(cfg.blocks[cfg.exit].zero_succs.is_empty());
             assert!(cfg.blocks[cfg.exit].toks.is_empty());
         }
     }
@@ -665,6 +705,34 @@ mod tests {
         let (toks, cfg) = cfg_of(src);
         let bq = block_containing(&cfg, &toks, "q");
         assert!(!reaches(&cfg, cfg.entry, bq));
+        // A bare loop's body genuinely runs: no zero-iteration bypass.
+        assert!(cfg.blocks.iter().all(|b| b.zero_succs.is_empty()));
+    }
+
+    #[test]
+    fn while_and_for_record_zero_iteration_bypass() {
+        for src in [
+            "fn f() { while c { p(); } q(); }",
+            "fn f() { for x in v { p(); } q(); }",
+        ] {
+            check_invariants(src);
+            let (toks, cfg) = cfg_of(src);
+            let bq = block_containing(&cfg, &toks, "q");
+            let bypass: Vec<(usize, usize)> = cfg
+                .blocks
+                .iter()
+                .enumerate()
+                .flat_map(|(id, b)| b.zero_succs.iter().map(move |&t| (id, t)))
+                .collect();
+            assert_eq!(bypass.len(), 1, "one bypass edge expected on:\n{src}");
+            let (head, after) = bypass[0];
+            // The bypass leaves the (token-less) loop head and lands on (or
+            // flows to) the after-block, skipping the body.
+            assert!(cfg.blocks[head].toks.is_empty());
+            assert!(after == bq || reaches(&cfg, after, bq));
+            let bp = block_containing(&cfg, &toks, "p");
+            assert_ne!(after, bp);
+        }
     }
 
     #[test]

@@ -1,23 +1,31 @@
 //! Forward dataflow over [`crate::cfg`] graphs.
 //!
-//! One analysis, two lattices, evaluated together: for a set of *gen*
+//! One analysis, three lattices, evaluated together: for a set of *gen*
 //! points (payload-persist evidence) and a set of *site* points (commit
 //! sites), compute at each site whether evidence has been generated on
-//! **every** path from entry (*must*, meet = AND) and on **some** path
-//! (*may*, meet = OR). The `persist-order` family splits on the pair:
+//! **every** path from entry (*must*, meet = AND), on **some** path
+//! (*may*, meet = OR), and on every path **including the zero-iteration
+//! loop bypasses** (*must_zero*, meet = AND over `succs` ∪ `zero_succs`)
+//! — the dual loop model. The `persist-order` family splits on the
+//! triple (a strict ladder, since `must_zero ⇒ must`):
 //!
-//! * `must`  → the commit is dominated by evidence: clean.
+//! * `must_zero` → dominated even when every `while`/`for` body runs
+//!   zero times: clean.
+//! * `must` but not `must_zero` → dominance rests on a loop body running
+//!   at least once (an empty transaction would commit unpersisted) — the
+//!   `persist-in-loop-only` *advisory*.
 //! * `may` but not `must` → evidence exists on one path but not all —
 //!   the flow-sensitive `commit-in-branch` finding.
 //! * neither → no evidence anywhere before the commit: `persist-order`.
 //!
-//! On straight-line code `must == may`, which is exactly the old
-//! token-order rule — the differential test in `tests/flow.rs` pins that.
+//! On straight-line code `must_zero == must == may`, which is exactly the
+//! old token-order rule — the differential test in `tests/flow.rs` pins
+//! that.
 //!
 //! Unreachable blocks (after `return`, after a bare `loop`) initialize to
-//! lattice TOP for must (vacuous truth: no path reaches them) and to
-//! `false` for may, so sites in dead code never fire. Within a block,
-//! gen-before-site is resolved by significant-token index order.
+//! lattice TOP for both must variants (vacuous truth: no path reaches
+//! them) and to `false` for may, so sites in dead code never fire. Within
+//! a block, gen-before-site is resolved by significant-token index order.
 
 use crate::cfg::Cfg;
 
@@ -26,10 +34,16 @@ use crate::cfg::Cfg;
 pub struct SiteState {
     /// The site's significant-token index (as passed in `sites`).
     pub site: usize,
-    /// Evidence generated on every path from entry to this site.
+    /// Evidence generated on every path from entry to this site, under
+    /// the at-least-once loop model (real edges only).
     pub must: bool,
     /// Evidence generated on at least one path from entry to this site.
     pub may: bool,
+    /// Evidence generated on every path even when `while`/`for` bodies
+    /// run zero times (real plus bypass edges). Implies nothing new when
+    /// false and `must` holds: that gap is exactly the
+    /// `persist-in-loop-only` advisory.
+    pub must_zero: bool,
 }
 
 /// Runs the must/may evidence analysis. `gens` and `sites` are
@@ -50,14 +64,19 @@ pub fn evidence_at_sites(cfg: &Cfg, gens: &[usize], sites: &[usize]) -> Vec<Site
         }
     }
 
-    // IN/OUT fact pairs (must, may). Entry starts with no evidence; all
-    // other IN-facts start at each lattice's TOP so the meet over real
-    // predecessors determines them (must TOP = true, may TOP/bottom = false
-    // — for may, OR-ing from false is already the right identity).
+    // IN/OUT fact triples (must, may, must_zero). Entry starts with no
+    // evidence; all other IN-facts start at each lattice's TOP so the meet
+    // over real predecessors determines them (must TOP = true, may
+    // TOP/bottom = false — for may, OR-ing from false is already the right
+    // identity). `must_zero` runs the same AND-meet over the edge set
+    // widened by the zero-iteration bypasses, so it can only be weaker.
     let mut in_must = vec![true; n];
     let mut in_may = vec![false; n];
+    let mut in_must_zero = vec![true; n];
     in_must[cfg.entry] = false;
+    in_must_zero[cfg.entry] = false;
     let preds = cfg.preds();
+    let zpreds = cfg.preds_with_zero();
 
     let out = |in_v: bool, gen: bool| in_v || gen;
     let mut changed = true;
@@ -72,9 +91,13 @@ pub fn evidence_at_sites(cfg: &Cfg, gens: &[usize], sites: &[usize]) -> Vec<Site
             }
             let new_must = preds[b].iter().all(|&p| out(in_must[p], block_gen[p]));
             let new_may = preds[b].iter().any(|&p| out(in_may[p], block_gen[p]));
-            if new_must != in_must[b] || new_may != in_may[b] {
+            let new_must_zero = zpreds[b]
+                .iter()
+                .all(|&p| out(in_must_zero[p], block_gen[p]));
+            if new_must != in_must[b] || new_may != in_may[b] || new_must_zero != in_must_zero[b] {
                 in_must[b] = new_must;
                 in_may[b] = new_may;
+                in_must_zero[b] = new_must_zero;
                 changed = true;
             }
         }
@@ -90,15 +113,18 @@ pub fn evidence_at_sites(cfg: &Cfg, gens: &[usize], sites: &[usize]) -> Vec<Site
                         site,
                         must: false,
                         may: false,
+                        must_zero: false,
                     }
                 }
             };
-            // Within-block: a gen earlier in the same block satisfies both.
+            // Within-block: a gen earlier in the same block satisfies all
+            // three (block-local order has no loop in between).
             let local = block_gen[b] && first_gen[b] < site;
             SiteState {
                 site,
                 must: in_must[b] || local,
                 may: in_may[b] || local,
+                must_zero: in_must_zero[b] || local,
             }
         })
         .collect()
@@ -129,7 +155,7 @@ mod tests {
     #[test]
     fn straight_line_before_is_must() {
         let s = run("fn f() { persist(); commit(); }", "persist", "commit");
-        assert!(s.must && s.may);
+        assert!(s.must && s.may && s.must_zero);
     }
 
     #[test]
@@ -170,13 +196,63 @@ mod tests {
 
     #[test]
     fn gen_in_loop_body_dominates_after_loop() {
-        // At-least-once loop model: for/while bodies execute ≥ 1 time.
+        // At-least-once loop model: for/while bodies execute ≥ 1 time —
+        // but the dual model records that the dominance evaporates on the
+        // zero-iteration bypass (the persist-in-loop-only gap).
         let s = run(
             "fn f() { for x in v { persist(); } commit(); }",
             "persist",
             "commit",
         );
-        assert!(s.must);
+        assert!(s.must && !s.must_zero);
+    }
+
+    #[test]
+    fn gen_in_while_loop_is_must_but_not_must_zero() {
+        let s = run(
+            "fn f() { while c { persist(); } commit(); }",
+            "persist",
+            "commit",
+        );
+        assert!(s.must && s.may && !s.must_zero);
+    }
+
+    #[test]
+    fn bare_loop_gen_is_must_zero() {
+        // A bare `loop` body genuinely executes (exit only via break), so
+        // no bypass weakens the dominance.
+        let s = run(
+            "fn f() { loop { persist(); if c { break; } } commit(); }",
+            "persist",
+            "commit",
+        );
+        assert!(s.must && s.must_zero);
+    }
+
+    #[test]
+    fn gen_before_loop_survives_the_bypass() {
+        // Evidence ahead of the loop dominates on both edge sets; only
+        // loop-interior evidence is downgraded.
+        let s = run(
+            "fn f() { persist(); for x in v { track(x); } commit(); }",
+            "persist",
+            "commit",
+        );
+        assert!(s.must && s.must_zero);
+    }
+
+    #[test]
+    fn must_zero_implies_must_on_branchy_code() {
+        // The widened edge set only adds paths: must_zero can never hold
+        // where must does not.
+        for src in [
+            "fn f() { if c { persist(); } commit(); }",
+            "fn f() { while c { persist(); } commit(); }",
+            "fn f() { if c { for x in v { persist(); } } else { persist(); } commit(); }",
+        ] {
+            let s = run(src, "persist", "commit");
+            assert!(!s.must_zero || s.must, "must_zero without must on:\n{src}");
+        }
     }
 
     #[test]
@@ -209,6 +285,6 @@ mod tests {
             "commit",
         );
         // Unreachable: vacuously must (clean), never may.
-        assert!(s.must && !s.may);
+        assert!(s.must && s.must_zero && !s.may);
     }
 }

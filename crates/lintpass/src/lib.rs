@@ -5,15 +5,20 @@
 //! analysis stack: [`parse`] recovers per-function bodies from the lossless
 //! token stream, [`cfg`] builds basic-block control-flow graphs (if/else,
 //! match arms, loops with break/continue, early return, `?`), [`dataflow`]
-//! runs a forward must/may evidence analysis over them, and [`callgraph`]
-//! adds one-level per-function summaries so helper-function persists
-//! propagate through calls. On that stack, [`rules`] implements the
+//! runs a forward must/may/must-zero evidence analysis over them (the dual
+//! loop model), and [`callgraph`] solves transitive per-function summaries
+//! to a worklist fixpoint so helper-function persists propagate through
+//! calls at any depth, with a backward *observed-by-caller* bit for
+//! sanitizer visibility. On that stack, [`rules`] implements the
 //! determinism/safety rules plus the persistency family — most importantly
 //! **persist-order**, the static complement of the runtime persistency
 //! sanitizer: a commit-record store must be *dominated* by a payload
 //! persist (the paper's §III-G ordering, Fig. 4), with the branch-shaped
-//! violation split out as **commit-in-branch** and the sanitizer's own
-//! visibility proven by **hook-coverage**.
+//! violation split out as **commit-in-branch**, the loop-carried-dominance
+//! gap surfaced as the **persist-in-loop-only** advisory, and the
+//! sanitizer's own visibility proven by **hook-coverage**. A second
+//! family, [`taint`], tracks order-sensitive values (**det-taint**) from
+//! their sources into simulated state.
 //!
 //! The analyzer is *hermetic*: no dependencies, not even in-tree ones, so it
 //! can never be broken by the crates it checks and builds in a bare
@@ -44,6 +49,7 @@ pub mod lexer;
 pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod taint;
 
 pub use baseline::{gate, Baseline, BaselineEntry, GateOutcome};
 pub use report::{Allow, BaselineSummary, Finding, LintReport};
@@ -53,6 +59,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use callgraph::CallGraph;
+use taint::TaintIndex;
 
 /// Builds a call graph from one file's source using the rule vocabulary
 /// (persist evidence / commit names shared with `persist-order`).
@@ -62,13 +69,17 @@ fn graph_add(graph: &mut CallGraph, source: &str) {
 
 /// Analyzes one file's `source`, reporting against `path` (used both for
 /// messages and for path-scoped rules like `persist-order`). Interprocedural
-/// summaries are built from this file alone, so helper-function persists
-/// defined in the same file propagate; cross-file helpers require
-/// [`lint_paths_rel`].
+/// summaries and the taint index are built from this file alone, so
+/// helper-function persists and tainted returns defined in the same file
+/// propagate; cross-file helpers require [`lint_paths_rel`].
 pub fn lint_source(path: &str, source: &str) -> LintReport {
     let mut graph = CallGraph::default();
     graph_add(&mut graph, source);
-    rules::analyze(path, source, &graph)
+    graph.solve();
+    let mut taint = TaintIndex::new();
+    taint.add_file(source);
+    taint.solve();
+    rules::analyze(path, source, &graph, &taint)
 }
 
 fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -114,10 +125,21 @@ pub fn collect_files(roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
 /// exported to JSON, so reports are machine-independent).
 ///
 /// Two passes: the first builds the workspace call graph from every file in
-/// the persistency scope (`crates/engines`, `crates/hoop`), so a helper
-/// defined in `common.rs` counts as evidence at call sites in `lsm.rs`; the
-/// second analyzes each file against that graph.
+/// the persistency scope (`crates/engines`, `crates/hoop`) and the taint
+/// index from every file in the determinism scope, both solved to their
+/// fixpoints, so a helper defined in `common.rs` counts as evidence at call
+/// sites in `lsm.rs` at any call depth; the second analyzes each file
+/// against them.
 pub fn lint_paths_rel(roots: &[PathBuf], rel_root: Option<&Path>) -> io::Result<LintReport> {
+    lint_paths_full(roots, rel_root).map(|(report, _, _)| report)
+}
+
+/// [`lint_paths_rel`] that also returns the solved workspace call graph and
+/// taint index (for `xtask lint --callers` and the taint-report export).
+pub fn lint_paths_full(
+    roots: &[PathBuf],
+    rel_root: Option<&Path>,
+) -> io::Result<(LintReport, CallGraph, TaintIndex)> {
     let files = collect_files(roots)?;
     let mut sources = Vec::with_capacity(files.len());
     for f in &files {
@@ -132,16 +154,22 @@ pub fn lint_paths_rel(roots: &[PathBuf], rel_root: Option<&Path>) -> io::Result<
         sources.push((shown.display().to_string(), source));
     }
     let mut graph = CallGraph::default();
+    let mut taint = TaintIndex::new();
     for (path, source) in &sources {
         if rules::in_persist_scope(path) {
             graph_add(&mut graph, source);
         }
+        if rules::in_numeric_scope(path) {
+            taint.add_file(source);
+        }
     }
+    graph.solve();
+    taint.solve();
     let mut report = LintReport::default();
     for (path, source) in &sources {
-        report.merge(rules::analyze(path, source, &graph));
+        report.merge(rules::analyze(path, source, &graph, &taint));
     }
-    Ok(report)
+    Ok((report, graph, taint))
 }
 
 /// [`lint_paths_rel`] with paths reported as given (no relativization).

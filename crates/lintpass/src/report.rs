@@ -1,7 +1,7 @@
 //! Finding/report types and the schema-versioned JSON export.
 //!
 //! The JSON document written to `results/lint.json` is versioned under
-//! `"schema": "hoop-lint/2"` and fully deterministic: findings are reported
+//! `"schema": "hoop-lint/3"` and fully deterministic: findings are reported
 //! in file-walk order (sorted paths) with repo-relative paths, and the
 //! per-rule count map enumerates every known rule (zeros included) so
 //! downstream tooling never has to special-case missing keys.
@@ -9,7 +9,9 @@
 //! Schema history: `/1` predates the flow-sensitive analyzer; `/2` adds the
 //! `commit-in-branch` / `shard-shared-mut` / `hook-coverage` count keys and
 //! the `stale_allows` array (annotations that no longer suppress anything —
-//! warnings, never failures).
+//! warnings, never failures); `/3` adds the `persist-in-loop-only` /
+//! `det-taint` count keys and the `advisories` array (warning-severity
+//! findings from the dual loop model — printed and exported, never gated).
 
 use crate::rules::{rule_counts, RULE_IDS};
 
@@ -54,6 +56,9 @@ pub struct Allow {
 pub struct LintReport {
     /// Violations (empty for a clean tree).
     pub findings: Vec<Finding>,
+    /// Warning-severity findings (`persist-in-loop-only`): printed and
+    /// exported, but never gated against the baseline and never a failure.
+    pub advisories: Vec<Finding>,
     /// Annotated exceptions that suppressed a finding.
     pub allows: Vec<Allow>,
     /// `lint:allow` annotations that suppressed nothing (stale — warned
@@ -72,6 +77,7 @@ impl LintReport {
     /// Folds another report into this one.
     pub fn merge(&mut self, other: LintReport) {
         self.findings.extend(other.findings);
+        self.advisories.extend(other.advisories);
         self.allows.extend(other.allows);
         self.stale_allows.extend(other.stale_allows);
         self.files_scanned += other.files_scanned;
@@ -95,10 +101,10 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Serializes a report (plus optional baseline accounting) as the
-/// `hoop-lint/2` JSON document.
+/// `hoop-lint/3` JSON document.
 pub fn to_json(report: &LintReport, baseline: Option<&BaselineSummary>) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"hoop-lint/2\",\n");
+    s.push_str("{\n  \"schema\": \"hoop-lint/3\",\n");
     s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     s.push_str("  \"counts\": {");
     let counts = rule_counts(report);
@@ -128,6 +134,25 @@ pub fn to_json(report: &LintReport, baseline: Option<&BaselineSummary>) -> Strin
         ));
     }
     s.push_str(if report.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    s.push_str("  \"advisories\": [");
+    for (k, f) in report.advisories.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"snippet\": \"{}\"}}",
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            f.rule,
+            json_escape(&f.snippet)
+        ));
+    }
+    s.push_str(if report.advisories.is_empty() {
         "],\n"
     } else {
         "\n  ],\n"
@@ -176,6 +201,53 @@ pub fn to_json(report: &LintReport, baseline: Option<&BaselineSummary>) -> Strin
     s
 }
 
+/// Serializes the solved taint index plus a report's `det-taint` findings
+/// as the `hoop-taint/1` JSON document (`results/taint.json`): which
+/// functions carry taint through their returns, how much of the workspace
+/// the index covers, and every convicted sink flow. Deterministic (sorted
+/// names, file-walk finding order), so CI can diff it like every other
+/// committed artifact.
+pub fn taint_to_json(index: &crate::taint::TaintIndex, report: &LintReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"hoop-taint/1\",\n");
+    s.push_str(&format!(
+        "  \"functions_indexed\": {},\n",
+        index.functions_indexed()
+    ));
+    s.push_str("  \"tainted_returns\": [");
+    for (k, name) in index.tainted_returns().enumerate() {
+        if k > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{}\"", json_escape(name)));
+    }
+    s.push_str("],\n");
+    let hits: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "det-taint")
+        .collect();
+    s.push_str("  \"findings\": [");
+    for (k, f) in hits.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"snippet\": \"{}\"}}",
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.snippet)
+        ));
+    }
+    s.push_str(if hits.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+    s
+}
+
 /// Baseline accounting embedded in the JSON export.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BaselineSummary {
@@ -214,6 +286,10 @@ mod tests {
     fn json_has_schema_counts_and_findings() {
         let report = LintReport {
             findings: vec![finding()],
+            advisories: vec![Finding {
+                rule: "persist-in-loop-only",
+                ..finding()
+            }],
             allows: vec![Allow {
                 path: "b.rs".into(),
                 line: 1,
@@ -227,12 +303,15 @@ mod tests {
             files_scanned: 2,
         };
         let j = to_json(&report, None);
-        assert!(j.contains("\"schema\": \"hoop-lint/2\""));
+        assert!(j.contains("\"schema\": \"hoop-lint/3\""));
         assert!(j.contains("\"det-hash\": 1"));
         assert!(j.contains("\"persist-order\": 0"));
         assert!(j.contains("\"commit-in-branch\": 0"));
         assert!(j.contains("\"hook-coverage\": 0"));
         assert!(j.contains("\"shard-shared-mut\": 0"));
+        assert!(j.contains("\"persist-in-loop-only\": 1"));
+        assert!(j.contains("\"det-taint\": 0"));
+        assert!(j.contains("\"advisories\": ["));
         assert!(j.contains("\"files_scanned\": 2"));
         assert!(j.contains("HashMap::new()"));
         assert!(j.contains("\"wall-clock\""));

@@ -19,16 +19,19 @@
 //!
 //! **Flow-sensitive persistency rules** (scoped to `crates/engines`,
 //! `crates/hoop`) — built on the [`crate::parse`] → [`crate::cfg`] →
-//! [`crate::dataflow`] stack plus one-level [`crate::callgraph`] summaries:
+//! [`crate::dataflow`] stack plus the solved transitive
+//! [`crate::callgraph`] fixpoint summaries:
 //!
 //! | rule | rejects |
 //! |------|---------|
-//! | `persist-order` | a `.commit_record(..)` call with **no path** from function entry carrying payload-persist evidence (`data_persisted`, `write_burst`, `burst_spread`, `write_home_line`, `fence`, `persist*`, `flush*`, or a call to a summarized helper that persists) — §III-G "payload before commit record", now a real dominance check |
+//! | `persist-order` | a `.commit_record(..)` call with **no path** from function entry carrying payload-persist evidence (`data_persisted`, `write_burst`, `burst_spread`, `write_home_line`, `fence`, `persist*`, `flush*`, or a call to a helper whose *transitive* summary persists — any call depth) — §III-G "payload before commit record", a real dominance check |
 //! | `commit-in-branch` | a `.commit_record(..)` call reachable along **some** path without evidence while **another** path has it — the branch-shaped ordering bug the old token-order rule could not express |
-//! | `hook-coverage` | a `write_burst`/`burst_spread`/`write_home_line` call site in a non-`#[test]` function with no direct `san.<event>(..)` notification and no call to a helper whose summary notifies — statically proving the runtime sanitizer sees every event it claims to shadow |
+//! | `persist-in-loop-only` | *(advisory)* a `.commit_record(..)` call whose dominance rests entirely on a `while`/`for` body executing at least once — on the zero-iteration bypass the commit is unpersisted. Printed as a warning, never an error: an empty transaction legitimately commits nothing |
+//! | `hook-coverage` | a `write_burst`/`burst_spread`/`write_home_line` call site in a non-`#[test]` function with no direct `san.<event>(..)` notification, no call to a helper whose transitive summary notifies, and no *observed-by-caller* bit (a transitive caller notifies around every call path into it) — statically proving the runtime sanitizer sees every event it claims to shadow |
 //!
 //! **Determinism-scoped semantic rules** (`crates/engines`, `crates/hoop`,
-//! `crates/memhier`, `crates/nvm`, and for the numeric pair `crates/simcore`):
+//! `crates/memhier`, `crates/nvm`, and for the numeric/taint family
+//! `crates/simcore`):
 //!
 //! | rule | rejects |
 //! |------|---------|
@@ -36,9 +39,11 @@
 //! | `shard-shared-mut` | `static mut`, `thread_local!`, or interior-mutability containers (`Rc<`, `RefCell<`, `Cell<`, `UnsafeCell<`, `Mutex<`, `RwLock<`) in simulation crates — shared mutable state that the bank-group sharding split (ROADMAP direction 1) cannot partition |
 //! | `sim-state-float` | casting a float-tainted expression to an integer/`Cycle` type |
 //! | `lossy-cycle-cast` | `as` truncation of a cycle/clock-named counter to a sub-64-bit integer |
+//! | `det-taint` | an order-sensitive value (un-frozen det-container iteration, wall-clock, float shard-merge accumulation) flowing through assignments, returns, and the call graph into a simulated-state field; flows into host-only stats are permitted (see [`crate::taint`]) |
 //!
-//! The flow model errs toward **silence**: loops are modeled as executing at
-//! least once, helper summaries propagate one call level only, and call
+//! The flow model errs toward **silence**: the dual loop model downgrades
+//! loop-carried dominance to an advisory rather than an error, helper
+//! summaries are exact transitive closures (total on recursion), and call
 //! arguments are opaque (see `crate::cfg` for the full list). The runtime
 //! pmcheck sanitizer remains the precise dynamic check; `hook-coverage` is
 //! the static half of that cross-validation contract.
@@ -60,6 +65,7 @@ use crate::dataflow::evidence_at_sites;
 use crate::lexer::{tokenize, Token, TokenKind};
 use crate::parse::{self, FnItem, SigTok};
 use crate::report::{Allow, Finding, LintReport};
+use crate::taint::{self, TaintIndex};
 
 /// Every rule the analyzer knows, in the order counts are reported.
 pub const RULE_IDS: &[&str] = &[
@@ -76,6 +82,8 @@ pub const RULE_IDS: &[&str] = &[
     "lossy-cycle-cast",
     "shard-shared-mut",
     "hook-coverage",
+    "persist-in-loop-only",
+    "det-taint",
 ];
 
 /// The marker that suppresses a finding on the same or the next line.
@@ -122,8 +130,9 @@ const HOOK_EVENTS: &[&str] = &["write_burst", "burst_spread", "write_home_line"]
 /// generic types (`Name<..>`) inside simulation crates.
 const SHARED_MUT_TYPES: &[&str] = &["Rc", "RefCell", "Cell", "UnsafeCell", "Mutex", "RwLock"];
 
-/// Iteration methods whose order escapes into simulated state.
-const ORDERED_ITER_METHODS: &[&str] =
+/// Iteration methods whose order escapes into simulated state (shared
+/// with the det-taint source vocabulary in [`crate::taint`]).
+pub(crate) const ORDERED_ITER_METHODS: &[&str] =
     &["iter", "iter_mut", "keys", "values", "values_mut", "drain"];
 
 /// Integer-ish cast targets for `sim-state-float`.
@@ -164,6 +173,13 @@ pub fn in_persist_scope(path: &str) -> bool {
     PERSIST_SCOPE.iter().any(|s| p.contains(s))
 }
 
+/// Whether `path` is inside the numeric/determinism-taint scope (used by
+/// callers to decide which files feed the workspace taint index).
+pub fn in_numeric_scope(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    NUMERIC_SCOPE.iter().any(|s| p.contains(s))
+}
+
 /// One `lint:allow(<rule>)` annotation found in a comment, with whether any
 /// finding actually consumed it.
 struct Marker {
@@ -185,6 +201,9 @@ struct FileCtx<'s> {
     /// `(rule, line)` pairs already reported — one finding per rule per line.
     seen: BTreeSet<(&'static str, u32)>,
     findings: Vec<Finding>,
+    /// Warning-severity findings (`persist-in-loop-only`): printed, exported
+    /// under the report's `advisories` array, never gated or baselined.
+    advisories: Vec<Finding>,
     allows: Vec<Allow>,
 }
 
@@ -235,6 +254,7 @@ impl<'s> FileCtx<'s> {
             markers: collect_markers(source),
             seen: BTreeSet::new(),
             findings: Vec::new(),
+            advisories: Vec::new(),
             allows: Vec::new(),
         }
     }
@@ -303,6 +323,22 @@ impl<'s> FileCtx<'s> {
     /// Reports a finding for `rule` at token `i`, honoring allow markers and
     /// the one-finding-per-rule-per-line dedup.
     fn report(&mut self, rule: &'static str, i: usize, extra_marker: Option<&str>) {
+        self.report_with(rule, i, extra_marker, false)
+    }
+
+    /// [`FileCtx::report`] at advisory (warning) severity: the finding lands
+    /// in the `advisories` channel, which never fails the gate.
+    fn report_advisory(&mut self, rule: &'static str, i: usize) {
+        self.report_with(rule, i, None, true)
+    }
+
+    fn report_with(
+        &mut self,
+        rule: &'static str,
+        i: usize,
+        extra_marker: Option<&str>,
+        advisory: bool,
+    ) {
         let tok = self.sig[i];
         if !self.seen.insert((rule, tok.line)) {
             return;
@@ -319,13 +355,18 @@ impl<'s> FileCtx<'s> {
                 .get(tok.line as usize - 1)
                 .map(|l| l.trim().to_string())
                 .unwrap_or_default();
-            self.findings.push(Finding {
+            let finding = Finding {
                 path: self.path.clone(),
                 line: tok.line as usize,
                 col: tok.col as usize,
                 rule,
                 snippet,
-            });
+            };
+            if advisory {
+                self.advisories.push(finding);
+            } else {
+                self.findings.push(finding);
+            }
         }
     }
 
@@ -342,6 +383,7 @@ impl<'s> FileCtx<'s> {
             .collect();
         LintReport {
             findings: self.findings,
+            advisories: self.advisories,
             allows: self.allows,
             stale_allows,
             files_scanned: 1,
@@ -350,10 +392,11 @@ impl<'s> FileCtx<'s> {
 }
 
 /// Analyzes one file's `source`, reporting against `path` (used both for
-/// messages and for path-scoped rules). `graph` supplies one-level helper
-/// summaries for the interprocedural rules; pass a graph built from just
-/// this file for self-contained analysis ([`crate::lint_source`] does).
-pub fn analyze(path: &str, source: &str, graph: &CallGraph) -> LintReport {
+/// messages and for path-scoped rules). `graph` supplies solved transitive
+/// helper summaries and `taint` the solved tainted-returns index for the
+/// interprocedural rules; pass ones built from just this file for
+/// self-contained analysis ([`crate::lint_source`] does).
+pub fn analyze(path: &str, source: &str, graph: &CallGraph, taint: &TaintIndex) -> LintReport {
     let mut ctx = FileCtx::new(path, source);
     rule_det_hash(&mut ctx);
     rule_wall_clock(&mut ctx);
@@ -376,6 +419,7 @@ pub fn analyze(path: &str, source: &str, graph: &CallGraph) -> LintReport {
     if ctx.in_scope(NUMERIC_SCOPE) {
         rule_sim_state_float(&mut ctx);
         rule_lossy_cycle_cast(&mut ctx);
+        rule_det_taint(&mut ctx, taint);
     }
     ctx.into_report()
 }
@@ -474,9 +518,11 @@ fn rule_forbid_unsafe(ctx: &mut FileCtx<'_>) {
 }
 
 /// The flow-sensitive §III-G check: at every `.commit_record(..)` site,
-/// classify by the must/may evidence pair — `must` is clean, `may`-only is
-/// `commit-in-branch`, neither is `persist-order`. Evidence is a direct
-/// persist call or a call to a helper whose one-level summary persists.
+/// classify by the (must_zero, must, may) evidence triple — `must_zero` is
+/// clean, `must`-only is the `persist-in-loop-only` advisory, `may`-only is
+/// `commit-in-branch`, none is `persist-order`. Evidence is a direct
+/// persist call or a call to a helper whose *transitive* fixpoint summary
+/// persists, at any call depth.
 fn rule_persist_flow(
     ctx: &mut FileCtx<'_>,
     ptoks: &[SigTok<'_>],
@@ -484,6 +530,7 @@ fn rule_persist_flow(
     graph: &CallGraph,
 ) {
     let mut hits: Vec<(&'static str, usize)> = Vec::new();
+    let mut advisory_hits: Vec<usize> = Vec::new();
     for f in fns {
         let mut gens = Vec::new();
         let mut sites = Vec::new();
@@ -506,29 +553,38 @@ fn rule_persist_flow(
         }
         let cfg = cfg::build(ptoks, f.body);
         for s in evidence_at_sites(&cfg, &gens, &sites) {
-            if s.must {
+            if s.must_zero {
                 continue;
             }
-            hits.push((
-                if s.may {
-                    "commit-in-branch"
-                } else {
-                    "persist-order"
-                },
-                s.site,
-            ));
+            if s.must {
+                advisory_hits.push(s.site);
+            } else {
+                hits.push((
+                    if s.may {
+                        "commit-in-branch"
+                    } else {
+                        "persist-order"
+                    },
+                    s.site,
+                ));
+            }
         }
     }
     for (rule, i) in hits {
         ctx.report(rule, i, None);
     }
+    for i in advisory_hits {
+        ctx.report_advisory("persist-in-loop-only", i);
+    }
 }
 
 /// Static half of the sanitizer cross-validation: every audited
 /// persist-event call site must live in a function the sanitizer observes —
-/// a direct `san.<event>(..)` call in the body, or a call to a helper whose
-/// summary notifies. `#[test]` functions construct raw traffic on purpose
-/// and are exempt.
+/// a direct `san.<event>(..)` call in the body, a call to a helper whose
+/// transitive summary notifies, or the backward *observed-by-caller* bit
+/// (every transitive caller chain passes through a notifying function, so
+/// the traffic this helper emits is shadowed at the call boundary).
+/// `#[test]` functions construct raw traffic on purpose and are exempt.
 fn rule_hook_coverage(
     ctx: &mut FileCtx<'_>,
     ptoks: &[SigTok<'_>],
@@ -555,6 +611,7 @@ fn rule_hook_coverage(
             continue;
         }
         let covered = (f.body.0..end).any(|i| is_san_notification(ptoks, i))
+            || graph.is_observed(&f.name)
             || callees_in(ptoks, f.body)
                 .iter()
                 .any(|(_, name)| graph.callee_notifies(name));
@@ -565,6 +622,15 @@ fn rule_hook_coverage(
     }
     for i in hits {
         ctx.report("hook-coverage", i, None);
+    }
+}
+
+/// The determinism-taint rule: delegates source/sink extraction and the
+/// taint fixpoint to [`crate::taint`], then reports each tainted write into
+/// simulated state at the exact written-path token.
+fn rule_det_taint(ctx: &mut FileCtx<'_>, taint: &TaintIndex) {
+    for i in taint::file_hits(ctx.source, taint) {
+        ctx.report("det-taint", i, None);
     }
 }
 
@@ -754,10 +820,11 @@ fn rule_lossy_cycle_cast(ctx: &mut FileCtx<'_>) {
     }
 }
 
-/// Per-rule finding counts for a report (all known rules, zero included).
+/// Per-rule finding counts for a report (all known rules, zero included;
+/// advisories count under their rule like findings do).
 pub fn rule_counts(report: &LintReport) -> BTreeMap<&'static str, usize> {
     let mut counts: BTreeMap<&'static str, usize> = RULE_IDS.iter().map(|&r| (r, 0)).collect();
-    for f in &report.findings {
+    for f in report.findings.iter().chain(&report.advisories) {
         *counts.entry(f.rule).or_insert(0) += 1;
     }
     counts
@@ -802,13 +869,27 @@ pub fn explain(rule: &str) -> Option<&'static str> {
             "persist-order: a .commit_record(..) call with NO path from\n\
              function entry carrying payload-persist evidence\n\
              (data_persisted, write_burst, burst_spread, write_home_line,\n\
-             fence, persist*/flush* calls, or a helper whose one-level\n\
-             summary persists). This is HOOP's §III-G ordering contract —\n\
-             the commit record is persisted only after the payload it\n\
-             covers — checked as a dominance property on the function's\n\
-             control-flow graph. Flow model: loops run at least once, call\n\
-             arguments are opaque, helper evidence propagates one call\n\
-             level (see DESIGN.md §9)."
+             fence, persist*/flush* calls, or a helper whose transitive\n\
+             fixpoint summary persists — any call depth). This is HOOP's\n\
+             §III-G ordering contract — the commit record is persisted\n\
+             only after the payload it covers — checked as a dominance\n\
+             property on the function's control-flow graph. Flow model:\n\
+             dual loop edges (at-least-once and zero-iteration bypass),\n\
+             call arguments opaque, helper evidence solved to a worklist\n\
+             fixpoint over the workspace call graph (see DESIGN.md §9)."
+        }
+        "persist-in-loop-only" => {
+            "persist-in-loop-only (advisory): a .commit_record(..) call\n\
+             dominated by persist evidence ONLY under the at-least-once\n\
+             loop model — every path with evidence runs a while/for body,\n\
+             so on the zero-iteration bypass the commit record is written\n\
+             with nothing persisted before it. This is a warning, not an\n\
+             error: draining an empty transaction and committing zero\n\
+             payload lines is a legitimate shape (the commit record then\n\
+             covers nothing), but the site is worth knowing about when\n\
+             auditing §III-G ordering. Advisories are printed and exported\n\
+             under `advisories` in the JSON report; they never fail the\n\
+             gate and are never baselined."
         }
         "commit-in-branch" => {
             "commit-in-branch: a .commit_record(..) call where SOME path\n\
@@ -849,11 +930,30 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         "hook-coverage" => {
             "hook-coverage: a write_burst/burst_spread/write_home_line call\n\
              site in a non-#[test] function with no sanitizer observation —\n\
-             no direct san.<event>(..) call in the body and no call to a\n\
-             helper whose one-level summary notifies. The runtime pmcheck\n\
-             sanitizer (PR 2) claims to shadow every persist event; this\n\
-             rule is the static half of that cross-validation, proving no\n\
-             engine path emits device traffic the sanitizer cannot see."
+             no direct san.<event>(..) call in the body, no call to a\n\
+             helper whose transitive summary notifies, and no\n\
+             observed-by-caller bit (no transitively-notifying function\n\
+             anywhere up its call chains). The runtime pmcheck sanitizer\n\
+             (PR 2) claims to shadow every persist event; this rule is the\n\
+             static half of that cross-validation, proving no engine path\n\
+             emits device traffic the sanitizer cannot see. Inspect a\n\
+             function's solved summary and chains with\n\
+             `xtask lint --callers FILE:FN`."
+        }
+        "det-taint" => {
+            "det-taint: an order-sensitive value flowing into simulated\n\
+             state. Sources: iteration over a DetHashMap/DetHashSet\n\
+             receiver not frozen by lint:order-frozen (fixed seed, but\n\
+             insertion-history-dependent order), Instant::now()/SystemTime\n\
+             (host time), and float accumulation under += inside a fn fold\n\
+             body (shard-merge reduction order). Taint propagates through\n\
+             assignments, let/for bindings, returns, and the workspace\n\
+             call graph (tainted-returns fixpoint). Sinks are writes whose\n\
+             path ends in a simulated-state name (cycle/clock/energy/seed/\n\
+             latency/deadline substrings, or now/done/complete/stall/\n\
+             state); paths with a stat/host/bench/wall/report segment are\n\
+             host-only and permitted. Escape with lint:allow(det-taint) or\n\
+             freeze the iteration order with lint:order-frozen."
         }
         _ => return None,
     })

@@ -1,0 +1,161 @@
+//! Property tests for the interprocedural fixpoint (`callgraph::solve`).
+//!
+//! Three properties over randomly generated call graphs — arbitrary
+//! direct bits, arbitrary edges, cycles, self-loops, mutual recursion,
+//! and dangling callees included:
+//!
+//! 1. **Worklist = Kleene ladder**: the worklist fixpoint equals the
+//!    limit of iterating the naive simultaneous one-level merge
+//!    ([`CallGraph::propagate_once`]) to quiescence — the "summaries
+//!    propagate one level" model of PRs 4–8, iterated until it stops
+//!    changing, is exactly what `solve` computes in one pass.
+//! 2. **Fixpoint = reachability**: a function's transitive bit is the OR
+//!    of direct bits over every function reachable via zero or more call
+//!    edges — the declarative spec of "persist evidence at any depth".
+//! 3. **Observed = caller reachability**: the backward bit holds exactly
+//!    on functions reachable in one or more steps *from* a
+//!    transitively-notifying function.
+//!
+//! The ladder is bounded: each round raises at least one of `3n` bits,
+//! so quiescence arrives within `3n + 1` rounds — asserted, which also
+//! proves termination on cyclic graphs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use lintpass::callgraph::CallGraph;
+use proptest::prelude::*;
+
+/// One generated function: (persists, notifies, commits, callee indices).
+/// Callee indices may exceed the node count — those become dangling
+/// edges to functions the graph never saw, which must be ignored.
+type Spec = Vec<(bool, bool, bool, Vec<usize>)>;
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            prop::collection::vec(0usize..14, 0..5),
+        ),
+        1..12,
+    )
+}
+
+fn build(spec: &Spec) -> CallGraph {
+    let mut g = CallGraph::default();
+    for (i, (p, n, c, callees)) in spec.iter().enumerate() {
+        let names: Vec<String> = callees.iter().map(|j| format!("f{j}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        g.add_synthetic(&format!("f{i}"), *p, *n, *c, &refs);
+    }
+    g
+}
+
+/// Reference forward closure: per node, OR of direct bits over everything
+/// reachable in >= 0 callee steps (plain BFS, no worklist cleverness).
+fn naive_closure(spec: &Spec) -> Vec<(bool, bool, bool)> {
+    let n = spec.len();
+    (0..n)
+        .map(|start| {
+            let mut seen = BTreeSet::new();
+            let mut queue = VecDeque::from([start]);
+            let (mut p, mut no, mut c) = (false, false, false);
+            while let Some(i) = queue.pop_front() {
+                if i >= n || !seen.insert(i) {
+                    continue;
+                }
+                p |= spec[i].0;
+                no |= spec[i].1;
+                c |= spec[i].2;
+                queue.extend(spec[i].3.iter().copied());
+            }
+            (p, no, c)
+        })
+        .collect()
+}
+
+/// Reference observed bit: reachable in >= 1 callee step from any node
+/// whose *closure* notifies.
+fn naive_observed(spec: &Spec, closure: &[(bool, bool, bool)]) -> Vec<bool> {
+    let n = spec.len();
+    let mut observed = vec![false; n];
+    for (start, cl) in closure.iter().enumerate() {
+        if !cl.1 {
+            continue;
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue: VecDeque<usize> = spec[start].3.iter().copied().collect();
+        while let Some(i) = queue.pop_front() {
+            if i >= n || !seen.insert(i) {
+                continue;
+            }
+            observed[i] = true;
+            queue.extend(spec[i].3.iter().copied());
+        }
+    }
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn worklist_equals_iterated_one_level_merges(spec in spec_strategy()) {
+        let mut ladder = build(&spec);
+        let bound = 3 * spec.len() + 1;
+        let mut rounds = 0;
+        while ladder.propagate_once() {
+            rounds += 1;
+            prop_assert!(rounds <= bound, "ladder failed to quiesce in {bound} rounds");
+        }
+        let mut solved = build(&spec);
+        solved.solve();
+        for i in 0..spec.len() {
+            let name = format!("f{i}");
+            let a = ladder.summary(&name).expect("ladder node");
+            let b = solved.summary(&name).expect("solved node");
+            prop_assert_eq!(
+                (a.persists, a.notifies, a.commits),
+                (b.persists, b.notifies, b.commits),
+                "worklist and ladder disagree on {}", name
+            );
+        }
+    }
+
+    #[test]
+    fn fixpoint_equals_reachability_closure(spec in spec_strategy()) {
+        let mut g = build(&spec);
+        g.solve();
+        let reference = naive_closure(&spec);
+        for (i, want) in reference.iter().enumerate() {
+            let s = g.summary(&format!("f{i}")).expect("node");
+            prop_assert_eq!((s.persists, s.notifies, s.commits), *want, "node f{}", i);
+        }
+    }
+
+    #[test]
+    fn observed_equals_caller_reachability(spec in spec_strategy()) {
+        let mut g = build(&spec);
+        g.solve();
+        let closure = naive_closure(&spec);
+        let reference = naive_observed(&spec, &closure);
+        for (i, want) in reference.iter().enumerate() {
+            prop_assert_eq!(g.is_observed(&format!("f{i}")), *want, "node f{}", i);
+        }
+    }
+
+    #[test]
+    fn solve_is_idempotent_and_total_on_cycles(spec in spec_strategy()) {
+        let mut g = build(&spec);
+        g.solve();
+        let before: BTreeMap<String, _> = (0..spec.len())
+            .map(|i| format!("f{i}"))
+            .map(|n| { let s = g.summary(&n).unwrap(); (n, s) })
+            .collect();
+        g.solve();
+        for (n, s) in &before {
+            prop_assert_eq!(&g.summary(n).unwrap(), s);
+        }
+    }
+}

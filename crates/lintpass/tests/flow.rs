@@ -173,6 +173,12 @@ proptest! {
             report.findings.iter().all(|f| f.rule != "commit-in-branch"),
             "commit-in-branch on straight-line code:\n{}", src
         );
+        // No loops means no may-zero paths: the dual loop model must stay
+        // silent — advisories only exist for evidence confined to loops.
+        prop_assert!(
+            report.advisories.is_empty(),
+            "advisory on straight-line code:\n{}", src
+        );
     }
 }
 

@@ -5,6 +5,7 @@
 //! cargo run -p xtask -- lint [PATH...] [--baseline FILE] [--write-baseline]
 //!                            [--json FILE | --no-json]
 //!                            [--explain RULE] [--cfg-dot FILE:LINE|FILE:FN]
+//!                            [--callers FILE:FN]
 //! cargo run -p xtask -- bench [-- ARGS...]
 //! cargo run -p xtask -- crashtest [-- ARGS...]
 //! cargo run -p xtask -- trace [-- ARGS...]
@@ -14,21 +15,30 @@
 //! workspace sources (`crates/`, `src/`, `tests/`, `examples/`; `vendor/`
 //! and `target/` are excluded): the determinism/safety rules plus the
 //! CFG/dataflow-backed `persist-order`, `commit-in-branch` and
-//! `hook-coverage` checks and the scope-based `order-sensitive-iteration`,
-//! `sim-state-float`, `lossy-cycle-cast` and `shard-shared-mut` checks.
-//! Findings are gated against the committed baseline (`lint.baseline` at the
-//! workspace root) so CI fails only on *new* findings — and also on *stale*
-//! baseline entries, which demand a refresh via `--write-baseline` in the
-//! same change. A schema-versioned JSON report is written to
-//! `results/lint.json` unless `--no-json`; when that path cannot be written
-//! (read-only checkout) the run degrades to the stdout summary with a
-//! warning instead of failing. For every *failing* flow-rule finding the
-//! enclosing function's CFG is exported as Graphviz dot under
-//! `results/cfg/` so CI can attach it as a debugging artifact.
+//! `hook-coverage` checks (on fixed-point interprocedural call-graph
+//! summaries, so helper evidence counts at any call depth and a notifying
+//! caller clears its callees), the determinism-taint `det-taint` check, and
+//! the scope-based `order-sensitive-iteration`, `sim-state-float`,
+//! `lossy-cycle-cast` and `shard-shared-mut` checks. The dual loop model
+//! additionally emits the warning-severity `persist-in-loop-only` advisory
+//! (printed and exported, never gated). Findings are gated against the
+//! committed baseline (`lint.baseline` at the workspace root) so CI fails
+//! only on *new* findings — and also on *stale* baseline entries, which
+//! demand a refresh via `--write-baseline` in the same change. A
+//! schema-versioned JSON report is written to `results/lint.json` (plus the
+//! `hoop-taint/1` companion `results/taint.json`) unless `--no-json`; when
+//! those paths cannot be written (read-only checkout) the run degrades to
+//! the stdout summary with a warning instead of failing. For every
+//! *failing* flow-rule finding the enclosing function's CFG is exported as
+//! Graphviz dot under `results/cfg/` so CI can attach it as a debugging
+//! artifact.
 //!
-//! `--explain RULE` prints the rationale and fix guidance for one rule;
+//! `--explain RULE` prints the rationale and fix guidance for one rule
+//! (including the new `det-taint` and `persist-in-loop-only`);
 //! `--cfg-dot FILE:LINE` (or `FILE:FUNCTION`) prints a function's CFG as
-//! dot without running the scan.
+//! dot without running the scan; `--callers FILE:FUNCTION` dumps one
+//! function's direct and transitive call-graph summary with the shortest
+//! evidence chain behind each bit — the debugging view of the fixpoint.
 //!
 //! Exit codes: `0` clean (or fully baselined), `1` findings (new findings,
 //! stale baseline entries, or a corrupt baseline), `2` scan/IO/usage error.
@@ -84,6 +94,7 @@ struct LintOpts {
     json: Option<PathBuf>,
     explain: Option<String>,
     cfg_dot: Option<String>,
+    callers: Option<String>,
 }
 
 fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
@@ -95,6 +106,7 @@ fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
         json: Some(root.join("results/lint.json")),
         explain: None,
         cfg_dot: None,
+        callers: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -115,6 +127,13 @@ fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
                     Some(it.next().cloned().ok_or_else(|| {
                         "--cfg-dot requires FILE:LINE or FILE:FUNCTION".to_string()
                     })?);
+            }
+            "--callers" => {
+                opts.callers = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--callers requires FILE:FUNCTION".to_string())?,
+                );
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => opts.roots.push(PathBuf::from(path)),
@@ -190,6 +209,95 @@ fn run_cfg_dot(spec: &str) -> u8 {
     }
 }
 
+/// `--callers FILE:FUNCTION`: dumps one function's direct and transitive
+/// call-graph summary, its call edges in both directions, and the shortest
+/// evidence chain behind each transitive bit — from the same solved
+/// workspace call graph and taint index the scan itself uses, so the dump
+/// can never disagree with a verdict.
+fn run_callers(spec: &str) -> u8 {
+    use lintpass::callgraph::Fact;
+    let Some((file, name)) = spec.rsplit_once(':') else {
+        eprintln!("xtask lint: --callers expects FILE:FUNCTION, got `{spec}`");
+        return 2;
+    };
+    let root = workspace_root();
+    let path = PathBuf::from(file);
+    let path = if path.exists() { path } else { root.join(file) };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let toks = lintpass::parse::sig_tokens(&source);
+    if !lintpass::parse::functions(&toks)
+        .iter()
+        .any(|f| f.name == name)
+    {
+        eprintln!("xtask lint: no function `{name}` in {}", path.display());
+        return 2;
+    }
+    let roots: Vec<PathBuf> = ["crates", "src", "tests", "examples"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
+    let (_, graph, taint) = match lintpass::lint_paths_full(&roots, Some(&root)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask lint: scan failed: {e}");
+            return 2;
+        }
+    };
+    println!("fn `{name}` ({file})");
+    match (graph.direct_summary(name), graph.summary(name)) {
+        (Some(d), Some(t)) => {
+            println!(
+                "  direct:     persists={} notifies={} commits={}",
+                d.persists, d.notifies, d.commits
+            );
+            println!(
+                "  transitive: persists={} notifies={} commits={} observed={}",
+                t.persists, t.notifies, t.commits, t.observed
+            );
+            let join = |v: Vec<&str>| {
+                if v.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    v.join(", ")
+                }
+            };
+            println!("  callees:    {}", join(graph.callees_of(name)));
+            println!("  callers:    {}", join(graph.callers_of(name)));
+            for (label, fact) in [
+                ("persists", Fact::Persists),
+                ("notifies", Fact::Notifies),
+                ("commits ", Fact::Commits),
+            ] {
+                if let Some(chain) = graph.evidence_chain(name, fact) {
+                    println!("  {label} via: {}", chain.join(" -> "));
+                }
+            }
+            if let Some(chain) = graph.observer_chain(name) {
+                println!("  observed via caller chain: {}", chain.join(" -> "));
+            }
+        }
+        _ => println!(
+            "  not in the persistency-scoped call graph \
+             (scope: crates/engines/src/, crates/hoop/src/)"
+        ),
+    }
+    println!(
+        "  tainted return: {}",
+        if taint.returns_tainted(name) {
+            "yes"
+        } else {
+            "no"
+        }
+    );
+    0
+}
+
 /// Rules whose findings come out of the CFG/dataflow layer — these get their
 /// enclosing function's CFG exported as dot when they fail the gate.
 const FLOW_RULES: [&str; 3] = ["persist-order", "commit-in-branch", "hook-coverage"];
@@ -259,8 +367,11 @@ fn lint_main(args: &[String]) -> u8 {
     if let Some(spec) = &opts.cfg_dot {
         return run_cfg_dot(spec);
     }
+    if let Some(spec) = &opts.callers {
+        return run_callers(spec);
+    }
     let root = workspace_root();
-    let report = match lintpass::lint_paths_rel(&opts.roots, Some(&root)) {
+    let (report, _graph, taint) = match lintpass::lint_paths_full(&opts.roots, Some(&root)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: scan failed: {e}");
@@ -269,6 +380,10 @@ fn lint_main(args: &[String]) -> u8 {
     };
     for a in &report.allows {
         println!("allowed  {}:{} [{}]", a.path, a.line, a.rule);
+    }
+    // Advisories are warning severity: printed and exported, never gated.
+    for f in &report.advisories {
+        println!("advisory {f}");
     }
     // Stale allows are a warning, never a failure: cleaning up a suppression
     // whose finding is gone should be a deliberate follow-up, not a CI block.
@@ -336,6 +451,15 @@ fn lint_main(args: &[String]) -> u8 {
             eprintln!(
                 "warning: cannot write report {} ({e}) — continuing with stdout summary only",
                 json_path.display()
+            );
+        }
+        // The hoop-taint/1 companion rides next to the lint report.
+        let taint_path = json_path.with_file_name("taint.json");
+        let taint_doc = lintpass::report::taint_to_json(&taint, &report);
+        if let Err(e) = std::fs::write(&taint_path, taint_doc) {
+            eprintln!(
+                "warning: cannot write taint report {} ({e}) — continuing",
+                taint_path.display()
             );
         }
     }
@@ -421,23 +545,32 @@ fn help_for(subcommand: &str) -> Option<&'static str> {
              \n\
              Flow-sensitive static analysis: determinism/safety rules plus the\n\
              CFG/dataflow-backed persist-order, commit-in-branch and\n\
-             hook-coverage checks and the scope-based order-sensitive-iteration,\n\
-             sim-state-float, lossy-cycle-cast and shard-shared-mut checks,\n\
-             gated against the committed baseline. Failing flow-rule findings\n\
-             export their function's CFG as dot under results/cfg/. Stale\n\
-             lint:allow annotations are warned about (exit 0).\n\
+             hook-coverage checks (fixed-point interprocedural summaries: helper\n\
+             evidence counts at any call depth, notifying callers clear their\n\
+             callees), the determinism-taint det-taint check, and the\n\
+             scope-based order-sensitive-iteration, sim-state-float,\n\
+             lossy-cycle-cast and shard-shared-mut checks, gated against the\n\
+             committed baseline. The dual loop model emits the warning-severity\n\
+             persist-in-loop-only advisory (printed/exported, never gated).\n\
+             Failing flow-rule findings export their function's CFG as dot\n\
+             under results/cfg/. Stale lint:allow annotations are warned about\n\
+             (exit 0).\n\
              \n\
              options:\n\
              \x20 PATH...            directories to scan (default: crates/ src/ tests/ examples/)\n\
              \x20 --baseline FILE    baseline file (default: lint.baseline)\n\
              \x20 --write-baseline   rewrite the baseline from this scan\n\
              \x20 --json FILE        write the JSON report here (default: results/lint.json);\n\
-             \x20                    an unwritable path degrades to stdout with a warning\n\
-             \x20 --no-json          skip the JSON report\n\
+             \x20                    the hoop-taint/1 companion taint.json is written next to\n\
+             \x20                    it; an unwritable path degrades to stdout with a warning\n\
+             \x20 --no-json          skip the JSON and taint reports\n\
              \x20 --explain RULE     print one rule's rationale and fix guidance, then exit\n\
              \x20 --cfg-dot F:LINE   print the CFG (Graphviz dot) of the innermost function\n\
              \x20                    at line LINE of file F, then exit; F:NAME selects the\n\
              \x20                    function named NAME instead\n\
+             \x20 --callers F:NAME   dump function NAME's direct + transitive call-graph\n\
+             \x20                    summary, call edges, shortest evidence chains and\n\
+             \x20                    tainted-return status, then exit\n\
              \n\
              exit codes: 0 clean/baselined, 1 new or stale findings, 2 scan/IO/usage error"
         }
@@ -538,6 +671,8 @@ mod tests {
         assert_eq!(lint_main(&strs(&["--explain", "persist-order"])), 0);
         assert_eq!(lint_main(&strs(&["--explain", "commit-in-branch"])), 0);
         assert_eq!(lint_main(&strs(&["--explain", "hook-coverage"])), 0);
+        assert_eq!(lint_main(&strs(&["--explain", "persist-in-loop-only"])), 0);
+        assert_eq!(lint_main(&strs(&["--explain", "det-taint"])), 0);
     }
 
     #[test]
@@ -585,7 +720,10 @@ mod tests {
         ]));
         assert_eq!(code, 0);
         let doc = std::fs::read_to_string(&json).unwrap();
-        assert!(doc.contains("\"schema\": \"hoop-lint/2\""));
+        assert!(doc.contains("\"schema\": \"hoop-lint/3\""));
+        // The taint companion lands next to the lint report.
+        let taint = std::fs::read_to_string(json.with_file_name("taint.json")).unwrap();
+        assert!(taint.contains("\"schema\": \"hoop-taint/1\""));
     }
 
     #[test]
@@ -605,5 +743,32 @@ mod tests {
             2
         );
         assert_eq!(lint_main(&strs(&["--cfg-dot", "no-colon-spec"])), 2);
+    }
+
+    #[test]
+    fn callers_usage_errors() {
+        assert_eq!(lint_main(&strs(&["--callers"])), 2);
+        assert_eq!(lint_main(&strs(&["--callers", "no-colon-spec"])), 2);
+        assert_eq!(
+            lint_main(&strs(&[
+                "--callers",
+                "crates/hoop/src/engine.rs:no_such_fn"
+            ])),
+            2
+        );
+        assert_eq!(lint_main(&strs(&["--callers", "no/such/file.rs:f"])), 2);
+    }
+
+    #[test]
+    fn callers_dumps_a_real_workspace_function() {
+        // Full workspace scan behind the dump — this is also an end-to-end
+        // check that the solved graph knows a real commit-record writer.
+        assert_eq!(
+            lint_main(&strs(&[
+                "--callers",
+                "crates/hoop/src/engine.rs:append_commit_record"
+            ])),
+            0
+        );
     }
 }
