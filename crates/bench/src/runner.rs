@@ -29,6 +29,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use nvm::wearlevel::{EnduranceMap, GAP_MOVE_RATE};
 use pmcheck::{PersistencySanitizer, SanitizerSummary};
 use simcore::config::SimConfig;
 use trace::{
@@ -60,8 +61,9 @@ pub enum RunMode {
 /// Command-line options shared by every figure/table binary:
 /// `--quick`/`--full` selects the [`Scale`], `--jobs N` the worker count,
 /// `--sanitize` attaches the persistency sanitizer to every cell,
-/// `--record DIR` / `--replay DIR` select the trace [`RunMode`], and
-/// `--depth N` overrides the recorded per-core stream depth.
+/// `--endurance` tracks per-line wear and exports an `endurance` summary
+/// per cell, `--record DIR` / `--replay DIR` select the trace [`RunMode`],
+/// and `--depth N` overrides the recorded per-core stream depth.
 #[derive(Clone, Debug)]
 pub struct RunnerOptions {
     /// Experiment scale.
@@ -71,6 +73,10 @@ pub struct RunnerOptions {
     /// Attach the persistency sanitizer (`pmcheck`) to every cell. Off by
     /// default so unsanitized runs stay byte-identical to older builds.
     pub sanitize: bool,
+    /// Track per-line wear ([`EnduranceMap`]) in every cell and serialize
+    /// an `endurance` summary per cell. Off by default so plain runs stay
+    /// byte-identical to older builds. Live mode only.
+    pub endurance: bool,
     /// Live / record / replay.
     pub mode: RunMode,
     /// Per-core transactions to record (record mode only). `None` sizes the
@@ -84,15 +90,17 @@ pub struct RunnerOptions {
 
 impl RunnerOptions {
     /// Parses `--quick` / `--full` / `--jobs N` (or `--jobs=N`) /
-    /// `--sanitize` / `--record DIR` / `--replay DIR` / `--depth N` /
-    /// `--shards N` from argv. Defaults: full scale, all available cores,
-    /// sanitizer off, live mode, 1 shard.
+    /// `--sanitize` / `--endurance` / `--record DIR` / `--replay DIR` /
+    /// `--depth N` / `--shards N` from argv. Defaults: full scale, all
+    /// available cores, sanitizer and endurance tracking off, live mode,
+    /// 1 shard.
     pub fn from_args() -> RunnerOptions {
         let args: Vec<String> = std::env::args().collect();
         RunnerOptions {
             scale: Scale::from_args(),
             jobs: parse_jobs(&args).unwrap_or_else(default_jobs),
             sanitize: args.iter().any(|a| a == "--sanitize"),
+            endurance: args.iter().any(|a| a == "--endurance"),
             mode: parse_mode(&args),
             depth: parse_value(&args, "--depth")
                 .map(|v| v.parse().expect("--depth needs a positive integer")),
@@ -106,6 +114,7 @@ impl RunnerOptions {
             scale,
             jobs,
             sanitize: false,
+            endurance: false,
             mode: RunMode::Live,
             depth: None,
             shards: 1,
@@ -209,6 +218,54 @@ pub struct Cell {
     pub workload: WorkloadConfig,
 }
 
+/// Per-cell wear accounting derived from the device's [`EnduranceMap`]
+/// (`Some` only on `--endurance` runs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnduranceSummary {
+    /// Total line writes the device recorded.
+    pub total_line_writes: u64,
+    /// The hottest line's write count.
+    pub max_line_writes: u64,
+    /// Mean writes per touched line.
+    pub mean_line_writes: f64,
+    /// Distinct lines ever written.
+    pub lines_touched: u64,
+    /// Wear skew: hottest line relative to the mean (1.0 = perfectly even).
+    pub skew: f64,
+    /// Extra line writes Start-Gap leveling would add to flatten the skew
+    /// (one gap-move copy per [`GAP_MOVE_RATE`] writes).
+    pub leveling_overhead_writes: u64,
+}
+
+impl EnduranceSummary {
+    /// Summarizes a device's endurance map.
+    pub fn from_map(e: &EnduranceMap) -> EnduranceSummary {
+        EnduranceSummary {
+            total_line_writes: e.total_writes(),
+            max_line_writes: e.max_writes(),
+            mean_line_writes: e.mean_writes(),
+            lines_touched: e.lines_touched() as u64,
+            skew: e.skew(),
+            leveling_overhead_writes: e.total_writes() / GAP_MOVE_RATE,
+        }
+    }
+
+    /// Serializes the summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("total_line_writes", Json::UInt(self.total_line_writes)),
+            ("max_line_writes", Json::UInt(self.max_line_writes)),
+            ("mean_line_writes", Json::Num(self.mean_line_writes)),
+            ("lines_touched", Json::UInt(self.lines_touched)),
+            ("skew", Json::Num(self.skew)),
+            (
+                "leveling_overhead_writes",
+                Json::UInt(self.leveling_overhead_writes),
+            ),
+        ])
+    }
+}
+
 /// Result of one executed cell.
 #[derive(Clone, Debug)]
 pub struct CellResult {
@@ -223,6 +280,9 @@ pub struct CellResult {
     /// Persistency-sanitizer summary (`Some` only on `--sanitize` runs; the
     /// JSON document is unchanged when absent).
     pub sanitizer: Option<SanitizerSummary>,
+    /// Per-line wear summary (`Some` only on `--endurance` runs; the JSON
+    /// document is unchanged when absent).
+    pub endurance: Option<EnduranceSummary>,
 }
 
 impl CellResult {
@@ -311,6 +371,9 @@ impl CellResult {
         ];
         if let Some(s) = &self.sanitizer {
             fields.push(("sanitizer", sanitizer_json(s)));
+        }
+        if let Some(e) = &self.endurance {
+            fields.push(("endurance", e.to_json()));
         }
         Json::obj(fields)
     }
@@ -401,15 +464,28 @@ impl ExperimentPlan {
     /// persistency sanitizer to every cell. Panics if any sanitized cell
     /// reports a hard ordering violation (samples are printed first).
     pub fn run_sanitized(&self, jobs: usize, sanitize: bool) -> Vec<CellResult> {
+        self.run_instrumented(jobs, sanitize, false)
+    }
+
+    /// Like [`run_sanitized`](ExperimentPlan::run_sanitized), optionally
+    /// also tracking per-line wear in every cell (`--endurance`): each
+    /// result then carries an [`EnduranceSummary`].
+    pub fn run_instrumented(
+        &self,
+        jobs: usize,
+        sanitize: bool,
+        endurance: bool,
+    ) -> Vec<CellResult> {
         let results = run_parallel(&self.cells, jobs, |cell| {
             let seed = derive_workload_seed(cell.workload.label);
-            let (report, sanitizer) = run_cell_seeded_sanitized(
+            let (report, sanitizer, endurance) = run_cell_seeded_instrumented(
                 cell.engine,
                 cell.workload,
                 &self.sim,
                 self.scale,
                 seed,
                 sanitize,
+                endurance,
             );
             eprintln!("  {}", report.summary());
             CellResult {
@@ -418,6 +494,7 @@ impl ExperimentPlan {
                 seed,
                 report,
                 sanitizer,
+                endurance,
             }
         });
         check_results(&results);
@@ -488,6 +565,7 @@ impl ExperimentPlan {
                 seed,
                 report,
                 sanitizer,
+                endurance: None,
             }
         });
         check_results(&results);
@@ -505,8 +583,12 @@ impl ExperimentPlan {
     /// option set (`--jobs`, `--sanitize`, `--record`/`--replay`,
     /// `--depth`).
     pub fn run_and_export_opts(&self, opts: &RunnerOptions) -> Vec<CellResult> {
+        assert!(
+            !opts.endurance || opts.mode == RunMode::Live,
+            "--endurance requires a live run (drop --record/--replay)"
+        );
         let results = match &opts.mode {
-            RunMode::Live => self.run_sanitized(opts.jobs, opts.sanitize),
+            RunMode::Live => self.run_instrumented(opts.jobs, opts.sanitize, opts.endurance),
             RunMode::Record(dir) => {
                 self.record_traces(dir, opts.jobs, opts.depth);
                 self.run_replayed(opts.jobs, opts.sanitize, dir)
@@ -633,9 +715,33 @@ pub fn run_cell_seeded_sanitized(
     seed: u64,
     sanitize: bool,
 ) -> (RunReport, Option<SanitizerSummary>) {
+    let (report, summary, _) =
+        run_cell_seeded_instrumented(engine, wcfg, sim, scale, seed, sanitize, false);
+    (report, summary)
+}
+
+/// Like [`run_cell_seeded_sanitized`], optionally also tracking per-line
+/// wear on the cell's device and summarizing it after the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_seeded_instrumented(
+    engine: &str,
+    wcfg: WorkloadConfig,
+    sim: &SimConfig,
+    scale: Scale,
+    seed: u64,
+    sanitize: bool,
+    endurance: bool,
+) -> (
+    RunReport,
+    Option<SanitizerSummary>,
+    Option<EnduranceSummary>,
+) {
     let mut spec = spec_for(wcfg, scale);
     spec.seed = seed;
     let mut sys = build_system(engine, sim);
+    if endurance {
+        sys.enable_endurance_tracking();
+    }
     let san = sanitize.then(|| {
         let (san, handle) = PersistencySanitizer::shared();
         sys.attach_sanitizer(handle);
@@ -647,7 +753,15 @@ pub fn run_cell_seeded_sanitized(
     let mut report = driver.run_until(&mut sys, scale.warmup(), scale.measured(), min_cycles);
     report.workload = wcfg.label.to_string();
     let summary = san.map(|s| s.lock().expect("sanitizer poisoned").summary());
-    (report, summary)
+    let wear = endurance.then(|| {
+        EnduranceSummary::from_map(
+            sys.engine()
+                .device()
+                .endurance()
+                .expect("endurance tracking enabled"),
+        )
+    });
+    (report, summary, wear)
 }
 
 /// Maps `f` over `items` on `jobs` worker threads, returning results in
@@ -834,6 +948,42 @@ mod tests {
             Some(2)
         );
         assert_eq!(parse_jobs(&to_args(&["bin", "--quick"])), None);
+    }
+
+    /// `--endurance` adds a wear summary per cell; without it the document
+    /// is byte-identical to older builds (no `endurance` key at all).
+    #[test]
+    fn endurance_flag_gates_the_wear_summary() {
+        let sim = SimConfig::small_for_tests();
+        let plan = ExperimentPlan::from_cells(
+            "wear",
+            vec![Cell {
+                engine: "HOOP",
+                workload: MATRIX[2],
+            }],
+            sim,
+            Scale::Quick,
+        );
+        let plain = plan.run_instrumented(1, false, false);
+        assert!(plain[0].endurance.is_none());
+        assert!(!results_json("wear", Scale::Quick, &plain)
+            .pretty()
+            .contains("\"endurance\""));
+        let tracked = plan.run_instrumented(1, false, true);
+        let e = tracked[0].endurance.as_ref().expect("summary present");
+        assert!(e.total_line_writes > 0);
+        assert!(e.max_line_writes > 0);
+        assert!(e.skew >= 1.0);
+        assert_eq!(
+            e.leveling_overhead_writes,
+            e.total_line_writes / GAP_MOVE_RATE
+        );
+        // Wear tracking is an observer: the measured report is unchanged.
+        assert_eq!(plain[0].report.cycles, tracked[0].report.cycles);
+        let doc = results_json("wear", Scale::Quick, &tracked).pretty();
+        for key in ["\"endurance\"", "\"max_line_writes\"", "\"skew\""] {
+            assert!(doc.contains(key), "missing {key}");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn cell_results_are_shard_invariant() {
                 seed,
                 report,
                 sanitizer: None,
+                endurance: None,
             };
             docs.push(cell.to_json().pretty());
         }

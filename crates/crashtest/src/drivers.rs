@@ -82,6 +82,71 @@ impl Reproducer {
     }
 }
 
+/// Media-fault statistics folded over every experiment of one drive
+/// (present only when the harness ran with the fault model attached, so
+/// fault-free reports stay byte-identical).
+#[derive(Clone, Debug, Default)]
+pub struct MediaAggregate {
+    /// Line reads classified across all experiments.
+    pub reads: u64,
+    /// ECC-corrected reads (CE).
+    pub corrected: u64,
+    /// Uncorrectable reads (UE).
+    pub uncorrectable: u64,
+    /// Re-read attempts spent.
+    pub retries: u64,
+    /// Patrol-scrub rewrites.
+    pub scrub_rewrites: u64,
+    /// Lines retired to spares.
+    pub retired: u64,
+    /// Retirements dropped for lack of spares.
+    pub spare_exhausted: u64,
+    /// Classified data-loss declarations.
+    pub data_loss: u64,
+    /// Crash points whose verdict was `ue_data_loss`.
+    pub ue_data_loss_points: u64,
+    /// Crash points that recovered correctly despite media degradation.
+    pub degraded_but_correct_points: u64,
+}
+
+impl MediaAggregate {
+    fn absorb(&mut self, o: &CrashOutcome) {
+        let s = &o.media;
+        self.reads += s.reads;
+        self.corrected += s.corrected;
+        self.uncorrectable += s.uncorrectable;
+        self.retries += s.retries;
+        self.scrub_rewrites += s.scrub_rewrites;
+        self.retired += s.retired;
+        self.spare_exhausted += s.spare_exhausted;
+        self.data_loss += s.data_loss;
+        if o.verdict() == "ue_data_loss" {
+            self.ue_data_loss_points += 1;
+        }
+        if o.degraded_but_correct() {
+            self.degraded_but_correct_points += 1;
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("reads", Json::UInt(self.reads)),
+            ("corrected", Json::UInt(self.corrected)),
+            ("uncorrectable", Json::UInt(self.uncorrectable)),
+            ("retries", Json::UInt(self.retries)),
+            ("scrub_rewrites", Json::UInt(self.scrub_rewrites)),
+            ("retired", Json::UInt(self.retired)),
+            ("spare_exhausted", Json::UInt(self.spare_exhausted)),
+            ("data_loss", Json::UInt(self.data_loss)),
+            ("ue_data_loss_points", Json::UInt(self.ue_data_loss_points)),
+            (
+                "degraded_but_correct_points",
+                Json::UInt(self.degraded_but_correct_points),
+            ),
+        ])
+    }
+}
+
 /// Aggregate result of one mode over one engine.
 #[derive(Clone, Debug)]
 pub struct EngineSummary {
@@ -97,6 +162,8 @@ pub struct EngineSummary {
     pub crash_points: u64,
     /// Shrunk failing reproducers (empty = engine survived everything).
     pub failures: Vec<Reproducer>,
+    /// Media-fault statistics (combined crash + media drives only).
+    pub media: Option<MediaAggregate>,
 }
 
 impl EngineSummary {
@@ -118,7 +185,7 @@ impl EngineSummary {
                 })
                 .collect(),
         );
-        Json::obj([
+        let mut pairs = vec![
             ("engine", Json::Str(self.engine.clone())),
             ("mode", Json::Str(self.mode.to_string())),
             ("workload_events", Json::UInt(self.workload_events)),
@@ -129,7 +196,13 @@ impl EngineSummary {
                 "failures",
                 Json::Arr(self.failures.iter().map(Reproducer::to_json).collect()),
             ),
-        ])
+        ];
+        // Present only on combined crash + media drives, so the fault-free
+        // report (the committed `results/crashtest.json`) keeps its bytes.
+        if let Some(m) = &self.media {
+            pairs.push(("media", m.to_json()));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -187,9 +260,20 @@ fn record_failure(
     }
 }
 
+/// The media aggregate for a drive under `harness` — `Some` only when the
+/// fault model is enabled, seeded with the dry run's counters.
+fn media_aggregate(harness: &Harness, dry: &CrashOutcome) -> Option<MediaAggregate> {
+    harness.config().media.enabled.then(|| {
+        let mut m = MediaAggregate::default();
+        m.absorb(dry);
+        m
+    })
+}
+
 /// Crashes at every durable-event index of the workload.
 pub fn run_exhaustive(harness: &Harness, wl: &CrashWorkload) -> EngineSummary {
     let dry = harness.count_events(wl);
+    let mut media = media_aggregate(harness, &dry);
     let mut failures = Vec::new();
     if !dry.passed() {
         // The crash-free run must already satisfy the oracle; a violation
@@ -201,6 +285,9 @@ pub fn run_exhaustive(harness: &Harness, wl: &CrashWorkload) -> EngineSummary {
     for k in 0..n {
         let o = harness.run(wl, k, None, 1);
         tested += 1;
+        if let Some(m) = media.as_mut() {
+            m.absorb(&o);
+        }
         if !o.passed() {
             record_failure(&mut failures, harness, wl, &o, None);
         }
@@ -212,6 +299,7 @@ pub fn run_exhaustive(harness: &Harness, wl: &CrashWorkload) -> EngineSummary {
         kind_counts: dry.kind_counts,
         crash_points: tested,
         failures,
+        media,
     }
 }
 
@@ -223,6 +311,7 @@ pub fn run_sampled(
     seed: u64,
 ) -> EngineSummary {
     let dry = harness.count_events(wl);
+    let mut media = media_aggregate(harness, &dry);
     let mut failures = Vec::new();
     if !dry.passed() {
         failures.push(Reproducer::from_outcome(&dry, wl.spec.seed, None, false));
@@ -238,6 +327,9 @@ pub fn run_sampled(
     for _ in 0..samples {
         let k = rng.below(n);
         let o = harness.run(wl, k, None, 1);
+        if let Some(m) = media.as_mut() {
+            m.absorb(&o);
+        }
         if !o.passed() {
             record_failure(&mut failures, harness, wl, &o, None);
         }
@@ -249,6 +341,7 @@ pub fn run_sampled(
         kind_counts: dry.kind_counts,
         crash_points: samples,
         failures,
+        media,
     }
 }
 
@@ -256,6 +349,7 @@ pub fn run_sampled(
 /// crash points, exhausts every nested cut through that point's recovery.
 pub fn run_nested(harness: &Harness, wl: &CrashWorkload, primaries: u64) -> EngineSummary {
     let dry = harness.count_events(wl);
+    let mut media = media_aggregate(harness, &dry);
     let mut failures = Vec::new();
     let n = dry.events_at_crash;
     let mut tested = 0u64;
@@ -269,6 +363,9 @@ pub fn run_nested(harness: &Harness, wl: &CrashWorkload, primaries: u64) -> Engi
             let nested = Some(NestedCrash { extra: r });
             let o = harness.run(wl, k, nested, 1);
             tested += 1;
+            if let Some(m) = media.as_mut() {
+                m.absorb(&o);
+            }
             if !o.passed() {
                 record_failure(&mut failures, harness, wl, &o, nested);
             }
@@ -281,6 +378,7 @@ pub fn run_nested(harness: &Harness, wl: &CrashWorkload, primaries: u64) -> Engi
         kind_counts: dry.kind_counts,
         crash_points: tested,
         failures,
+        media,
     }
 }
 

@@ -12,21 +12,27 @@
 //! * [`EagerGcEngine`] migrates data home at store time, before commit — a
 //!   crash after the migration but before the commit record leaves
 //!   uncommitted data visible ([`UncommittedEffectVisible`]).
+//! * [`MediaBlindEngine`] ignores the media verdict on recovery reads — an
+//!   uncorrectable log line replays deterministic garbage into the home
+//!   image, which the oracle attributes as [`UeDataLoss`].
 //!
-//! Both are crash-free-correct: with no fault injected, recovery rebuilds
-//! exactly the committed image, so only the crash harness can tell them
-//! from a sound engine.
+//! All are crash-free-correct (and `MediaBlindEngine` additionally
+//! fault-free-correct): with no fault injected, recovery rebuilds exactly
+//! the committed image, so only the crash/media harness can tell them from
+//! a sound engine.
 //!
 //! [`MissingCommittedEffect`]: crate::oracle::ViolationKind::MissingCommittedEffect
 //! [`UncommittedEffectVisible`]: crate::oracle::ViolationKind::UncommittedEffectVisible
+//! [`UeDataLoss`]: crate::oracle::ViolationKind::UeDataLoss
 
 use engines::system::System;
 use engines::traits::{
     CommitOutcome, EngineProperties, EngineStats, Level, MissFill, PersistenceEngine,
     RecoveryReport,
 };
-use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
+use nvm::{MediaModel, NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::CACHE_LINE_BYTES;
+use simcore::config::MediaConfig;
 use simcore::crashpoint::{CrashValve, PersistEvent};
 use simcore::{CoreId, Cycle, DetHashMap, DetHashSet, Line, PAddr, SimConfig, TxId};
 
@@ -342,4 +348,236 @@ impl PersistenceEngine for EagerGcEngine {
     }
 
     delegate_fixture_common!();
+}
+
+/// Base of the blind fixture's durable log region — far above any footprint
+/// the harness allocates, one 64-byte line per record.
+const BLIND_LOG_BASE: u64 = 1 << 30;
+
+/// One durable log record of the blind fixture: ECC-hardened metadata
+/// `(tx, home address, log line address, payload length)` plus the
+/// controller's volatile payload copy (used by checkpointing only — after a
+/// crash the payload exists solely on media).
+struct BlindRecord {
+    tx: u64,
+    home: u64,
+    log_addr: u64,
+    data: Vec<u8>,
+}
+
+/// Broken fixture: recovery reads its log through the media model but
+/// ignores the ECC verdict.
+///
+/// Protocol-wise this is a *correct* checkpointing redo engine: payload log
+/// records persist before the commit record, `drain` migrates committed
+/// payloads home and truncates the log only after every home write
+/// persisted, and crash recovery replays the committed log suffix. THE BUG
+/// is one level down: the recovery replay consumes whatever bytes
+/// [`MediaModel::read_span_checked`] returns without checking the verdict,
+/// so an uncorrectable log line replays deterministic garbage into the home
+/// image instead of being declared a classified loss. Fault-free it is
+/// indistinguishable from a sound engine; under a wear-faulted media
+/// schedule the oracle convicts it with `ue_data_loss` attribution.
+pub struct MediaBlindEngine {
+    base: FixtureBase,
+    media: MediaModel,
+    /// Durable, ECC-hardened log metadata (survives crashes; every push is
+    /// gated together with its payload line).
+    records: Vec<BlindRecord>,
+    next_log: u64,
+}
+
+impl MediaBlindEngine {
+    /// Creates the fixture for `cfg` (the media model comes from
+    /// `cfg.media`, so a disabled config yields a sound engine).
+    pub fn new(cfg: &SimConfig) -> Self {
+        let mut base = FixtureBase::new(cfg);
+        let media = MediaModel::new(cfg.media);
+        if media.is_attached() {
+            base.device.enable_endurance_tracking();
+        }
+        MediaBlindEngine {
+            base,
+            media,
+            records: Vec::new(),
+            next_log: 0,
+        }
+    }
+
+    /// A harness over this fixture with the given fault schedule (no golden
+    /// check — a broken engine is not its own reference).
+    pub fn harness(media: MediaConfig) -> Harness {
+        let mut cfg = SimConfig::small_for_tests();
+        cfg.media = media;
+        Harness::custom(
+            "MediaBlind",
+            OracleMode::Atomic,
+            Box::new(|cfg| System::new(Box::new(MediaBlindEngine::new(cfg)), cfg)),
+        )
+        .with_config(cfg)
+    }
+}
+
+impl PersistenceEngine for MediaBlindEngine {
+    fn name(&self) -> &'static str {
+        "MediaBlind"
+    }
+
+    fn on_store(
+        &mut self,
+        _core: CoreId,
+        tx: TxId,
+        addr: PAddr,
+        data: &[u8],
+        _now: Cycle,
+    ) -> Cycle {
+        self.base.buffer_store(tx, addr, data);
+        0
+    }
+
+    fn tx_end(&mut self, _core: CoreId, tx: TxId, now: Cycle) -> CommitOutcome {
+        let writes = self.base.active.remove(&tx.0).unwrap_or_default();
+        // Correct ordering: payload lines persist before the commit record.
+        for (addr, data) in writes {
+            let log_addr = BLIND_LOG_BASE + self.next_log * CACHE_LINE_BYTES;
+            self.next_log += 1;
+            if self.base.crash.event(PersistEvent::Payload, None) {
+                self.base.store.write_bytes(PAddr(log_addr), &data);
+                self.base.device.access(
+                    now,
+                    PAddr(log_addr),
+                    CACHE_LINE_BYTES,
+                    Op::Write,
+                    TrafficClass::Log,
+                );
+                self.records.push(BlindRecord {
+                    tx: tx.0,
+                    home: addr,
+                    log_addr,
+                    data,
+                });
+            }
+        }
+        if self.base.crash.event(PersistEvent::Commit, Some(tx)) {
+            self.base.committed.push(tx.0);
+        }
+        self.base.stats.committed_txs.inc();
+        CommitOutcome::default()
+    }
+
+    fn drain(&mut self, _now: Cycle) {
+        // Checkpoint: migrate committed payloads home from the volatile
+        // copy, then truncate the log — but only once every home write of
+        // this pass actually persisted, so a crash mid-drain leaves the
+        // log intact for recovery.
+        let committed: DetHashSet<u64> = self.base.committed.iter().copied().collect();
+        let mut all_home = true;
+        for r in &self.records {
+            if !committed.contains(&r.tx) {
+                continue;
+            }
+            if self.base.crash.event(PersistEvent::Home, None) {
+                self.base.store.write_bytes(PAddr(r.home), &r.data);
+            } else {
+                all_home = false;
+            }
+        }
+        if all_home && self.base.crash.event(PersistEvent::Reclaim, None) {
+            self.records.retain(|r| !committed.contains(&r.tx));
+        }
+    }
+
+    fn recover(&mut self, threads: usize) -> RecoveryReport {
+        let committed: DetHashSet<u64> = self.base.committed.iter().copied().collect();
+        let mut replayed: DetHashSet<u64> = DetHashSet::default();
+        let mut scanned = 0u64;
+        let mut written = 0u64;
+        for r in &self.records {
+            if !committed.contains(&r.tx) {
+                continue;
+            }
+            let mut buf = vec![0u8; r.data.len()];
+            // THE BUG: the media verdict is discarded. On an uncorrectable
+            // log line `buf` now holds deterministic garbage, and it
+            // replays home anyway — a sound engine would declare a
+            // classified loss (`note_loss`) or re-derive the data.
+            let _ = self.media.read_span_checked(
+                &self.base.store,
+                PAddr(r.log_addr),
+                &mut buf,
+                self.base.device.endurance(),
+            );
+            replayed.insert(r.tx);
+            scanned += CACHE_LINE_BYTES;
+            written += buf.len() as u64;
+            if self.base.crash.event(PersistEvent::Recovery, None) {
+                self.base.store.write_bytes(PAddr(r.home), &buf);
+            }
+        }
+        RecoveryReport {
+            modeled_ms: 0.0,
+            bytes_scanned: scanned,
+            bytes_written: written,
+            txs_replayed: replayed.len() as u64,
+            threads,
+        }
+    }
+
+    fn media(&self) -> MediaModel {
+        self.media.clone()
+    }
+
+    fn properties(&self) -> EngineProperties {
+        EngineProperties {
+            read_latency: Level::Low,
+            on_critical_path: true,
+            requires_flush_fence: false,
+            write_traffic: Level::Medium,
+        }
+    }
+
+    fn init_home(&mut self, addr: PAddr, data: &[u8]) {
+        self.base.store.write_bytes(addr, data);
+    }
+
+    fn tx_begin(&mut self, _core: CoreId, _now: Cycle) -> TxId {
+        self.base.tx_begin()
+    }
+
+    fn on_llc_miss(&mut self, _core: CoreId, line: Line, now: Cycle) -> MissFill {
+        self.base.miss(line, now)
+    }
+
+    fn on_evict_dirty(&mut self, line: Line, persistent: bool, line_data: &[u8], now: Cycle) {
+        self.base.evict(line, persistent, line_data, now);
+    }
+
+    fn tick(&mut self, _now: Cycle) -> Cycle {
+        0
+    }
+
+    fn crash(&mut self) {
+        self.base.crash();
+    }
+
+    fn durable(&self) -> &PersistentStore {
+        &self.base.store
+    }
+
+    fn device(&self) -> &NvmDevice {
+        &self.base.device
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.base.stats
+    }
+
+    fn attach_crash_valve(&mut self, valve: CrashValve) {
+        self.base.attach_valve(valve);
+    }
+
+    fn reset_counters(&mut self) {
+        self.base.stats = EngineStats::default();
+        self.base.device.reset_counters();
+    }
 }

@@ -11,11 +11,13 @@
 
 use engines::system::System;
 use engines::traits::RecoveryReport;
+use nvm::MediaSummary;
+use simcore::config::MediaConfig;
 use simcore::crashpoint::{CrashValve, PersistEvent};
 use simcore::{DetHashMap, PAddr, SimConfig};
 use workloads::driver::build_system;
 
-use crate::oracle::{check_image, OracleMode, Violation, ViolationKind};
+use crate::oracle::{attribute_media, check_image, OracleMode, Violation, ViolationKind};
 use crate::workload::CrashWorkload;
 
 /// A second power failure injected `extra` durable events into recovery.
@@ -51,12 +53,40 @@ pub struct CrashOutcome {
     pub report: RecoveryReport,
     /// Content digest of the recovered durable image.
     pub image_digest: u64,
+    /// Media-fault counters from the crashed run (all zero when the fault
+    /// model is detached).
+    pub media: MediaSummary,
 }
 
 impl CrashOutcome {
     /// Whether the experiment satisfied the durability oracle.
     pub fn passed(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// The image is correct even though the media degraded under it (CEs,
+    /// retries, scrub rewrites or retirements occurred, all absorbed).
+    pub fn degraded_but_correct(&self) -> bool {
+        self.violations.is_empty() && self.media.degraded()
+    }
+
+    /// One-word verdict for reports: `pass`, `degraded_but_correct`,
+    /// `ue_data_loss` (a violation attributable to an uncorrectable media
+    /// error) or `fail`.
+    pub fn verdict(&self) -> &'static str {
+        if self
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::UeDataLoss)
+        {
+            "ue_data_loss"
+        } else if !self.violations.is_empty() {
+            "fail"
+        } else if self.media.degraded() {
+            "degraded_but_correct"
+        } else {
+            "pass"
+        }
     }
 }
 
@@ -99,6 +129,13 @@ impl Harness {
     /// Replaces the simulator configuration.
     pub fn with_config(mut self, cfg: SimConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Enables the media-fault model for every experiment this harness
+    /// runs (combined crash + media drives).
+    pub fn with_media(mut self, media: MediaConfig) -> Self {
+        self.cfg.media = media;
         self
     }
 
@@ -211,9 +248,15 @@ impl Harness {
             }
         }
 
+        let media = sys.media();
         let durable = sys.engine().durable();
         let mut violations = check_image(wl, base, durable, &committed, self.mode);
-        if self.golden && self.mode == OracleMode::Atomic {
+        attribute_media(&mut violations, base, &media);
+        // The golden serial re-execution is only a valid byte-equality
+        // reference on pristine media: under fault injection its wear
+        // history (and therefore its fault schedule) differs from the
+        // crashed run's, so only the atomic oracle judges those runs.
+        if self.golden && self.mode == OracleMode::Atomic && !media.is_attached() {
             violations.extend(self.golden_check(wl, base, durable, &committed));
         }
 
@@ -229,6 +272,7 @@ impl Harness {
             violations,
             report,
             image_digest: durable.content_digest(),
+            media: media.summary(),
         }
     }
 

@@ -9,14 +9,19 @@
 //! ```text
 //! crashtest [--engine NAME|all] [--mode exhaustive|sampled|nested|all]
 //!           [--seed N] [--samples N] [--full] [--json PATH]
+//!           [--media] [--media-seed N]
 //! ```
 //!
 //! Defaults: all engines, all modes, seed 1, quick workload (exhaustive
 //! over every event), 64 samples at full scale for `--full` sampling.
+//! `--media` arms the deterministic media-fault model (combined crash +
+//! media drives; the report gains a per-engine `media` section), seeded by
+//! `--media-seed` (default 0).
 
 use crashtest::drivers::{report_json, run_exhaustive, run_nested, run_sampled, EngineSummary};
 use crashtest::harness::Harness;
 use crashtest::workload::{CrashSpec, CrashWorkload};
+use simcore::config::MediaConfig;
 use simcore::SimConfig;
 use workloads::driver::ENGINES;
 
@@ -27,6 +32,8 @@ struct Options {
     samples: u64,
     full: bool,
     json: String,
+    media: bool,
+    media_seed: u64,
 }
 
 fn parse_args() -> Options {
@@ -37,6 +44,8 @@ fn parse_args() -> Options {
         samples: 64,
         full: false,
         json: "results/crashtest.json".to_string(),
+        media: false,
+        media_seed: 0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -73,6 +82,10 @@ fn parse_args() -> Options {
             "--full" => opts.full = true,
             "--quick" => opts.full = false,
             "--json" => opts.json = value(&mut i),
+            "--media" => opts.media = true,
+            "--media-seed" => {
+                opts.media_seed = value(&mut i).parse().expect("--media-seed takes a number");
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
@@ -82,7 +95,10 @@ fn parse_args() -> Options {
 
 fn main() {
     let opts = parse_args();
-    let cfg = SimConfig::small_for_tests();
+    let mut cfg = SimConfig::small_for_tests();
+    if opts.media {
+        cfg.media = MediaConfig::enabled(opts.media_seed);
+    }
     let spec = if opts.full {
         CrashSpec::full(opts.seed)
     } else {
@@ -103,7 +119,7 @@ fn main() {
 
     let mut summaries: Vec<EngineSummary> = Vec::new();
     for engine in &opts.engines {
-        let harness = Harness::named(engine);
+        let harness = Harness::named(engine).with_config(cfg);
         for mode in &modes {
             let summary = match *mode {
                 "exhaustive" => run_exhaustive(&harness, &wl),

@@ -12,12 +12,17 @@
 //!   half is broken).
 //! * [`ViolationKind::Mismatch`] — the word holds a value never written by
 //!   any plan and different from its initial value (corruption).
+//! * [`ViolationKind::UeDataLoss`] — the deviation is attributable to an
+//!   uncorrectable media error (see [`attribute_media`]): either the engine
+//!   declared a classified loss on the word's line, or the image holds
+//!   garbage while the media model surfaced UEs the engine ignored.
 //!
 //! Classification is possible because workload values are globally unique
 //! (see [`crate::workload`]): the recovered value uniquely names the write
 //! that produced it.
 
-use nvm::PersistentStore;
+use nvm::{MediaModel, PersistentStore};
+use simcore::addr::CACHE_LINE_BYTES;
 use simcore::{DetHashMap, DetHashSet, PAddr};
 
 use crate::workload::CrashWorkload;
@@ -56,6 +61,9 @@ pub enum ViolationKind {
     UncommittedEffectVisible,
     /// The recovered value matches no write in the plan (corruption).
     Mismatch,
+    /// The deviation is attributable to an uncorrectable media error — a
+    /// classified data loss rather than a protocol bug.
+    UeDataLoss,
 }
 
 impl ViolationKind {
@@ -65,6 +73,7 @@ impl ViolationKind {
             ViolationKind::MissingCommittedEffect => "missing_committed_effect",
             ViolationKind::UncommittedEffectVisible => "uncommitted_effect_visible",
             ViolationKind::Mismatch => "mismatch",
+            ViolationKind::UeDataLoss => "ue_data_loss",
         }
     }
 }
@@ -170,6 +179,9 @@ pub fn check_image(
                         None => "initial value survived over a committed write".to_string(),
                     },
                     ViolationKind::Mismatch => "value matches no write in the plan".to_string(),
+                    // Media attribution happens in a later pass
+                    // (`attribute_media`); `check_image` never produces it.
+                    ViolationKind::UeDataLoss => unreachable!(),
                 };
                 out.push(Violation {
                     kind,
@@ -193,6 +205,42 @@ pub fn check_image(
         }
     }
     out
+}
+
+/// Reclassifies violations attributable to uncorrectable media errors as
+/// [`ViolationKind::UeDataLoss`]. Two attribution paths:
+///
+/// 1. **Declared loss** — the word's home line is in the model's fault set
+///    ([`MediaModel::fault_lines`]): the engine surfaced the UE and declared
+///    the loss, so the deviation is classified degradation, not a protocol
+///    bug.
+/// 2. **Blind consumption** — the image holds garbage (a [`Mismatch`]:
+///    workload values are globally unique, so garbage matches no write)
+///    while the media model surfaced uncorrectable reads nowhere declared:
+///    an engine consumed UE-corrupted bytes without checking the verdict.
+///
+/// Detached models leave every violation untouched.
+///
+/// [`Mismatch`]: ViolationKind::Mismatch
+pub fn attribute_media(violations: &mut [Violation], base: PAddr, media: &MediaModel) {
+    if !media.is_attached() {
+        return;
+    }
+    let faults = media.fault_lines();
+    let ue_seen = media.summary().uncorrectable > 0;
+    for v in violations.iter_mut() {
+        let line = base.offset(v.word * 8).0 / CACHE_LINE_BYTES;
+        if faults.contains(&line) {
+            v.detail = format!("{} [media loss declared on line {line}]", v.detail);
+            v.kind = ViolationKind::UeDataLoss;
+        } else if ue_seen && v.kind == ViolationKind::Mismatch {
+            v.detail = format!(
+                "{} [garbage under surfaced UEs: a read path consumed uncorrectable data]",
+                v.detail
+            );
+            v.kind = ViolationKind::UeDataLoss;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +291,49 @@ mod tests {
         // Best-effort mode accepts the same image: the value is a real
         // program-order value for that word.
         assert!(check_image(&wl, base, &st, &[], OracleMode::BestEffort).is_empty());
+    }
+
+    #[test]
+    fn declared_media_loss_reclassifies_any_violation() {
+        use simcore::config::MediaConfig;
+        use simcore::Line;
+        let wl = CrashWorkload::generate(CrashSpec::quick(11), 2);
+        let base = PAddr(0x10000);
+        let mut st = footprint_store(&wl, base, &[0]);
+        let (w, _) = wl.plans[0].writes[0];
+        st.write_u64(base.offset(w * 8), CrashWorkload::initial_value(w));
+        let mut v = check_image(&wl, base, &st, &[0], OracleMode::Atomic);
+        assert_eq!(v[0].kind, ViolationKind::MissingCommittedEffect);
+        let media = MediaModel::new(MediaConfig::enabled(1));
+        media.note_loss(Line(base.offset(w * 8).0 / CACHE_LINE_BYTES));
+        attribute_media(&mut v, base, &media);
+        assert_eq!(v[0].kind, ViolationKind::UeDataLoss);
+        assert_eq!(v[0].kind.name(), "ue_data_loss");
+    }
+
+    #[test]
+    fn garbage_under_surfaced_ues_is_blamed_on_blind_consumption() {
+        use nvm::EnduranceMap;
+        use simcore::config::MediaConfig;
+        use simcore::Line;
+        let wl = CrashWorkload::generate(CrashSpec::quick(11), 2);
+        let base = PAddr(0x10000);
+        let mut st = footprint_store(&wl, base, &[]);
+        st.write_u64(base, 0xDEAD_BEEF);
+        let mut v = check_image(&wl, base, &st, &[], OracleMode::Atomic);
+        assert_eq!(v[0].kind, ViolationKind::Mismatch);
+        // Without any surfaced UE the mismatch stays a protocol bug.
+        let quiet = MediaModel::new(MediaConfig::enabled(1));
+        attribute_media(&mut v, base, &quiet);
+        assert_eq!(v[0].kind, ViolationKind::Mismatch);
+        // Surface a UE on an unrelated (log) line: the garbage is now
+        // attributed to blind consumption of uncorrectable data.
+        let media = MediaModel::new(MediaConfig::harsh(1));
+        let mut e = EnduranceMap::new();
+        e.record(Line(1 << 20), 5);
+        assert!(!media.read_line(Line(1 << 20), 5).is_ok());
+        attribute_media(&mut v, base, &media);
+        assert_eq!(v[0].kind, ViolationKind::UeDataLoss);
     }
 
     #[test]

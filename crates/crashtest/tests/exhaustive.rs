@@ -54,3 +54,33 @@ fn every_engine_survives_nested_crashes() {
         assert!(summary.passed(), "{engine}: {:?}", summary.failures.first());
     }
 }
+
+#[test]
+fn every_engine_survives_every_crash_point_with_media_faults() {
+    use simcore::config::MediaConfig;
+
+    // Combined crash + media drive: the wear-coupled fault schedule is live
+    // under every crash point. At quick scale the mild schedule produces
+    // correctable degradation at most, and every engine must absorb it —
+    // zero `ue_data_loss` verdicts, zero oracle violations.
+    for engine in ENGINES.iter().copied().chain(["HOOP-MC2"]) {
+        let harness = Harness::named(engine).with_media(MediaConfig::enabled(3));
+        let wl = CrashWorkload::generate(
+            CrashSpec::quick(3),
+            harness.config().worker_threads as usize,
+        );
+        let summary = run_exhaustive(&harness, &wl);
+        assert!(
+            summary.passed(),
+            "{engine}: {} crash+media points failed, first: {:?}",
+            summary.failures.len(),
+            summary.failures.first()
+        );
+        let media = summary
+            .media
+            .as_ref()
+            .expect("media drive must aggregate media stats");
+        assert_eq!(media.ue_data_loss_points, 0, "{engine}");
+        assert!(media.reads > 0, "{engine}: fault model must see reads");
+    }
+}

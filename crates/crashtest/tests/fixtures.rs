@@ -65,3 +65,57 @@ fn fixtures_pass_without_fault_injection() {
         );
     }
 }
+
+#[test]
+fn media_blind_engine_is_convicted_of_ue_data_loss() {
+    use simcore::config::MediaConfig;
+
+    // Harsh schedule: one write pushes a line past its endurance cutoff,
+    // ECC corrects nothing, no spares — every log line read UEs.
+    let harness = crashtest::fixtures::MediaBlindEngine::harness(MediaConfig::harsh(7));
+    let wl = CrashWorkload::generate(
+        CrashSpec::quick(5),
+        harness.config().worker_threads as usize,
+    );
+
+    // Fault-free-correct at the protocol level: the crash-free run drains
+    // (checkpoints) everything home, so recovery replays no log line and
+    // even the harsh schedule has nothing to corrupt.
+    let dry = harness.count_events(&wl);
+    assert!(
+        dry.passed(),
+        "crash-free run must satisfy the oracle, got {:?}",
+        dry.violations.first()
+    );
+
+    // Under crash + media the blind replay consumes UE garbage; the oracle
+    // must convict with media attribution, shrunk to a minimal witness.
+    let summary = run_exhaustive(&harness, &wl);
+    assert!(!summary.passed(), "blind fixture must be convicted");
+    let first = &summary.failures[0];
+    assert!(first.shrunk, "first witness must be shrunk");
+    assert!(
+        first.violation.contains("ue_data_loss"),
+        "wrong attribution: {}",
+        first.violation
+    );
+    let media = summary.media.as_ref().expect("media drive must aggregate");
+    assert!(media.uncorrectable > 0, "the schedule must actually UE");
+    assert!(media.ue_data_loss_points > 0);
+}
+
+#[test]
+fn media_blind_engine_is_sound_with_faults_disabled() {
+    use simcore::config::MediaConfig;
+
+    // With the fault model detached the fixture is a correct checkpointing
+    // redo engine: only the media harness can tell it from a sound one.
+    let harness = crashtest::fixtures::MediaBlindEngine::harness(MediaConfig::mild(7));
+    let wl = CrashWorkload::generate(
+        CrashSpec::quick(5),
+        harness.config().worker_threads as usize,
+    );
+    let summary = run_exhaustive(&harness, &wl);
+    assert!(summary.passed(), "{:?}", summary.failures.first());
+    assert!(summary.media.is_none(), "disabled media must not report");
+}

@@ -55,3 +55,49 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The fault schedule is a pure function of `(seed, line, wear)`, so an
+    /// armed media model must not perturb shard invariance: identical
+    /// durable images, identical crash accounting, and — the new surface —
+    /// identical media classification counters at every shard count.
+    #[test]
+    fn media_faulted_runs_are_shard_invariant(seed in 0u64..256, frac in 0u64..100) {
+        use simcore::config::MediaConfig;
+
+        let media_config = |shards: u8| {
+            let mut cfg = sharded_config(shards);
+            cfg.media = MediaConfig::enabled(seed ^ 0xD1CE);
+            cfg
+        };
+        for engine in ENGINES {
+            let serial = Harness::named(engine).with_config(media_config(1));
+            let wl = CrashWorkload::generate(
+                CrashSpec::quick(seed),
+                serial.config().worker_threads as usize,
+            );
+            let total = serial.count_events(&wl).events_at_crash;
+            let cutoff = (total * frac) / 100;
+            let one = serial.run(&wl, cutoff, None, 1);
+            prop_assert!(one.passed(), "{engine}: {:?}", one.violations.first());
+
+            for shards in [2u8, 4] {
+                let harness = Harness::named(engine).with_config(media_config(shards));
+                let many = harness.run(&wl, cutoff, None, 1);
+                prop_assert_eq!(
+                    many.image_digest, one.image_digest,
+                    "{} at cutoff {}: durable image differs with {} shards under media faults",
+                    engine, cutoff, shards
+                );
+                prop_assert_eq!(many.media, one.media,
+                    "{} at cutoff {}: media counters differ with {} shards",
+                    engine, cutoff, shards);
+                prop_assert_eq!(many.verdict(), one.verdict());
+                prop_assert_eq!(&many.committed, &one.committed);
+                prop_assert_eq!(many.kind_counts, one.kind_counts);
+            }
+        }
+    }
+}

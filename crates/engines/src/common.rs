@@ -8,14 +8,20 @@
 //! occupies the channel once and pays the device write latency once — the
 //! "two consecutive memory bursts" flavor of §III-D).
 
+use nvm::media::{MediaError, MediaModel, ReadHealth};
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
 use simcore::crashpoint::{CrashValve, PersistEvent};
 use simcore::sanitize::SanitizerHandle;
+use simcore::time::ms_to_cycles;
 use simcore::{Cycle, PAddr, TxId};
 
 use crate::traits::{EngineStats, MissFill};
+
+/// Cycles charged per media re-read attempt (one extra array read, §Table II
+/// read latency territory).
+pub const MEDIA_RETRY_CYCLES: Cycle = 250;
 
 /// Common state and device idioms for engine implementations.
 #[derive(Debug)]
@@ -39,6 +45,14 @@ pub struct ControllerBase {
     /// ≥ 1). A pure host knob: engines that shard their scans must produce
     /// byte-identical output for every value (see `simcore::shard`).
     pub shards: usize,
+    /// Media-fault model (detached by default — a single branch per read,
+    /// like the crash valve). Attached models classify every demand and
+    /// recovery read against the wear-coupled error schedule.
+    pub media: MediaModel,
+    /// Patrol-scrub period in cycles (0 = scrubbing off).
+    scrub_period: Cycle,
+    /// Next patrol-scrub deadline.
+    next_scrub: Cycle,
     next_tx: u64,
 }
 
@@ -48,6 +62,17 @@ impl ControllerBase {
         let shards = (cfg.shards as usize).max(1);
         let mut device = NvmDevice::new(cfg.nvm, cfg.energy);
         device.set_bank_groups(shards);
+        let media = MediaModel::new(cfg.media);
+        if media.is_attached() {
+            // The error schedule scales with per-line wear, so enabling
+            // faults implies endurance tracking.
+            device.enable_endurance_tracking();
+        }
+        let scrub_period = if media.is_attached() && cfg.media.scrub_period_ms > 0 {
+            ms_to_cycles(cfg.media.scrub_period_ms as f64).max(1)
+        } else {
+            0
+        };
         ControllerBase {
             device,
             store: PersistentStore::new(),
@@ -55,6 +80,9 @@ impl ControllerBase {
             san: SanitizerHandle::none(),
             crash: CrashValve::detached(),
             shards,
+            media,
+            scrub_period,
+            next_scrub: scrub_period,
             next_tx: 1,
         }
     }
@@ -81,13 +109,81 @@ impl ControllerBase {
             Op::Read,
             TrafficClass::Data,
         );
-        let latency = out.latency(now);
+        let latency = out.latency(now) + self.media_demand_read(line);
         self.stats.misses_served.inc();
         self.stats.miss_memory_loads.inc();
         self.stats.miss_service_cycles.add(latency);
         MissFill {
             latency,
             fill_dirty: false,
+        }
+    }
+
+    /// Classifies a demand line read against the media model, returning the
+    /// extra critical-path cycles of the ECC retry ladder. An uncorrectable
+    /// demand read charges the full ladder and leaves the line pending
+    /// retirement (the model records it); the returned data is the store's
+    /// true bytes — demand-path integrity is audited at recovery time by the
+    /// crashtest oracle, which attributes any UE-tainted divergence.
+    pub fn media_demand_read(&self, line: Line) -> Cycle {
+        if !self.media.is_attached() {
+            return 0;
+        }
+        let wear = self.device.endurance().map(|e| e.writes(line)).unwrap_or(0);
+        match self.media.read_line(line, wear) {
+            ReadHealth::Clean => 0,
+            ReadHealth::Corrected { retries, .. } => Cycle::from(retries) * MEDIA_RETRY_CYCLES,
+            ReadHealth::Uncorrectable => {
+                let max = self
+                    .media
+                    .config()
+                    .map(|c| u64::from(c.max_retries))
+                    .unwrap_or(0);
+                max * MEDIA_RETRY_CYCLES
+            }
+        }
+    }
+
+    /// Classifies a recovery/GC span read against the media model (no
+    /// timing — recovery paths account their own traffic). Errors carry the
+    /// first uncorrectable line.
+    pub fn media_read_span(&self, addr: PAddr, bytes: u64) -> Result<ReadHealth, MediaError> {
+        self.media
+            .classify_span(addr, bytes, self.device.endurance())
+    }
+
+    /// Checked media read into `buf`: the span's bytes from the durable
+    /// store, deterministically corrupted if the media classifies the read
+    /// uncorrectable (see [`MediaModel::read_span_checked`]).
+    pub fn media_read_into(&self, addr: PAddr, buf: &mut [u8]) -> Result<ReadHealth, MediaError> {
+        self.media
+            .read_span_checked(&self.store, addr, buf, self.device.endurance())
+    }
+
+    /// Periodic patrol scrub: retires pending UE lines and rewrites
+    /// correctable lines before they decay into UEs, accounting one
+    /// GC-class line write per rewrite. Call once per engine `tick`; a
+    /// detached model (or `scrub_period_ms == 0`) makes this a single
+    /// branch.
+    pub fn media_tick(&mut self, now: Cycle) {
+        if self.scrub_period == 0 || now < self.next_scrub {
+            return;
+        }
+        while self.next_scrub <= now {
+            self.next_scrub += self.scrub_period;
+        }
+        let Some(endurance) = self.device.endurance() else {
+            return;
+        };
+        let pass = self.media.scrub(endurance);
+        for line in &pass.rewritten {
+            self.device.access(
+                now,
+                line.base(),
+                CACHE_LINE_BYTES,
+                Op::Write,
+                TrafficClass::Gc,
+            );
         }
     }
 

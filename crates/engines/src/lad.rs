@@ -191,7 +191,11 @@ impl PersistenceEngine for LadEngine {
         }
     }
 
-    fn tick(&mut self, _now: Cycle) -> Cycle {
+    fn tick(&mut self, now: Cycle) -> Cycle {
+        // LAD's queue lives in the battery-backed ADR domain, not on the
+        // NVM media, so recovery replay reads are never media-classified —
+        // only the patrol scrub and demand-path reads are.
+        self.base.media_tick(now);
         0
     }
 
@@ -247,6 +251,10 @@ impl PersistenceEngine for LadEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn media(&self) -> nvm::media::MediaModel {
+        self.base.media.clone()
     }
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {

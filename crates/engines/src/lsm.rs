@@ -357,6 +357,7 @@ impl PersistenceEngine for LsmEngine {
     }
 
     fn tick(&mut self, now: Cycle) -> Cycle {
+        self.base.media_tick(now);
         if now >= self.next_gc {
             self.gc(now);
             self.next_gc = now + self.gc_period;
@@ -385,8 +386,18 @@ impl PersistenceEngine for LsmEngine {
         // Replay the committed prefix (any torn suffix beyond the commit
         // watermark is discarded). The log is replayed without draining so
         // a crash injected mid-recovery leaves it for the next pass.
+        let mut log_off = 0u64;
         for rec in &self.log[..committed] {
             self.base.crash.event(PersistEvent::Recovery, None);
+            let rec_bytes = ENTRY_HEADER_BYTES + rec.words.len() as u64 * WORD_BYTES;
+            let rec_addr = self.log_region.offset(log_off);
+            log_off += rec_bytes;
+            // A log entry lost to the media cannot be replayed; its words
+            // keep their pre-crash home bytes — a classified loss.
+            if self.base.media_read_span(rec_addr, rec_bytes).is_err() {
+                self.base.media.note_loss(rec.line);
+                continue;
+            }
             for (w, v) in &rec.words {
                 self.base
                     .store
@@ -430,6 +441,10 @@ impl PersistenceEngine for LsmEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn media(&self) -> nvm::media::MediaModel {
+        self.base.media.clone()
     }
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {

@@ -5,12 +5,14 @@
 //! uses it as the upper bound for throughput/latency (Fig. 7) and the lower
 //! bound for write traffic (Fig. 8).
 
+use nvm::media::{MediaModel, ReadHealth};
 use nvm::{NvmDevice, Op, PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES};
 use simcore::config::SimConfig;
 use simcore::crashpoint::{CrashValve, PersistEvent};
 use simcore::{CoreId, Cycle, PAddr, TxId};
 
+use crate::common::MEDIA_RETRY_CYCLES;
 use crate::traits::{
     CommitOutcome, EngineProperties, EngineStats, Level, MissFill, PersistenceEngine,
     RecoveryReport,
@@ -23,17 +25,24 @@ pub struct NativeEngine {
     store: PersistentStore,
     stats: EngineStats,
     crash: CrashValve,
+    media: MediaModel,
     next_tx: u64,
 }
 
 impl NativeEngine {
     /// Creates the engine for the machine described by `cfg`.
     pub fn new(cfg: &SimConfig) -> Self {
+        let mut device = NvmDevice::new(cfg.nvm, cfg.energy);
+        let media = MediaModel::new(cfg.media);
+        if media.is_attached() {
+            device.enable_endurance_tracking();
+        }
         NativeEngine {
-            device: NvmDevice::new(cfg.nvm, cfg.energy),
+            device,
             store: PersistentStore::new(),
             stats: EngineStats::default(),
             crash: CrashValve::detached(),
+            media,
             next_tx: 1,
         }
     }
@@ -82,7 +91,13 @@ impl PersistenceEngine for NativeEngine {
             Op::Read,
             TrafficClass::Data,
         );
-        let latency = out.latency(now);
+        let mut latency = out.latency(now);
+        if self.media.is_attached() {
+            let wear = self.device.endurance().map(|e| e.writes(line)).unwrap_or(0);
+            if let ReadHealth::Corrected { retries, .. } = self.media.read_line(line, wear) {
+                latency += Cycle::from(retries) * MEDIA_RETRY_CYCLES;
+            }
+        }
         self.stats.misses_served.inc();
         self.stats.miss_memory_loads.inc();
         self.stats.miss_service_cycles.add(latency);
@@ -141,6 +156,10 @@ impl PersistenceEngine for NativeEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.device.enable_endurance_tracking();
+    }
+
+    fn media(&self) -> MediaModel {
+        self.media.clone()
     }
 
     fn attach_crash_valve(&mut self, valve: CrashValve) {

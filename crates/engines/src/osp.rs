@@ -291,7 +291,8 @@ impl PersistenceEngine for OspEngine {
         }
     }
 
-    fn tick(&mut self, _now: Cycle) -> Cycle {
+    fn tick(&mut self, now: Cycle) -> Cycle {
+        self.base.media_tick(now);
         0
     }
 
@@ -312,9 +313,23 @@ impl PersistenceEngine for OspEngine {
         // reached every address (idempotent: replay order is persist order,
         // so the newest committed image wins). Replayed without draining so
         // a crash injected mid-recovery leaves the log for the next pass.
-        for rec in &self.shadow_log {
+        for (i, rec) in self.shadow_log.iter().enumerate() {
             if committed.contains(&rec.tx) {
                 self.base.crash.event(PersistEvent::Recovery, None);
+                // The shadow copy is the only durable source of this
+                // committed image; if the media lost it, home keeps the
+                // pre-transaction bytes — a classified loss, not garbage.
+                let slot = self
+                    .shadow_region
+                    .offset(i as u64 * (CACHE_LINE_BYTES + COMMIT_META_BYTES));
+                if self
+                    .base
+                    .media_read_span(slot, CACHE_LINE_BYTES + COMMIT_META_BYTES)
+                    .is_err()
+                {
+                    self.base.media.note_loss(Line(rec.line));
+                    continue;
+                }
                 self.base
                     .store
                     .write_bytes(Line(rec.line).base(), &rec.image);
@@ -352,6 +367,10 @@ impl PersistenceEngine for OspEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn media(&self) -> nvm::media::MediaModel {
+        self.base.media.clone()
     }
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {

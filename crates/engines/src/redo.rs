@@ -244,6 +244,7 @@ impl PersistenceEngine for OptRedoEngine {
     }
 
     fn tick(&mut self, now: Cycle) -> Cycle {
+        self.base.media_tick(now);
         if now >= self.next_checkpoint {
             self.checkpoint(now);
             self.next_checkpoint = now + self.checkpoint_period;
@@ -265,8 +266,22 @@ impl PersistenceEngine for OptRedoEngine {
         let bytes_scanned = self.log.len() as u64 * REDO_RECORD_BYTES;
         let mut bytes_written = 0;
         let mut txs: DetHashSet<u64> = DetHashSet::default();
-        for rec in &self.log[..committed] {
+        for (i, rec) in self.log[..committed].iter().enumerate() {
             self.base.crash.event(PersistEvent::Recovery, None);
+            // The media may have lost the durable log copy of this record.
+            // A redo record is the only source of the committed image, so an
+            // uncorrectable record cannot be re-derived: skip the replay and
+            // declare a classified loss for the home line instead of writing
+            // garbage there.
+            let rec_addr = self.log_region.offset(i as u64 * REDO_RECORD_BYTES);
+            if self
+                .base
+                .media_read_span(rec_addr, REDO_RECORD_BYTES)
+                .is_err()
+            {
+                self.base.media.note_loss(rec.line);
+                continue;
+            }
             self.base.store.write_bytes(rec.line.base(), &rec.image);
             bytes_written += CACHE_LINE_BYTES;
             txs.insert(rec.tx.0);
@@ -305,6 +320,10 @@ impl PersistenceEngine for OptRedoEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn media(&self) -> nvm::media::MediaModel {
+        self.base.media.clone()
     }
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {

@@ -424,6 +424,12 @@ impl System {
         self.engine.enable_endurance_tracking();
     }
 
+    /// The engine's media-fault model handle (detached unless the
+    /// configuration enabled faults).
+    pub fn media(&self) -> nvm::media::MediaModel {
+        self.engine.media()
+    }
+
     /// Resets all measurement state after warmup (clocks keep running).
     pub fn reset_counters(&mut self) {
         self.engine.reset_counters();

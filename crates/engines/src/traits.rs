@@ -7,6 +7,7 @@
 //! with critical-path latencies while maintaining the durable byte image its
 //! protocol would produce on real hardware.
 
+use nvm::media::MediaModel;
 use nvm::{NvmDevice, PersistentStore};
 use simcore::addr::Line;
 use simcore::crashpoint::CrashValve;
@@ -218,6 +219,13 @@ pub trait PersistenceEngine: Send {
     /// Enables per-line endurance tracking on the engine's NVM device
     /// (lifetime studies; off by default).
     fn enable_endurance_tracking(&mut self) {}
+
+    /// The engine's media-fault model handle (shared state — clones alias).
+    /// Engines built on `ControllerBase` return its model; the default is a
+    /// detached handle, meaning the engine models a perfect medium.
+    fn media(&self) -> MediaModel {
+        MediaModel::detached()
+    }
 
     /// Attaches a persistency sanitizer. Engines that support auditing
     /// store the handle (usually in their `ControllerBase`) and report

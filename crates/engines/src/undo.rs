@@ -234,7 +234,8 @@ impl PersistenceEngine for OptUndoEngine {
         }
     }
 
-    fn tick(&mut self, _now: Cycle) -> Cycle {
+    fn tick(&mut self, now: Cycle) -> Cycle {
+        self.base.media_tick(now);
         0
     }
 
@@ -252,8 +253,20 @@ impl PersistenceEngine for OptUndoEngine {
         // log is replayed without draining: a crash injected mid-recovery
         // must leave the records in place so the next recovery pass can
         // redo the (idempotent) rollback.
-        for rec in self.log.iter().rev() {
+        for (i, rec) in self.log.iter().enumerate().rev() {
             self.base.crash.event(PersistEvent::Recovery, None);
+            // An uncorrectable undo record cannot roll its line back: the
+            // home line keeps the in-flight new bytes. Declare the
+            // classified loss instead of writing a garbage "old" image.
+            let rec_addr = self.log_region.offset(i as u64 * UNDO_RECORD_BYTES);
+            if self
+                .base
+                .media_read_span(rec_addr, UNDO_RECORD_BYTES)
+                .is_err()
+            {
+                self.base.media.note_loss(rec.line);
+                continue;
+            }
             self.base.store.write_bytes(rec.line.base(), &rec.old);
             bytes_written += CACHE_LINE_BYTES;
             rolled_back.insert(rec.tx.0);
@@ -287,6 +300,10 @@ impl PersistenceEngine for OptUndoEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn media(&self) -> nvm::media::MediaModel {
+        self.base.media.clone()
     }
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {

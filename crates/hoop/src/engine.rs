@@ -526,6 +526,7 @@ impl PersistenceEngine for HoopEngine {
     }
 
     fn tick(&mut self, now: Cycle) -> Cycle {
+        self.base.media_tick(now);
         let mut stall = 0;
         // Pay down background-interference debt a slice at a time.
         if self.bg_interference > 0 {
@@ -617,6 +618,10 @@ impl PersistenceEngine for HoopEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn media(&self) -> nvm::media::MediaModel {
+        self.base.media.clone()
     }
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {

@@ -12,7 +12,8 @@
 
 use simcore::det::{DetHashMap, DetHashSet};
 
-use nvm::{PersistentStore, TrafficClass};
+use nvm::media::MediaModel;
+use nvm::{EnduranceMap, PersistentStore, TrafficClass};
 use simcore::addr::{Line, CACHE_LINE_BYTES};
 use simcore::crashpoint::PersistEvent;
 use simcore::Cycle;
@@ -38,11 +39,23 @@ pub(crate) fn read_slice_raw(
 /// yielding decoded data slices (newest slice first). Stops at the start
 /// slice, a broken link, or after visiting more slices than the region
 /// holds (corruption guard).
+///
+/// Every data-slice read is classified against the media-fault model
+/// (commit *metadata* — address slices, block headers — is modeled as
+/// ECC-hardened and never fails). An uncorrectable data slice cannot be
+/// consumed: its payload is dropped from the returned chain and the loss is
+/// declared per affected home line via [`MediaModel::note_loss`] — the
+/// commit metadata still identifies which home words the chain covered, so
+/// the engine reports a classified loss instead of replaying garbage. The
+/// walk itself continues: the region scan can locate the chain's remaining
+/// slices by transaction id without the lost link field.
 pub(crate) fn walk_chain(
     store: &PersistentStore,
     region: &OopRegion,
     last_slot: u32,
     expect_tx: u32,
+    media: &MediaModel,
+    endurance: Option<&EnduranceMap>,
 ) -> Vec<DataSlice> {
     let mut out = Vec::new();
     let mut slot = last_slot;
@@ -57,7 +70,19 @@ pub(crate) fn walk_chain(
         }
         let start = slice.start;
         let link = slice.link;
-        out.push(slice);
+        if media
+            .classify_span(region.slot_addr(slot), SLICE_BYTES, endurance)
+            .is_err()
+        {
+            let mut lost: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+            for w in &slice.words {
+                if lost.insert(w.home.line().0) {
+                    media.note_loss(w.home.line());
+                }
+            }
+        } else {
+            out.push(slice);
+        }
         if start || link == NO_LINK {
             break;
         }
@@ -176,12 +201,14 @@ pub(crate) fn walk_chain_ranges(
     region: &OopRegion,
     records: &[CommitRecord],
     shards: usize,
+    media: &MediaModel,
+    endurance: Option<&EnduranceMap>,
 ) -> Vec<Vec<DataSlice>> {
     let ranges = simcore::shard::chunk_ranges(records.len(), shards);
     let parts = simcore::shard::run_sharded(shards, |s| {
         records[ranges[s].clone()]
             .iter()
-            .map(|rec| walk_chain(store, region, rec.last_slot, rec.tx))
+            .map(|rec| walk_chain(store, region, rec.last_slot, rec.tx, media, endurance))
             .collect::<Vec<_>>()
     });
     parts.into_iter().flatten().collect()
@@ -214,7 +241,14 @@ impl HoopEngine {
         // Chain walks are pure reads; shard them across host threads and
         // fold the per-record chains serially in record order below, so the
         // coalescing and sanitizer-event orders stay byte-identical.
-        let chains = walk_chain_ranges(&self.base.store, &self.region, &records, shards);
+        let chains = walk_chain_ranges(
+            &self.base.store,
+            &self.region,
+            &records,
+            shards,
+            &self.base.media,
+            self.base.device.endurance(),
+        );
 
         let mut coalesced: DetHashMap<u64, u64> = DetHashMap::default();
         let mut scanned_slices = 0u64;

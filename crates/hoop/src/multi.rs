@@ -334,11 +334,22 @@ impl MultiHoopEngine {
         }
         let store = &self.base.store;
         let ctrls = &self.ctrls;
+        let media = &self.base.media;
+        let endurance = self.base.device.endurance();
         let ranges = simcore::shard::chunk_ranges(work.len(), self.base.shards);
         let chains: Vec<Vec<DataSlice>> = simcore::shard::run_sharded(self.base.shards, |s| {
             work[ranges[s].clone()]
                 .iter()
-                .map(|(ci, rec)| walk_chain(store, &ctrls[*ci].region, rec.last_slot, rec.tx))
+                .map(|(ci, rec)| {
+                    walk_chain(
+                        store,
+                        &ctrls[*ci].region,
+                        rec.last_slot,
+                        rec.tx,
+                        media,
+                        endurance,
+                    )
+                })
                 .collect::<Vec<_>>()
         })
         .into_iter()
@@ -623,7 +634,8 @@ impl PersistenceEngine for MultiHoopEngine {
         }
     }
 
-    fn tick(&mut self, _now: Cycle) -> Cycle {
+    fn tick(&mut self, now: Cycle) -> Cycle {
+        self.base.media_tick(now);
         0
     }
 
@@ -713,6 +725,10 @@ impl PersistenceEngine for MultiHoopEngine {
 
     fn enable_endurance_tracking(&mut self) {
         self.base.device.enable_endurance_tracking();
+    }
+
+    fn media(&self) -> nvm::media::MediaModel {
+        self.base.media.clone()
     }
 
     fn attach_sanitizer(&mut self, handle: simcore::sanitize::SanitizerHandle) {

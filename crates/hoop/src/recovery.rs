@@ -83,8 +83,13 @@ impl HoopEngine {
 
         // Phase 1: parallel scan. Each thread walks its share of the
         // committed transactions and keeps the largest-TxID value per word.
+        // The media model and endurance map are shared read-only: chain
+        // classification is a pure function of (seed, line, wear), so the
+        // thread split never changes a verdict.
         let store = &self.base.store;
         let region = &self.region;
+        let media = &self.base.media;
+        let endurance = self.base.device.endurance();
         let locals: Vec<ScanLocal> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
@@ -94,7 +99,8 @@ impl HoopEngine {
                     let mut local: DetHashMap<u64, (u32, u64)> = DetHashMap::default();
                     let mut slices = 0u64;
                     for rec in my_records.iter().rev() {
-                        let chain = walk_chain(store, region, rec.last_slot, rec.tx);
+                        let chain =
+                            walk_chain(store, region, rec.last_slot, rec.tx, media, endurance);
                         slices += chain.len() as u64;
                         for slice in &chain {
                             for w in &slice.words {

@@ -36,7 +36,7 @@
 //! | rule | rejects |
 //! |------|---------|
 //! | `order-sensitive-iteration` | `.iter()`/`.keys()`/`.values()`/`.drain()` on a receiver declared `DetHashMap`/`DetHashSet` in the same file, unless annotated `lint:order-frozen` |
-//! | `shard-shared-mut` | `static mut`, `thread_local!`, or interior-mutability containers (`Rc<`, `RefCell<`, `Cell<`, `UnsafeCell<`, `Mutex<`, `RwLock<`) in simulation crates — shared mutable state that the bank-group sharding split (ROADMAP direction 1) cannot partition |
+//! | `shard-shared-mut` | `static mut`, `thread_local!`, or interior-mutability containers (`Rc<`, `RefCell<`, `Cell<`, `UnsafeCell<`, `Mutex<`, `RwLock<`) in simulation crates — shared mutable state that the bank-group sharding split (ROADMAP direction 1) cannot partition — unless annotated `lint:shard-serial` |
 //! | `sim-state-float` | casting a float-tainted expression to an integer/`Cycle` type |
 //! | `lossy-cycle-cast` | `as` truncation of a cycle/clock-named counter to a sub-64-bit integer |
 //! | `det-taint` | an order-sensitive value (un-frozen det-container iteration, wall-clock, float shard-merge accumulation) flowing through assignments, returns, and the call graph into a simulated-state field; flows into host-only stats are permitted (see [`crate::taint`]) |
@@ -55,7 +55,10 @@
 //! warning (exit-code 0) so annotations cannot rot silently.
 //! `// lint:order-frozen` is the dedicated marker for
 //! `order-sensitive-iteration` sites whose iteration order is part of the
-//! frozen determinism contract.
+//! frozen determinism contract, and `// lint:shard-serial` is the
+//! analogous marker for `shard-shared-mut` sites whose mutations are
+//! confined to serial phases (or are commutative set-inserts) and thus
+//! invisible to the bank-group split.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -91,6 +94,10 @@ const ALLOW_PREFIX: &str = "lint:allow(";
 /// Dedicated escape for `order-sensitive-iteration`: documents that the
 /// iteration order at this site is frozen by the determinism contract.
 const ORDER_FROZEN: &str = "lint:order-frozen";
+/// Dedicated escape for `shard-shared-mut`: documents that the container's
+/// mutations are confined to serial (non-sharded) phases or are commutative
+/// set-inserts, so the bank-group split cannot observe a difference.
+const SHARD_SERIAL: &str = "lint:shard-serial";
 
 /// Path scope of the persistency rules (`persist-order`,
 /// `commit-in-branch`, `hook-coverage`).
@@ -652,7 +659,7 @@ fn rule_shard_shared_mut(ctx: &mut FileCtx<'_>) {
         }
     }
     for i in hits {
-        ctx.report("shard-shared-mut", i, None);
+        ctx.report("shard-shared-mut", i, Some(SHARD_SERIAL));
     }
 }
 

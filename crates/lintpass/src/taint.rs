@@ -14,6 +14,12 @@
 //! * `f64`/float accumulation under a compound `+=` inside a `fn fold`
 //!   body — shard-merge reduction order changes float sums.
 //!
+//! **Seeded sources** are the explicit non-sources: functions whose
+//! returns are pure `(seed, identity)` hashes (the media-fault schedule
+//! RNG, [`SEEDED_SOURCES`]) stay untainted at the fixpoint even if their
+//! bodies would otherwise convict — a seeded RNG is deterministic by
+//! construction.
+//!
 //! **Propagation**: flow-insensitively through assignments (`=` and
 //! compound ops), `let`/`for` pattern bindings, and function returns
 //! (`return expr;` and tail expressions feed a `<ret>` pseudo-variable).
@@ -56,6 +62,14 @@ const PERMITTED_CONTAINS: &[&str] = &["host", "bench", "wall", "report"];
 /// Markers that freeze an iteration order into the determinism contract
 /// (so iterating there is not a taint source).
 const FROZEN_MARKERS: &[&str] = &["lint:order-frozen", "lint:allow(order-sensitive-iteration)"];
+
+/// Identity-seeded value sources: their returns are pure functions of
+/// `(seed, identity)` inputs — the same schedule at any shard count or
+/// execution order — so the cross-function fixpoint never treats them as
+/// taint-carrying, regardless of what their bodies do. The media-fault
+/// schedule hash (`nvm::media::media_hash`, DESIGN.md §13) is the
+/// canonical case: it *is* the subsystem's RNG, but a seeded one.
+const SEEDED_SOURCES: &[&str] = &["media_hash"];
 
 /// Whether a written path is a simulated-state sink.
 fn is_sink(path: &str) -> bool {
@@ -579,7 +593,7 @@ impl TaintIndex {
         loop {
             let mut changed = false;
             for (name, assigns) in &self.fns {
-                if self.tainted.contains(name) {
+                if self.tainted.contains(name) || SEEDED_SOURCES.contains(&name.as_str()) {
                     continue;
                 }
                 let local = local_taint(assigns, &self.tainted);
@@ -783,6 +797,32 @@ mod tests {
         idx.solve();
         let tainted: Vec<&str> = idx.tainted_returns().collect();
         assert_eq!(tainted, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn seeded_sources_never_carry_taint() {
+        // Even a body that *would* convict (un-frozen det-container
+        // iteration feeding the return) stays clean under the seeded-source
+        // name: the media-fault RNG is deterministic by construction.
+        let src = "struct S { salts: DetHashMap<u64, u64> }\n\
+                   impl S {\n\
+                   fn media_hash(&self) -> u64 {\n\
+                   let first = *self.salts.keys().next().unwrap();\n\
+                   first\n\
+                   }\n\
+                   fn draw(&mut self) {\n\
+                   let fault = self.media_hash();\n\
+                   self.fault_seed = fault;\n\
+                   }\n\
+                   }\n";
+        assert!(hits_of(src).is_empty());
+        let mut idx = TaintIndex::new();
+        idx.add_file(src);
+        idx.solve();
+        assert!(!idx.returns_tainted("media_hash"));
+        // Control: the identical body under another name convicts.
+        let renamed = src.replace("media_hash", "pick_salt");
+        assert_eq!(hits_of(&renamed), vec![(9, 1)]);
     }
 
     #[test]

@@ -613,6 +613,15 @@ fn shard_shared_mut_is_scoped_to_sim_crates() {
     clean("crates/bench/src/x.rs", "static mut EPOCH: u64 = 0;\n");
 }
 
+#[test]
+fn shard_serial_marker_suppresses_and_is_recorded() {
+    let src = "struct MediaState {\n    // lint:shard-serial — mutated only by the serial scrub phase\n    tables: Mutex<u64>,\n}\n";
+    let r = lint_source("crates/nvm/src/media.rs", src);
+    assert!(r.is_clean(), "findings: {:?}", r.findings);
+    assert_eq!(r.allows.len(), 1);
+    assert_eq!(r.allows[0].rule, "shard-shared-mut");
+}
+
 // ------------------------------------------------------------- stale allows
 
 #[test]

@@ -23,11 +23,13 @@
 #![forbid(unsafe_code)]
 
 pub mod device;
+pub mod media;
 pub mod store;
 pub mod traffic;
 pub mod wearlevel;
 
 pub use device::{AccessOutcome, NvmDevice, Op};
+pub use media::{MediaError, MediaModel, MediaSummary, ReadHealth, ScrubPass};
 pub use store::PersistentStore;
 pub use traffic::TrafficClass;
 pub use wearlevel::{EnduranceMap, StartGap};

@@ -23,11 +23,12 @@ pub const GAP_MOVE_RATE: u64 = 100;
 
 /// Start-Gap address rotation over a region of `n` lines (with one spare).
 ///
-/// Logical line `l` maps to physical line `(l + start) % (n+1)`, skipping
-/// the current gap. Every [`GAP_MOVE_RATE`] writes the gap moves down one
-/// slot (copying one line in a real device — accounted as one extra write);
-/// after `n+1` gap rotations, `start` advances, so every logical line
-/// eventually visits every physical slot.
+/// Logical line `l` maps to physical line `(l + start) % n`, shifted up by
+/// one slot when at or past the current gap. Every [`GAP_MOVE_RATE`] writes
+/// the gap moves down one slot (copying one line in a real device —
+/// accounted as one extra write); after each full `n+1`-move gap rotation,
+/// `start` advances (mod `n`), so every logical line eventually visits
+/// every physical slot.
 #[derive(Clone, Debug)]
 pub struct StartGap {
     lines: u64,
@@ -68,10 +69,14 @@ impl StartGap {
     /// Panics if `logical` is out of range.
     pub fn translate(&self, logical: Line) -> Line {
         assert!(logical.0 < self.lines, "logical line out of range");
-        let phys = (logical.0 + self.start) % (self.lines + 1);
-        // Slots at or past the gap are shifted down by one.
+        // Rotate over the *logical* line count (mod n, not n+1): the base
+        // position stays in 0..n, so the gap shift below never needs to
+        // wrap — wrapping it would alias two logical lines onto slot 0
+        // once `start` passes 1.
+        let phys = (logical.0 + self.start) % self.lines;
+        // Slots at or past the gap are shifted up by one.
         if phys >= self.gap {
-            Line((phys + 1) % (self.lines + 1))
+            Line(phys + 1)
         } else {
             Line(phys)
         }
@@ -87,7 +92,7 @@ impl StartGap {
         self.overhead_writes += 1; // the gap move copies one line
         if self.gap == 0 {
             self.gap = self.lines;
-            self.start = (self.start + 1) % (self.lines + 1);
+            self.start = (self.start + 1) % self.lines;
         } else {
             self.gap -= 1;
         }
@@ -125,6 +130,26 @@ impl EnduranceMap {
     /// Total line writes recorded.
     pub fn total_writes(&self) -> u64 {
         self.total
+    }
+
+    /// Writes recorded against one physical line (0 if never written).
+    pub fn writes(&self, line: Line) -> u64 {
+        self.counts.get(&line.0).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct lines ever written.
+    pub fn lines_touched(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Every tracked line in ascending line order (the deterministic
+    /// iteration surface for patrol scrubbing — sorted, so the order is
+    /// independent of insertion history).
+    pub fn lines_sorted(&self) -> Vec<Line> {
+        // lint:order-frozen: sorted immediately below — order-independent.
+        let mut lines: Vec<u64> = self.counts.keys().copied().collect();
+        lines.sort_unstable();
+        lines.into_iter().map(Line).collect()
     }
 
     /// The hottest line's write count (0 if empty).

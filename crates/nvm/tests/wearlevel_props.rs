@@ -1,0 +1,135 @@
+//! Start-Gap property tests: the algebraic leveler must agree with a
+//! naive array-copy reference model under arbitrary write sequences.
+//!
+//! [`StartGap`] computes the logical→physical map *algebraically* from
+//! `(start, gap)` — no remapping table. The reference model here does what
+//! a real device would: it keeps an explicit physical array with a hole
+//! and copies one line per gap move. The two must agree at every step:
+//!
+//! * the translation is a bijection into `0..=lines` at every gap
+//!   position (no two logical lines collide, none lands on the gap);
+//! * `overhead_writes` — the leveling cost the `ext_lifetime`/`media`
+//!   figures report — matches the reference's copy count exactly.
+
+use nvm::wearlevel::{StartGap, GAP_MOVE_RATE};
+use proptest::prelude::*;
+use simcore::addr::Line;
+use simcore::det::DetHashSet;
+
+/// The naive reference: an explicit physical array (`lines + 1` slots,
+/// one hole). A gap move copies the line below the gap into the gap slot;
+/// at slot 0 the gap wraps to the top, pulling the top slot's line down —
+/// each copy is one counted overhead write.
+struct NaiveStartGap {
+    /// `slots[p]` = logical line stored at physical slot `p` (`None` =
+    /// the gap).
+    slots: Vec<Option<u64>>,
+    gap: usize,
+    writes_since_move: u64,
+    overhead: u64,
+}
+
+impl NaiveStartGap {
+    fn new(lines: u64) -> Self {
+        let mut slots: Vec<Option<u64>> = (0..lines).map(Some).collect();
+        slots.push(None);
+        NaiveStartGap {
+            slots,
+            gap: lines as usize,
+            writes_since_move: 0,
+            overhead: 0,
+        }
+    }
+
+    fn on_write(&mut self) {
+        self.writes_since_move += 1;
+        if self.writes_since_move < GAP_MOVE_RATE {
+            return;
+        }
+        self.writes_since_move = 0;
+        self.overhead += 1;
+        let top = self.slots.len() - 1;
+        if self.gap == 0 {
+            self.slots[0] = self.slots[top].take();
+            self.gap = top;
+        } else {
+            self.slots[self.gap] = self.slots[self.gap - 1].take();
+            self.gap -= 1;
+        }
+    }
+
+    /// Physical slot currently holding logical line `l`.
+    fn locate(&self, l: u64) -> u64 {
+        self.slots
+            .iter()
+            .position(|s| *s == Some(l))
+            .expect("logical line present in the array") as u64
+    }
+}
+
+/// Asserts the algebraic map agrees with the array model and is a
+/// bijection (distinctness into `lines + 1` slots, gap slot excluded).
+fn check_agreement(sg: &StartGap, naive: &NaiveStartGap, step: usize) {
+    let lines = sg.lines();
+    let mut seen = DetHashSet::default();
+    for l in 0..lines {
+        let p = sg.translate(Line(l));
+        assert!(p.0 <= lines, "step {step}: physical {p:?} out of range");
+        assert_eq!(
+            naive.locate(l),
+            p.0,
+            "step {step}: algebra and array disagree on line {l}"
+        );
+        assert!(seen.insert(p.0), "step {step}: collision at line {l}");
+        assert_ne!(
+            naive.slots[p.0 as usize], None,
+            "step {step}: line {l} translated onto the gap"
+        );
+    }
+}
+
+proptest! {
+    /// Arbitrary write counts, checked against the reference at random
+    /// probe points (checking every write keeps cases small; probing lets
+    /// sequences run long enough for the gap to wrap `start`).
+    #[test]
+    fn translation_matches_naive_copy_model(
+        lines in 1u64..40,
+        bursts in prop::collection::vec(1u64..400, 0..24),
+    ) {
+        let mut sg = StartGap::new(lines);
+        let mut naive = NaiveStartGap::new(lines);
+        let mut step = 0usize;
+        check_agreement(&sg, &naive, step);
+        for burst in bursts {
+            for _ in 0..burst {
+                sg.on_write();
+                naive.on_write();
+                step += 1;
+            }
+            check_agreement(&sg, &naive, step);
+        }
+        prop_assert_eq!(sg.overhead_writes, naive.overhead);
+        // Closed form: one copy per GAP_MOVE_RATE writes, exactly.
+        prop_assert_eq!(sg.overhead_writes, step as u64 / GAP_MOVE_RATE);
+    }
+
+    /// The bijection must hold at *every* gap position of a full rotation:
+    /// drive the gap through all `(start, gap)` states one move at a time.
+    #[test]
+    fn bijection_at_every_gap_position(lines in 1u64..24) {
+        let mut sg = StartGap::new(lines);
+        let mut naive = NaiveStartGap::new(lines);
+        // (lines + 1) gap positions per start value, (lines + 1) start
+        // values, plus one extra move to prove the cycle closes.
+        let moves = (lines + 1) * (lines + 1) + 1;
+        for m in 0..moves {
+            for _ in 0..GAP_MOVE_RATE {
+                sg.on_write();
+                naive.on_write();
+            }
+            check_agreement(&sg, &naive, m as usize);
+        }
+        prop_assert_eq!(sg.overhead_writes, moves);
+    }
+}

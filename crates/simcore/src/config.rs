@@ -145,6 +145,111 @@ impl HoopConfig {
     }
 }
 
+/// Deterministic media-fault model knobs (consumed by `nvm::media`).
+///
+/// Disabled by default: a default run never instantiates the model, so its
+/// observable behavior — timing, traffic, every `results/*.json` byte — is
+/// identical to a build without the subsystem (the same valve discipline as
+/// [`crate::crashpoint`]). All probabilities are integer thresholds out of
+/// 2³² so the fault schedule is float-free and bit-reproducible; every draw
+/// is a pure hash of `(seed, line, wear, attempt)`, which makes the schedule
+/// identity-seeded and shard-invariant by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MediaConfig {
+    /// Master switch; `false` keeps the model fully detached.
+    pub enabled: bool,
+    /// Fault-schedule seed. The same seed yields the identical schedule at
+    /// any `--shards` value.
+    pub seed: u64,
+    /// Per-bit-draw probability (out of 2³²) of a wear-coupled retention /
+    /// drift error when a line's effective wear equals [`wear_scale`]
+    /// writes; scales linearly with accumulated wear below and above.
+    ///
+    /// [`wear_scale`]: MediaConfig::wear_scale
+    pub wear_flip_p32: u32,
+    /// Line-write count at which the drift probability reaches
+    /// `wear_flip_p32` (the slope denominator; must be > 0).
+    pub wear_scale: u64,
+    /// Per-bit-draw probability (out of 2³²) of a transient read error.
+    /// Transient draws are salted by the retry attempt, so a retry takes a
+    /// fresh draw while wear/stuck components repeat.
+    pub transient_p32: u32,
+    /// ECC strength: bit flips per line read the code can correct.
+    pub ecc_t: u32,
+    /// Bounded read-retry budget for uncorrectable first reads.
+    pub max_retries: u32,
+    /// Mean per-line endurance cutoff in writes; cells past their
+    /// (hash-varied) cutoff stick and no longer respond to retry.
+    pub endurance_cutoff: u64,
+    /// Spare lines available for retiring uncorrectable lines. Once
+    /// exhausted, further UE lines stay faulty (graceful-degradation edge).
+    pub spare_lines: u64,
+    /// Patrol-scrub period in milliseconds of simulated time (0 disables
+    /// scrubbing; retirement of surfaced UE lines then only happens when a
+    /// read path reports them).
+    pub scrub_period_ms: u64,
+    /// Lines examined per patrol-scrub pass.
+    pub scrub_batch: u64,
+}
+
+impl Default for MediaConfig {
+    fn default() -> Self {
+        MediaConfig::mild(0)
+    }
+}
+
+impl MediaConfig {
+    /// The quick-matrix default schedule: visible correctable activity
+    /// (CEs, occasional retries) at quick-scale wear, but an endurance
+    /// cutoff far beyond any quick run — real engines must see zero
+    /// uncorrectable errors under it. `enabled` stays `false`; callers opt
+    /// in explicitly.
+    pub fn mild(seed: u64) -> Self {
+        MediaConfig {
+            enabled: false,
+            seed,
+            // ~0.5 % per bit-draw at 1000 line writes (8 draws/line read).
+            wear_flip_p32: 21_474_836,
+            wear_scale: 1000,
+            // ~0.1 % per transient draw (2 draws/read attempt).
+            transient_p32: 4_294_967,
+            ecc_t: 2,
+            max_retries: 3,
+            endurance_cutoff: 10_000_000,
+            spare_lines: 1024,
+            scrub_period_ms: 1,
+            scrub_batch: 256,
+        }
+    }
+
+    /// A deliberately hostile schedule for negative controls: ECC disabled
+    /// and an endurance cutoff of one write, so every written line reads
+    /// back uncorrectable. Used by the UE-blind crashtest fixture.
+    pub fn harsh(seed: u64) -> Self {
+        MediaConfig {
+            enabled: true,
+            seed,
+            wear_flip_p32: 0,
+            wear_scale: 1000,
+            transient_p32: 0,
+            ecc_t: 0,
+            max_retries: 0,
+            endurance_cutoff: 1,
+            spare_lines: 0,
+            scrub_period_ms: 0,
+            scrub_batch: 0,
+        }
+    }
+
+    /// `mild(seed)` with the master switch on.
+    pub fn enabled(seed: u64) -> Self {
+        MediaConfig {
+            enabled: true,
+            ..MediaConfig::mild(seed)
+        }
+    }
+}
+
 /// Full system configuration (Table II plus HOOP parameters).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimConfig {
@@ -170,6 +275,8 @@ pub struct SimConfig {
     /// knob — simulated state, counters and every `results/*.json` byte
     /// are identical for every value. Default 1 (serial).
     pub shards: u8,
+    /// Media-fault model (disabled by default; see `nvm::media`).
+    pub media: MediaConfig,
 }
 
 impl Default for SimConfig {
@@ -196,6 +303,7 @@ impl Default for SimConfig {
             energy: NvmEnergyConfig::default(),
             hoop: HoopConfig::default(),
             shards: 1,
+            media: MediaConfig::default(),
         }
     }
 }
@@ -261,6 +369,16 @@ mod tests {
     fn shards_default_serial() {
         assert_eq!(SimConfig::default().shards, 1);
         assert_eq!(SimConfig::small_for_tests().shards, 1);
+    }
+
+    #[test]
+    fn media_faults_default_off() {
+        assert!(!SimConfig::default().media.enabled);
+        assert!(!SimConfig::small_for_tests().media.enabled);
+        assert!(!MediaConfig::mild(7).enabled);
+        assert!(MediaConfig::enabled(7).enabled);
+        assert!(MediaConfig::harsh(7).enabled);
+        assert_eq!(MediaConfig::harsh(7).ecc_t, 0);
     }
 
     #[test]
